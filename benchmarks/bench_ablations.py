@@ -1,0 +1,170 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. **Contention awareness** — the paper's motivating claim: schedules built
+   under macro-dataflow assumptions mispredict badly once ports serialize.
+   We schedule under each model and report latencies.
+2. **Locking discipline** — literal Algorithm 5.2 vs the robust support
+   discipline: latency, messages, and the fraction of single-crash
+   scenarios each schedule actually survives.
+3. **Port allocation policy** — append (paper eqs. (4)/(6)) vs
+   insertion-based gap filling.
+4. **Model variants** (§2) — bi-directional vs uni-directional one-port vs
+   no comm/comp overlap.
+5. **Batched mapping** (§7) — window sizes 1 / 4 / 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_graphs
+from repro.comm.oneport import OnePortNetwork
+from repro.core.caft import caft
+from repro.core.caft_batch import caft_batch
+from repro.dag.generators import random_dag
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import replay
+from repro.platform.heterogeneity import (
+    range_exec_matrix,
+    scale_to_granularity,
+    uniform_delay_platform,
+)
+from repro.platform.instance import ProblemInstance
+from repro.schedulers.ftsa import ftsa
+
+M = 10
+EPS = 1
+
+
+def _instances(trials, granularity=0.5, v=100):
+    out = []
+    for t in range(trials):
+        graph = random_dag(v, rng=t)
+        platform = uniform_delay_platform(M, rng=t + 1)
+        rng = np.random.default_rng(t + 2)
+        E = range_exec_matrix(rng.uniform(1, 2, v), M, rng=rng)
+        E = scale_to_granularity(graph, platform, E, granularity)
+        out.append(ProblemInstance(graph, platform, E))
+    return out
+
+
+def test_contention_awareness(benchmark):
+    """FTSA latency under one-port vs macro-dataflow evaluation."""
+    insts = _instances(bench_graphs(4))
+
+    def run():
+        one, macro = [], []
+        for i, inst in enumerate(insts):
+            one.append(ftsa(inst, EPS, model="oneport", rng=i).latency())
+            macro.append(ftsa(inst, EPS, model="macro-dataflow", rng=i).latency())
+        return float(np.mean(one)), float(np.mean(macro))
+
+    one, macro = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nftsa latency: one-port={one:.1f}  macro-dataflow={macro:.1f} "
+          f"(contention penalty x{one / macro:.2f})")
+    assert one >= macro  # contention can only slow a schedule down
+
+
+def test_locking_discipline(benchmark):
+    """Robust vs literal CAFT: the price and value of provable tolerance."""
+    insts = _instances(bench_graphs(4))
+
+    def run():
+        stats = {"support": [], "paper": []}
+        for i, inst in enumerate(insts):
+            for mode in stats:
+                sched = caft(inst, EPS, locking=mode, rng=i)
+                survived = 0
+                for p in range(M):
+                    if replay(sched, FailureScenario.crash_at_start([p])).success:
+                        survived += 1
+                stats[mode].append(
+                    (sched.latency(), sched.message_count(), survived / M)
+                )
+        return {
+            mode: tuple(np.mean(np.array(v), axis=0)) for mode, v in stats.items()
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nlocking ablation (eps=1, single-crash survival rate):")
+    for mode, (lat, msgs, surv) in out.items():
+        print(f"  {mode:8s} latency={lat:9.1f} msgs={msgs:7.1f} survival={surv:5.1%}")
+    # the robust discipline must actually survive everything
+    assert out["support"][2] == 1.0
+    # ... and the literal one must demonstrate the flaw
+    assert out["paper"][2] < 1.0
+
+
+def test_port_policy(benchmark):
+    """Append-only (paper) vs insertion-based port allocation."""
+    insts = _instances(bench_graphs(4))
+
+    def run():
+        append_lat, insert_lat = [], []
+        for i, inst in enumerate(insts):
+            append_lat.append(caft(inst, EPS, rng=i).latency())
+            net = OnePortNetwork(inst.platform, policy="insertion")
+            insert_lat.append(caft(inst, EPS, model=net, rng=i).latency())
+        return float(np.mean(append_lat)), float(np.mean(insert_lat))
+
+    append_lat, insert_lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nport policy: append={append_lat:.1f} insertion={insert_lat:.1f}")
+    assert insert_lat <= append_lat * 1.05  # gap filling should not hurt
+
+
+def test_model_variants(benchmark):
+    """§2 variants: bi-directional vs uni-port vs no-overlap."""
+    insts = _instances(bench_graphs(3))
+
+    def run():
+        out = {}
+        for model in ("oneport", "uniport", "oneport-nooverlap"):
+            out[model] = float(
+                np.mean([caft(inst, EPS, model=model, rng=i).latency()
+                         for i, inst in enumerate(insts)])
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nmodel variants (caft, eps=1):")
+    for model, lat in out.items():
+        print(f"  {model:18s} {lat:9.1f}")
+    assert out["uniport"] >= out["oneport"] * 0.95
+    assert out["oneport-nooverlap"] >= out["oneport"] * 0.95
+
+
+def test_ftsa_reselect(benchmark):
+    """Paper's single-pass replica selection vs per-commit re-selection."""
+    insts = _instances(bench_graphs(4))
+
+    def run():
+        single, re = [], []
+        for i, inst in enumerate(insts):
+            single.append(ftsa(inst, EPS, rng=i).latency())
+            re.append(ftsa(inst, EPS, reselect=True, rng=i).latency())
+        return float(np.mean(single)), float(np.mean(re))
+
+    single, re = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nftsa replica selection: single-pass={single:.1f} re-select={re:.1f} "
+          f"(improvement {100 * (single - re) / single:.1f}%)")
+    assert re <= single * 1.05
+
+
+def test_batched_mapping(benchmark):
+    """§7 extension: window sizes 1 / 4 / 10."""
+    insts = _instances(bench_graphs(3))
+
+    def run():
+        return {
+            w: float(np.mean([
+                caft_batch(inst, EPS, window=w, rng=i).latency()
+                for i, inst in enumerate(insts)
+            ]))
+            for w in (1, 4, 10)
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nbatched caft (window sweep):")
+    for w, lat in out.items():
+        print(f"  window={w:<3d} {lat:9.1f}")
+    assert all(v > 0 for v in out.values())

@@ -1,0 +1,108 @@
+"""Runtime-scaling benchmarks (Theorem 5.1 and the §4 complexity claims).
+
+* CAFT runs in ``O(e·m·(ε+1)²·log(ε+1) + v·log ω)`` — near-linear in the
+  number of edges for fixed platform;
+* FTSA has the same flavour (``O(e·m²+v·log ω)`` in the paper);
+* FTBAR is ``O(P·N³)`` — markedly superlinear in the task count.
+
+The bench times each scheduler across growing task counts and asserts the
+qualitative ordering: CAFT scales like FTSA, and FTBAR grows faster than
+both.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.caft import caft
+from repro.dag.generators import random_dag
+from repro.platform.heterogeneity import (
+    range_exec_matrix,
+    scale_to_granularity,
+    uniform_delay_platform,
+)
+from repro.platform.instance import ProblemInstance
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+
+SIZES = (50, 100, 200)
+M = 10
+EPS = 1
+
+
+def _instance(v, seed=0):
+    graph = random_dag(v, rng=seed)
+    platform = uniform_delay_platform(M, rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    E = range_exec_matrix(rng.uniform(1, 2, v), M, rng=rng)
+    E = scale_to_granularity(graph, platform, E, 1.0)
+    return ProblemInstance(graph, platform, E)
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_scaling_with_tasks(benchmark):
+    """Wall-clock of each scheduler across task counts (fixed m, ε)."""
+
+    def run():
+        rows = []
+        for v in SIZES:
+            inst = _instance(v)
+            rows.append(
+                dict(
+                    v=v,
+                    caft=_time(lambda: caft(inst, EPS, rng=0)),
+                    ftsa=_time(lambda: ftsa(inst, EPS, rng=0)),
+                    ftbar=_time(lambda: ftbar(inst, EPS, rng=0)),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nruntime (s) vs task count (m=10, eps=1)")
+    print(f"{'v':>6} {'caft':>9} {'ftsa':>9} {'ftbar':>9}")
+    for r in rows:
+        print(f"{r['v']:>6} {r['caft']:>9.3f} {r['ftsa']:>9.3f} {r['ftbar']:>9.3f}")
+
+    # FTBAR (O(PN^3)) grows faster than CAFT between the extreme sizes.
+    growth_caft = rows[-1]["caft"] / max(rows[0]["caft"], 1e-9)
+    growth_ftbar = rows[-1]["ftbar"] / max(rows[0]["ftbar"], 1e-9)
+    assert growth_ftbar > growth_caft
+
+
+def test_scaling_with_epsilon(benchmark):
+    """CAFT cost grows polynomially in (ε+1) — Theorem 5.1."""
+
+    def run():
+        inst = _instance(100)
+        return {
+            eps: _time(lambda: caft(inst, eps, rng=0)) for eps in (0, 1, 2, 3, 4)
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ncaft runtime (s) vs epsilon (v=100, m=10)")
+    for eps, t in times.items():
+        print(f"  eps={eps}: {t:.3f}")
+    assert times[3] > times[0]
+
+
+def test_scheduler_throughput_caft(benchmark):
+    """Single-schedule latency of CAFT at the paper's instance size."""
+    inst = _instance(100)
+    benchmark(lambda: caft(inst, 1, rng=0))
+
+
+def test_scheduler_throughput_ftsa(benchmark):
+    inst = _instance(100)
+    benchmark(lambda: ftsa(inst, 1, rng=0))
+
+
+def test_scheduler_throughput_ftbar(benchmark):
+    inst = _instance(100)
+    benchmark(lambda: ftbar(inst, 1, rng=0))

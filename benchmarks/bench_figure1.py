@@ -1,0 +1,13 @@
+"""Regenerates paper Figure 1: sweep A (0.2..2.0), m=10, eps=1, 1 crash.
+
+Panels (a) normalized latency + upper bounds + fault-free references,
+(b) latency with 0 vs c crashes, (c) average overhead (%), plus message
+counts.  Series are printed in the paper's layout and written to
+results/figure1.csv.
+"""
+
+from benchmarks.conftest import run_figure_bench
+
+
+def test_figure1(benchmark):
+    run_figure_bench(benchmark, 1)

@@ -1,0 +1,13 @@
+"""Regenerates paper Figure 2: sweep A (0.2..2.0), m=10, eps=3, 2 crashes.
+
+Panels (a) normalized latency + upper bounds + fault-free references,
+(b) latency with 0 vs c crashes, (c) average overhead (%), plus message
+counts.  Series are printed in the paper's layout and written to
+results/figure2.csv.
+"""
+
+from benchmarks.conftest import run_figure_bench
+
+
+def test_figure2(benchmark):
+    run_figure_bench(benchmark, 2)

@@ -1,0 +1,117 @@
+"""Message-count benchmarks: Proposition 5.1 and the §6 replication-traffic claim.
+
+The paper's analytical claims:
+
+* FTSA / FTBAR commit up to ``e(ε+1)²`` messages (§4.2);
+* CAFT stays at ``e(ε+1)`` on fork / out-forest graphs (Proposition 5.1)
+  and "drastically reduces the total number of messages" on general DAGs.
+
+This bench measures committed message counts for every algorithm on both
+graph families and prints them next to the analytical bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_graphs
+from repro.core.caft import caft
+from repro.dag.generators import random_dag, random_out_forest
+from repro.platform.heterogeneity import (
+    range_exec_matrix,
+    scale_to_granularity,
+    uniform_delay_platform,
+)
+from repro.platform.instance import ProblemInstance
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+
+EPSILONS = (1, 3)
+M = 10
+
+
+def _instance(graph, seed):
+    platform = uniform_delay_platform(M, rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    E = range_exec_matrix(rng.uniform(1, 2, graph.num_tasks), M, rng=rng)
+    E = scale_to_granularity(graph, platform, E, 1.0)
+    return ProblemInstance(graph, platform, E)
+
+
+def _campaign(graph_factory, trials):
+    rows = []
+    for eps in EPSILONS:
+        acc = {"caft": [], "caft-paper": [], "ftsa": [], "ftbar": [], "e": []}
+        for t in range(trials):
+            graph = graph_factory(t)
+            inst = _instance(graph, t)
+            acc["e"].append(graph.num_edges)
+            acc["caft"].append(caft(inst, eps, rng=t).message_count())
+            acc["caft-paper"].append(
+                caft(inst, eps, locking="paper", rng=t).message_count()
+            )
+            acc["ftsa"].append(ftsa(inst, eps, rng=t).message_count())
+            acc["ftbar"].append(ftbar(inst, eps, rng=t).message_count())
+        e = float(np.mean(acc["e"]))
+        rows.append(
+            dict(
+                eps=eps,
+                e=e,
+                bound_one=e * (eps + 1),
+                bound_sq=e * (eps + 1) ** 2,
+                **{k: float(np.mean(v)) for k, v in acc.items() if k != "e"},
+            )
+        )
+    return rows
+
+
+def _print(rows, title):
+    print(f"\n{title}")
+    header = f"{'eps':>4} {'e':>7} {'e(ε+1)':>8} {'e(ε+1)²':>8} {'caft':>8} {'caft-pap':>8} {'ftsa':>8} {'ftbar':>8}"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['eps']:>4} {r['e']:>7.1f} {r['bound_one']:>8.1f} {r['bound_sq']:>8.1f} "
+            f"{r['caft']:>8.1f} {r['caft-paper']:>8.1f} {r['ftsa']:>8.1f} {r['ftbar']:>8.1f}"
+        )
+
+
+def test_outforest_messages(benchmark):
+    """Proposition 5.1: CAFT message count ≤ e(ε+1) on out-forests."""
+    trials = bench_graphs(4)
+
+    def run():
+        return _campaign(lambda t: random_out_forest(60, rng=t), trials)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(rows, "out-forest graphs (Prop. 5.1 family)")
+    for r in rows:
+        # the literal algorithm carries the analytic guarantee
+        assert r["caft-paper"] <= r["bound_one"] + 1e-9
+        # the robust variant stays near it and far below the FTSA bound
+        assert r["caft"] <= r["bound_one"] * 1.6
+        assert r["ftsa"] <= r["bound_sq"] + 1e-9
+        assert r["caft"] < r["ftsa"]
+
+
+def test_random_dag_messages(benchmark):
+    """§6: CAFT drastically reduces messages on general random DAGs."""
+    trials = bench_graphs(4)
+
+    def run():
+        return _campaign(lambda t: random_dag(100, rng=t), trials)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _print(rows, "random DAGs (paper §6 family)")
+    for r in rows:
+        # the paper's claim, carried by the literal algorithm at any eps
+        assert r["caft-paper"] < r["ftsa"]
+        assert r["ftsa"] <= r["bound_sq"] + 1e-9
+        if r["eps"] == 1:
+            assert r["caft"] < r["ftsa"]
+        else:
+            # saturated regime (eps+1 ~ m/3): the robust variant's extra
+            # correctness messages may slightly exceed FTSA's count
+            # (EXPERIMENTS.md discusses this trade-off)
+            assert r["caft"] <= r["ftsa"] * 1.25

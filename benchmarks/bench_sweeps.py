@@ -1,0 +1,53 @@
+"""Extension sweeps: heterogeneity and platform size (beyond the paper).
+
+The paper fixes the unrelated-machine spread and evaluates m ∈ {10, 20}
+only; these benches vary those dimensions at the paper's central
+granularity (g = 1) and check that the contention-awareness advantage is
+not an artifact of one heterogeneity setting or platform size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_graphs
+from repro.experiments.extra import (
+    heterogeneity_sweep,
+    platform_size_sweep,
+    sweep_table,
+)
+
+
+def test_heterogeneity_sweep(benchmark):
+    graphs = bench_graphs(3)
+
+    def run():
+        return heterogeneity_sweep(
+            factors=(0.0, 0.5, 1.0, 1.5), num_graphs=graphs
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nnormalized latency vs heterogeneity (m=10, eps=1, g=1):")
+    print(sweep_table(results, metric="norm_latency", label="h"))
+    print("\nmessages vs heterogeneity:")
+    print(sweep_table(results, metric="messages", label="h"))
+    # CAFT (either variant) keeps beating FTSA at every heterogeneity level
+    for _h, point in results:
+        best_caft = min(
+            point.per_algorithm["caft"].mean("norm_latency"),
+            point.per_algorithm["caft-paper"].mean("norm_latency"),
+        )
+        assert best_caft < point.per_algorithm["ftsa"].mean("norm_latency") * 1.05
+
+
+def test_platform_size_sweep(benchmark):
+    graphs = bench_graphs(3)
+
+    def run():
+        return platform_size_sweep(sizes=(5, 10, 20, 40), num_graphs=graphs)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nnormalized latency vs platform size (eps=1, g=1):")
+    print(sweep_table(results, metric="norm_latency", label="m"))
+    # more processors can only help (weak check: m=40 beats m=5 for caft)
+    first = results[0][1].per_algorithm["caft"].mean("norm_latency")
+    last = results[-1][1].per_algorithm["caft"].mean("norm_latency")
+    assert last <= first

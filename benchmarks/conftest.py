@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure bench runs the corresponding campaign once (via
+``benchmark.pedantic``), prints the paper-style panels so the series can
+be compared against the paper, and asserts the §6 qualitative shape.
+
+Repetitions default to ``REPRO_GRAPHS`` (or 3) per data point for
+wall-clock sanity; export ``REPRO_GRAPHS=60`` to reproduce the paper's
+averaging (EXPERIMENTS.md records such runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import check_shape, run_figure
+from repro.experiments.report import render_figure, write_csv
+
+
+def bench_graphs(default: int = 3) -> int:
+    """Graphs per data point for benchmark runs."""
+    return max(1, int(os.environ.get("REPRO_GRAPHS", default)))
+
+
+def run_figure_bench(benchmark, number: int) -> None:
+    """Run figure ``number`` once under the benchmark timer, print panels,
+    persist the CSV under results/, and assert the paper's shape."""
+    graphs = bench_graphs()
+
+    result = benchmark.pedantic(
+        run_figure, args=(number,), kwargs={"num_graphs": graphs}, rounds=1, iterations=1
+    )
+    print()
+    print(render_figure(result))
+    out = os.path.join(os.path.dirname(__file__), "..", "results", f"figure{number}.csv")
+    write_csv(result, os.path.abspath(out))
+    shape = check_shape(result)
+    assert shape.ok, f"shape checks failed: {shape.failed()}"

@@ -1,0 +1,98 @@
+"""Crash campaign: how a static fault-tolerant schedule behaves when
+processors actually die.
+
+A stencil sweep (the paper's fine-grain regime) is scheduled with CAFT for
+ε = 2; the script then replays the schedule under *every* 1- and 2-crash
+pattern and reports the latency distribution, plus mid-execution failures.
+Finally it demonstrates the reproduction's headline finding: the literal
+Algorithm 5.2 (``locking="paper"``) loses tasks under single crashes that
+the robust support discipline survives by construction.
+
+Run:  python examples/cluster_failures.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro import (
+    FailureScenario,
+    ProblemInstance,
+    caft,
+    range_exec_matrix,
+    replay,
+    scale_to_granularity,
+    stencil_1d,
+    uniform_delay_platform,
+)
+
+PROCS = 8
+
+
+def build_instance(seed: int = 0) -> ProblemInstance:
+    wl = stencil_1d(cells=8, steps=6)
+    platform = uniform_delay_platform(PROCS, rng=seed)
+    exec_cost = range_exec_matrix(wl.base_costs, PROCS, heterogeneity=0.5, rng=seed + 1)
+    exec_cost = scale_to_granularity(wl.graph, platform, exec_cost, 0.6)
+    return ProblemInstance(wl.graph, platform, exec_cost)
+
+
+def crash_sweep(schedule, crashes: int) -> list[float]:
+    latencies = []
+    for procs in itertools.combinations(range(PROCS), crashes):
+        result = replay(schedule, FailureScenario.crash_at_start(procs))
+        latencies.append(result.latency())  # raises if the schedule failed
+    return latencies
+
+
+def main() -> None:
+    instance = build_instance()
+    schedule = caft(instance, epsilon=2, rng=0)
+    base = schedule.latency()
+    print(f"schedule: {schedule}")
+    print(f"0-crash latency: {base:.1f}")
+
+    for crashes in (1, 2):
+        lats = np.array(crash_sweep(schedule, crashes))
+        print(
+            f"\nall {len(lats)} {crashes}-crash patterns survive; latency "
+            f"min={lats.min():.1f} mean={lats.mean():.1f} max={lats.max():.1f} "
+            f"(0-crash {base:.1f})"
+        )
+        faster = int((lats < base - 1e-9).sum())
+        slower = int((lats > base + 1e-9).sum())
+        print(
+            f"  {faster} patterns finish EARLIER than the 0-crash schedule "
+            f"(dropped messages free ports), {slower} finish later"
+        )
+
+    print("\nmid-execution failures (processor dies at time t):")
+    victim = schedule.proc_replicas.index(
+        max(schedule.proc_replicas, key=len)
+    )
+    for frac in (0.0, 0.25, 0.5, 1.0):
+        t = frac * schedule.makespan()
+        result = replay(schedule, FailureScenario({victim: t}))
+        counts = result.counts()
+        print(
+            f"  P{victim} dies at {t:8.1f}: latency={result.latency():8.1f} "
+            f"completed={counts['completed']:3d} crashed={counts['crashed']:3d} "
+            f"starved={counts['starved']:3d}"
+        )
+
+    print("\nliteral Algorithm 5.2 (paper locking) under the same single crashes:")
+    literal = caft(instance, epsilon=2, locking="paper", rng=0)
+    dead = 0
+    for p in range(PROCS):
+        result = replay(literal, FailureScenario.crash_at_start([p]))
+        if not result.success:
+            dead += 1
+            print(f"  crash P{p}: FAILS — tasks {result.dead_tasks[:6]} lose all replicas")
+    if dead == 0:
+        print("  (this instance happens to survive; most random instances do not)")
+    print(f"  -> {dead}/{PROCS} single crashes defeat the literal variant; "
+          f"the support variant survives all of them by construction.")
+
+
+if __name__ == "__main__":
+    main()

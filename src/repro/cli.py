@@ -1,0 +1,306 @@
+"""Command-line front end.
+
+Examples
+--------
+Regenerate a figure's data (CSV + paper-style panels)::
+
+    repro-ftsched figure 1 --graphs 10 --out results/fig1.csv
+
+Schedule a demo workload and show the Gantt chart::
+
+    repro-ftsched demo --workload gaussian_elimination --epsilon 1
+
+Check Proposition 5.1 message bounds on random out-forests::
+
+    repro-ftsched prop51 --epsilon 2 --trials 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.caft import caft
+from repro.dag.generators import random_out_forest
+from repro.dag.workloads import ALL_WORKLOADS
+from repro.experiments.config import FIGURES
+from repro.experiments.figures import check_shape, run_figure
+from repro.experiments.report import render_figure, write_csv
+from repro.fault.model import FailureScenario
+from repro.fault.scenarios import random_crash_scenario
+from repro.fault.simulator import replay
+from repro.platform.heterogeneity import (
+    range_exec_matrix,
+    scale_to_granularity,
+    uniform_delay_platform,
+)
+from repro.platform.instance import ProblemInstance
+from repro.schedule.gantt import render_gantt
+from repro.schedule.metrics import summarize
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+
+    def progress(msg: str) -> None:
+        if args.verbose:
+            print(msg, file=sys.stderr)
+
+    result = run_figure(args.number, num_graphs=args.graphs, progress=progress)
+    print(render_figure(result))
+    shape = check_shape(result)
+    print(f"shape checks: {'OK' if shape.ok else 'FAILED ' + str(shape.failed())}")
+    if args.out:
+        path = write_csv(result, args.out)
+        print(f"wrote {path}")
+    if args.html:
+        from repro.experiments.svg import write_html_report
+
+        path = write_html_report(result, args.html)
+        print(f"wrote {path}")
+    print(f"elapsed: {time.perf_counter() - t0:.1f}s")
+    return 0 if shape.ok else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    workload = ALL_WORKLOADS[args.workload](args.size)
+    graph = workload.graph
+    platform = uniform_delay_platform(args.procs, rng=args.seed)
+    exec_cost = range_exec_matrix(
+        workload.base_costs, args.procs, heterogeneity=0.5, rng=args.seed + 1
+    )
+    exec_cost = scale_to_granularity(graph, platform, exec_cost, args.granularity)
+    inst = ProblemInstance(graph, platform, exec_cost)
+
+    schedulers = {
+        "heft": lambda: heft(inst, rng=args.seed),
+        "ftsa": lambda: ftsa(inst, args.epsilon, rng=args.seed),
+        "ftbar": lambda: ftbar(inst, args.epsilon, rng=args.seed),
+        "caft": lambda: caft(inst, args.epsilon, rng=args.seed),
+    }
+    run = schedulers[args.scheduler]
+    sched = run()
+    print(render_gantt(sched, width=args.width, show_comms=args.comms))
+    report = summarize(sched)
+    print(
+        f"latency={report.latency:.1f} upper={report.upper_bound:.1f} "
+        f"messages={report.messages} SLR={report.normalized_latency:.2f}"
+    )
+    if args.crash and args.scheduler != "heft":
+        scenario = random_crash_scenario(args.procs, args.crash, rng=args.seed + 2)
+        result = replay(sched, scenario)
+        print(f"replay under {scenario}: ", end="")
+        if result.success:
+            print(f"latency={result.latency():.1f} ({result.counts()})")
+        else:
+            print(f"FAILED — dead tasks {result.dead_tasks}")
+    return 0
+
+
+def _cmd_prop51(args: argparse.Namespace) -> int:
+    """Empirical check of Proposition 5.1 on random out-forests."""
+    rng = np.random.default_rng(args.seed)
+    worst_ratio = 0.0
+    for trial in range(args.trials):
+        graph = random_out_forest(args.tasks, rng=rng)
+        platform = uniform_delay_platform(args.procs, rng=rng)
+        base = rng.uniform(1.0, 2.0, size=graph.num_tasks)
+        exec_cost = range_exec_matrix(base, args.procs, rng=rng)
+        exec_cost = scale_to_granularity(graph, platform, exec_cost, 1.0)
+        inst = ProblemInstance(graph, platform, exec_cost)
+        sched = caft(inst, args.epsilon, locking="paper", rng=trial)
+        bound = graph.num_edges * (args.epsilon + 1)
+        ratio = sched.message_count() / bound if bound else 0.0
+        worst_ratio = max(worst_ratio, ratio)
+        status = "ok" if sched.message_count() <= bound else "VIOLATED"
+        print(
+            f"trial {trial}: e={graph.num_edges} messages={sched.message_count()} "
+            f"bound e(eps+1)={bound} [{status}]"
+        )
+        if sched.message_count() > bound:
+            return 1
+    print(f"Proposition 5.1 holds on all trials (worst ratio {worst_ratio:.2f})")
+    return 0
+
+
+def _make_demo_instance(args: argparse.Namespace):
+    workload = ALL_WORKLOADS[args.workload](args.size)
+    platform = uniform_delay_platform(args.procs, rng=args.seed)
+    exec_cost = range_exec_matrix(
+        workload.base_costs, args.procs, heterogeneity=0.5, rng=args.seed + 1
+    )
+    exec_cost = scale_to_granularity(workload.graph, platform, exec_cost,
+                                     args.granularity)
+    return ProblemInstance(workload.graph, platform, exec_cost)
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    """Monte-Carlo survival analysis of a workload's schedule."""
+    from repro.fault.montecarlo import survival_curve
+    from repro.fault.scenarios import check_robustness
+
+    inst = _make_demo_instance(args)
+    sched = caft(inst, args.epsilon, locking=args.locking, rng=args.seed)
+    print(f"schedule: {sched}")
+    if args.exhaustive:
+        report = check_robustness(sched)
+        status = "ROBUST" if report.robust else "NOT ROBUST"
+        print(
+            f"exhaustive check over {report.scenarios_checked} scenarios: {status}"
+        )
+        for scenario, dead in report.violations[:5]:
+            print(f"  {scenario} kills tasks {dead[:8]}")
+    curve = survival_curve(sched, args.max_failures, samples=args.samples,
+                           rng=args.seed + 7)
+    print("survival curve (crashes -> estimated survival):")
+    for k, rate in curve.items():
+        bar = "#" * int(rate * 40)
+        print(f"  {k:>2}: {rate:6.1%} {bar}")
+    guaranteed = all(curve[k] == 1.0 for k in range(args.epsilon + 1))
+    return 0 if guaranteed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Export a schedule (and optionally a crash replay) as a Chrome trace."""
+    from repro.fault.scenarios import random_crash_scenario
+    from repro.schedule.trace import write_trace
+
+    inst = _make_demo_instance(args)
+    sched = caft(inst, args.epsilon, rng=args.seed)
+    path = write_trace(sched, args.out)
+    print(f"wrote {path} (load in chrome://tracing or ui.perfetto.dev)")
+    if args.crash:
+        scenario = random_crash_scenario(args.procs, args.crash, rng=args.seed + 2)
+        result = replay(sched, scenario)
+        crash_path = str(args.out).replace(".json", f".crash.json")
+        write_trace(result, crash_path)
+        print(f"wrote {crash_path} (replay under {scenario})")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Side-by-side algorithm comparison on one workload."""
+    from repro.experiments.compare import compare_algorithms, comparison_table
+
+    inst = _make_demo_instance(args)
+    rows = compare_algorithms(
+        inst, args.epsilon, crashes=args.crash, samples=args.samples,
+        rng=args.seed,
+    )
+    print(
+        f"workload={args.workload}({args.size}) m={args.procs} "
+        f"eps={args.epsilon} g={args.granularity}"
+    )
+    print(comparison_table(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Heterogeneity / platform-size sweeps (beyond the paper's figures)."""
+    from repro.experiments.extra import (
+        heterogeneity_sweep,
+        platform_size_sweep,
+        sweep_table,
+    )
+
+    if args.kind == "heterogeneity":
+        results = heterogeneity_sweep(num_graphs=args.graphs, epsilon=args.epsilon)
+        label = "h"
+    else:
+        results = platform_size_sweep(num_graphs=args.graphs, epsilon=args.epsilon)
+        label = "m"
+    for metric in ("norm_latency", "messages"):
+        print(f"\n{metric} vs {label}:")
+        print(sweep_table(results, metric=metric, label=label))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ftsched",
+        description="Fault-tolerant contention-aware scheduling (ICPP 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    p_fig.add_argument("number", type=int, choices=sorted(FIGURES))
+    p_fig.add_argument("--graphs", type=int, default=None,
+                       help="random graphs per data point (default: paper's 60)")
+    p_fig.add_argument("--out", type=str, default=None, help="CSV output path")
+    p_fig.add_argument("--html", type=str, default=None,
+                       help="write an HTML report with SVG charts")
+    p_fig.add_argument("--verbose", action="store_true")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_demo = sub.add_parser("demo", help="schedule a workload and show a Gantt chart")
+    p_demo.add_argument("--workload", choices=sorted(ALL_WORKLOADS), default="gaussian_elimination")
+    p_demo.add_argument("--size", type=int, default=6)
+    p_demo.add_argument("--procs", type=int, default=6)
+    p_demo.add_argument("--epsilon", type=int, default=1)
+    p_demo.add_argument("--granularity", type=float, default=1.0)
+    p_demo.add_argument("--scheduler", choices=["heft", "ftsa", "ftbar", "caft"], default="caft")
+    p_demo.add_argument("--crash", type=int, default=0, help="replay with this many crashes")
+    p_demo.add_argument("--comms", action="store_true", help="show link rows in the Gantt")
+    p_demo.add_argument("--width", type=int, default=100)
+    p_demo.add_argument("--seed", type=int, default=42)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_51 = sub.add_parser("prop51", help="check Proposition 5.1 message bounds")
+    p_51.add_argument("--epsilon", type=int, default=1)
+    p_51.add_argument("--tasks", type=int, default=60)
+    p_51.add_argument("--procs", type=int, default=10)
+    p_51.add_argument("--trials", type=int, default=10)
+    p_51.add_argument("--seed", type=int, default=0)
+    p_51.set_defaults(func=_cmd_prop51)
+
+    def add_workload_args(p):
+        p.add_argument("--workload", choices=sorted(ALL_WORKLOADS),
+                       default="gaussian_elimination")
+        p.add_argument("--size", type=int, default=6)
+        p.add_argument("--procs", type=int, default=6)
+        p.add_argument("--epsilon", type=int, default=1)
+        p.add_argument("--granularity", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=42)
+
+    p_rob = sub.add_parser("robustness", help="survival analysis of a schedule")
+    add_workload_args(p_rob)
+    p_rob.add_argument("--locking", choices=["support", "paper"], default="support")
+    p_rob.add_argument("--max-failures", type=int, default=4)
+    p_rob.add_argument("--samples", type=int, default=50)
+    p_rob.add_argument("--exhaustive", action="store_true")
+    p_rob.set_defaults(func=_cmd_robustness)
+
+    p_tr = sub.add_parser("trace", help="export a Chrome/Perfetto trace")
+    add_workload_args(p_tr)
+    p_tr.add_argument("--out", type=str, default="results/trace.json")
+    p_tr.add_argument("--crash", type=int, default=0)
+    p_tr.set_defaults(func=_cmd_trace)
+
+    p_cmp = sub.add_parser("compare", help="side-by-side algorithm comparison")
+    add_workload_args(p_cmp)
+    p_cmp.add_argument("--crash", type=int, default=1)
+    p_cmp.add_argument("--samples", type=int, default=25)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sw = sub.add_parser("sweep", help="heterogeneity / platform-size sweeps")
+    p_sw.add_argument("kind", choices=["heterogeneity", "platform"])
+    p_sw.add_argument("--graphs", type=int, default=3)
+    p_sw.add_argument("--epsilon", type=int, default=1)
+    p_sw.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Communication models: one-port (paper), macro-dataflow, variants."""
+
+from repro.comm.base import NetworkModel
+from repro.comm.oneport import (
+    OnePortNetwork,
+    UniPortNetwork,
+    NoOverlapOnePortNetwork,
+)
+from repro.comm.macrodataflow import MacroDataflowNetwork
+from repro.comm.routed import RoutedOnePortNetwork
+
+from repro.platform.platform import Platform
+
+_MODELS = {
+    "oneport": OnePortNetwork,
+    "uniport": UniPortNetwork,
+    "oneport-nooverlap": NoOverlapOnePortNetwork,
+    "macro-dataflow": MacroDataflowNetwork,
+}
+
+
+def make_network(model: str, platform: Platform, **kwargs) -> NetworkModel:
+    """Instantiate a network model by name over ``platform``.
+
+    Valid names: ``"oneport"`` (the paper's model), ``"uniport"``,
+    ``"oneport-nooverlap"`` and ``"macro-dataflow"``.  Routed sparse models
+    are built directly from a :class:`~repro.platform.topology.Topology`
+    via :class:`RoutedOnePortNetwork`.
+    """
+    try:
+        cls = _MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown network model {model!r}; choose from {sorted(_MODELS)}"
+        ) from None
+    return cls(platform, **kwargs)
+
+
+__all__ = [
+    "NetworkModel",
+    "OnePortNetwork",
+    "UniPortNetwork",
+    "NoOverlapOnePortNetwork",
+    "MacroDataflowNetwork",
+    "RoutedOnePortNetwork",
+    "make_network",
+]

@@ -1,0 +1,103 @@
+"""Network-model interface shared by all communication models.
+
+A *network model* is the mutable resource state a scheduler builds a
+schedule against: which communication ports/links are busy until when.
+Schedulers repeatedly *try* placements ("simulate the mapping of ti on
+every processor", paper §5) before committing the best one, so the
+interface is built around cheap **checkpoint / rollback** via an undo log
+rather than deep copies.
+
+Concrete models:
+
+* :class:`repro.comm.oneport.OnePortNetwork` — the paper's bi-directional
+  one-port model (eqs. (1)–(6));
+* :class:`repro.comm.oneport.UniPortNetwork` — the uni-directional variant
+  mentioned in §2 (one shared port per processor);
+* :class:`repro.comm.oneport.NoOverlapOnePortNetwork` — the "no
+  communication/computation overlap" variant of §2;
+* :class:`repro.comm.macrodataflow.MacroDataflowNetwork` — the classical
+  contention-free model;
+* :class:`repro.comm.routed.RoutedOnePortNetwork` — sparse topologies with
+  static routes (§7 extension).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.platform.platform import Platform
+
+
+class NetworkModel(ABC):
+    """Mutable communication-resource state over a :class:`Platform`."""
+
+    #: short machine name used by factories/reports (subclasses override)
+    name: str = "abstract"
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    # Static quantities
+    # ------------------------------------------------------------------
+    def transfer_time(self, src: int, dst: int, volume: float) -> float:
+        """Duration ``W = volume * d(src, dst)`` of a transfer (0 if local)."""
+        if src == dst:
+            return 0.0
+        return volume * self.platform.delay(src, dst)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def place_transfer(
+        self, src: int, dst: int, ready: float, volume: float
+    ) -> tuple[float, float]:
+        """Reserve resources for one transfer and return ``(start, finish)``.
+
+        ``ready`` is the earliest moment the data exists on ``src`` (the
+        finish time of the producing replica).  The returned ``start``
+        satisfies every model constraint (ports, links) and ``finish =
+        start + W``.  Local transfers (``src == dst``) cost nothing and
+        reserve nothing.  The reservation is recorded in the undo log.
+        """
+
+    @abstractmethod
+    def sender_bound(self, src: int, dst: int, ready: float, volume: float) -> float:
+        """Earliest finish of a transfer ignoring receiver-side constraints.
+
+        This is the sort key of the paper's eq. (6): messages are serialized
+        at the reception site "by non-decreasing order of their
+        communication finish time on the links", i.e. of their sender-side
+        constrained finish.  Pure query — no state change.
+        """
+
+    # ------------------------------------------------------------------
+    # Compute coupling (only the no-overlap variant uses these)
+    # ------------------------------------------------------------------
+    def compute_floor(self, proc: int) -> float:
+        """Earliest time a computation may start on ``proc`` as far as the
+        communication engine is concerned (0 unless comm blocks compute)."""
+        return 0.0
+
+    def note_compute(self, proc: int, start: float, finish: float) -> None:
+        """Inform the model that ``proc`` computes during ``[start, finish]``."""
+
+    # ------------------------------------------------------------------
+    # Undo log
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def checkpoint(self) -> int:
+        """Return a token capturing the current state (undo-log length)."""
+
+    @abstractmethod
+    def rollback(self, token: int) -> None:
+        """Undo every reservation made after ``token`` was taken."""
+
+    @abstractmethod
+    def commit(self) -> None:
+        """Drop the undo log (reservations become permanent)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all reservations (fresh network)."""

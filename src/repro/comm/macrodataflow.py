@@ -1,0 +1,38 @@
+"""The classical macro-dataflow (contention-free) communication model.
+
+This is the model the paper argues *against* (§1): unlimited ports, no
+link contention.  A transfer starts the instant its data is ready and
+takes ``W = volume * d(src, dst)``; nothing is ever reserved, so the undo
+log is trivial.  FTSA and FTBAR were originally designed for this model —
+running them under both models quantifies the impact of contention.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import NetworkModel
+
+
+class MacroDataflowNetwork(NetworkModel):
+    """Contention-free network: transfers never wait for resources."""
+
+    name = "macro-dataflow"
+
+    def place_transfer(
+        self, src: int, dst: int, ready: float, volume: float
+    ) -> tuple[float, float]:
+        return ready, ready + self.transfer_time(src, dst, volume)
+
+    def sender_bound(self, src: int, dst: int, ready: float, volume: float) -> float:
+        return ready + self.transfer_time(src, dst, volume)
+
+    def checkpoint(self) -> int:
+        return 0
+
+    def rollback(self, token: int) -> None:
+        pass
+
+    def commit(self) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,241 @@
+"""The bi-directional one-port model and its §2 variants.
+
+Bi-directional one-port (the paper's model):
+
+* a processor sends at most one message at a time (send port),
+* a processor receives at most one message at a time (receive port),
+* a message occupies the link between the two processors for its whole
+  duration; links are dedicated per ordered pair (full duplex),
+* communication and computation overlap fully.
+
+Resources are granted **append-only**: a transfer starts at the max of the
+data-ready time and the three resource free-times, exactly like eqs. (4)
+and (6).  An optional insertion-based policy (reuse idle gaps) is provided
+for ablation studies; the paper's equations correspond to ``"append"``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Literal
+
+from repro.comm.base import NetworkModel
+from repro.platform.platform import Platform
+from repro.utils.errors import InvalidPlatformError
+
+PortPolicy = Literal["append", "insertion"]
+
+
+class _GapTimeline:
+    """Busy intervals on one resource, supporting gap-filling insertion.
+
+    Kept sorted by start time; used only by the ``insertion`` policy.
+    ``earliest(ready, duration)`` returns the first feasible start.
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self) -> None:
+        self.intervals: list[tuple[float, float]] = []
+
+    def earliest(self, ready: float, duration: float) -> float:
+        t = ready
+        for s, f in self.intervals:
+            if t + duration <= s:
+                return t
+            t = max(t, f)
+        return t
+
+    def reserve(self, start: float, finish: float) -> None:
+        bisect.insort(self.intervals, (start, finish))
+
+    def release(self, start: float, finish: float) -> None:
+        self.intervals.remove((start, finish))
+
+
+class OnePortNetwork(NetworkModel):
+    """Bi-directional one-port state: send/receive ports + dedicated links."""
+
+    name = "oneport"
+
+    def __init__(self, platform: Platform, policy: PortPolicy = "append") -> None:
+        super().__init__(platform)
+        if policy not in ("append", "insertion"):
+            raise InvalidPlatformError(f"unknown port policy {policy!r}")
+        self.policy: PortPolicy = policy
+        m = platform.num_procs
+        self._m = m
+        # Plain nested lists beat numpy scalar indexing in the hot loop.
+        self._delay = platform.delay_matrix.tolist()
+        # Append policy state: scalar free-times per resource.
+        self._send_free = [0.0] * m
+        self._recv_free = [0.0] * m
+        self._link_free = [0.0] * (m * m)
+        # Insertion policy state: full busy timelines per resource.
+        self._send_tl = [_GapTimeline() for _ in range(m)] if policy == "insertion" else []
+        self._recv_tl = [_GapTimeline() for _ in range(m)] if policy == "insertion" else []
+        self._link_tl = (
+            [_GapTimeline() for _ in range(m * m)] if policy == "insertion" else []
+        )
+        # Undo log: ("scalar", which, idx, old) or ("interval", which, idx, s, f)
+        self._log: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def send_free(self, proc: int) -> float:
+        """The paper's ``SF(P)``: when ``proc`` may start its next send."""
+        return self._send_free[proc]
+
+    def recv_free(self, proc: int) -> float:
+        """The paper's ``RF(P)``: when ``proc`` may start its next receive."""
+        return self._recv_free[proc]
+
+    def link_ready(self, src: int, dst: int) -> float:
+        """The paper's ``R(l)`` for the directed link ``src -> dst``."""
+        return self._link_free[src * self._m + dst]
+
+    # ------------------------------------------------------------------
+    def sender_bound(self, src: int, dst: int, ready: float, volume: float) -> float:
+        if src == dst:
+            return ready
+        w = volume * self._delay[src][dst]
+        if w == 0.0:
+            return ready
+        start = max(ready, self._send_free[src], self._link_free[src * self._m + dst])
+        return start + w
+
+    def place_transfer(
+        self, src: int, dst: int, ready: float, volume: float
+    ) -> tuple[float, float]:
+        if src == dst:
+            return ready, ready
+        w = volume * self._delay[src][dst]
+        if w == 0.0:
+            return ready, ready
+        li = src * self._m + dst
+        if self.policy == "insertion":
+            floor = max(ready,
+                        self._send_tl[src].earliest(ready, w),
+                        self._recv_tl[dst].earliest(ready, w),
+                        self._link_tl[li].earliest(ready, w))
+            # The three resources must share one interval: scan upward from
+            # the individually-feasible floor until a common gap is found.
+            start = floor
+            while True:
+                s = max(self._send_tl[src].earliest(start, w),
+                        self._recv_tl[dst].earliest(start, w),
+                        self._link_tl[li].earliest(start, w))
+                if s == start:
+                    break
+                start = s
+            finish = start + w
+            for which, idx in (("send", src), ("recv", dst), ("link", li)):
+                tl = getattr(self, f"_{which}_tl")[idx]
+                tl.reserve(start, finish)
+                self._log.append(("interval", which, idx, start, finish))
+            # Keep scalar frontiers coherent for sender_bound()/inspection.
+            for which, idx, arr in (("send", src, self._send_free),
+                                    ("recv", dst, self._recv_free),
+                                    ("link", li, self._link_free)):
+                if finish > arr[idx]:
+                    self._log.append(("scalar", which, idx, arr[idx]))
+                    arr[idx] = finish
+            return start, finish
+
+        start = max(
+            ready,
+            self._send_free[src],
+            self._recv_free[dst],
+            self._link_free[li],
+        )
+        finish = start + w
+        self._log.append(("scalar", "send", src, self._send_free[src]))
+        self._send_free[src] = finish
+        self._log.append(("scalar", "recv", dst, self._recv_free[dst]))
+        self._recv_free[dst] = finish
+        self._log.append(("scalar", "link", li, self._link_free[li]))
+        self._link_free[li] = finish
+        return start, finish
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        return len(self._log)
+
+    def rollback(self, token: int) -> None:
+        while len(self._log) > token:
+            entry = self._log.pop()
+            if entry[0] == "scalar":
+                _kind, which, idx, old = entry
+                self._scalar_array(which)[idx] = old
+            else:
+                _kind, which, idx, s, f = entry
+                getattr(self, f"_{which}_tl")[idx].release(s, f)
+
+    def commit(self) -> None:
+        self._log.clear()
+
+    def reset(self) -> None:
+        m = self._m
+        self._send_free = [0.0] * m
+        self._recv_free = [0.0] * m
+        self._link_free = [0.0] * (m * m)
+        if self.policy == "insertion":
+            self._send_tl = [_GapTimeline() for _ in range(m)]
+            self._recv_tl = [_GapTimeline() for _ in range(m)]
+            self._link_tl = [_GapTimeline() for _ in range(m * m)]
+        self._log.clear()
+
+    def _scalar_array(self, which: str) -> list[float]:
+        if which == "send":
+            return self._send_free
+        if which == "recv":
+            return self._recv_free
+        return self._link_free
+
+
+class UniPortNetwork(OnePortNetwork):
+    """Uni-directional one-port (§2 variant): one shared port per processor.
+
+    A processor cannot send and receive simultaneously — both directions
+    contend for a single engine.  Implemented by aliasing the send and
+    receive free-times through a shared port array.
+    """
+
+    name = "uniport"
+
+    def __init__(self, platform: Platform) -> None:
+        super().__init__(platform, policy="append")
+        # One engine per processor: make send/recv views of the same list.
+        self._recv_free = self._send_free
+
+    def reset(self) -> None:
+        super().reset()
+        self._recv_free = self._send_free
+
+    def _scalar_array(self, which: str) -> list[float]:
+        if which in ("send", "recv"):
+            return self._send_free
+        return self._link_free
+
+
+class NoOverlapOnePortNetwork(OnePortNetwork):
+    """One-port without communication/computation overlap (§2 variant).
+
+    A processor engaged in a transfer cannot compute, and vice versa.  The
+    schedule builder reports computations via :meth:`note_compute`; the
+    model advances the ports past them, and exposes the communication
+    frontier to the builder through :meth:`compute_floor`.
+    """
+
+    name = "oneport-nooverlap"
+
+    def __init__(self, platform: Platform) -> None:
+        super().__init__(platform, policy="append")
+
+    def compute_floor(self, proc: int) -> float:
+        return max(self._send_free[proc], self._recv_free[proc])
+
+    def note_compute(self, proc: int, start: float, finish: float) -> None:
+        for which, arr in (("send", self._send_free), ("recv", self._recv_free)):
+            if finish > arr[proc]:
+                self._log.append(("scalar", which, proc, arr[proc]))
+                arr[proc] = finish

@@ -1,0 +1,102 @@
+"""One-port communication over sparse interconnects (paper §7 extension).
+
+"On such platforms, each processor is provided with a routing table ...
+to achieve contention awareness, at most one message can circulate on a
+given link at a given time-step."  A transfer from ``src`` to ``dst``
+follows the precomputed shortest-delay route and holds **every** physical
+link of the route (in its travel direction) for the whole transfer, plus
+the endpoints' send/receive ports — a circuit-switched reading of the
+paper's sentence that keeps the algebra identical to the clique case.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import NetworkModel
+from repro.platform.topology import Topology
+
+
+class RoutedOnePortNetwork(NetworkModel):
+    """Send/receive ports per processor plus per-directed-link occupancy."""
+
+    name = "routed-oneport"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology.to_platform())
+        self.topology = topology
+        m = topology.num_procs
+        self._send_free = [0.0] * m
+        self._recv_free = [0.0] * m
+        # Directed physical link occupancy (full duplex => per direction).
+        self._link_free: dict[tuple[int, int], float] = {}
+        for a, b in topology.links():
+            self._link_free[(a, b)] = 0.0
+            self._link_free[(b, a)] = 0.0
+        self._log: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def _route_hops(self, src: int, dst: int) -> list[tuple[int, int]]:
+        path = self.topology.route(src, dst)
+        return [(a, b) for a, b in zip(path, path[1:])]
+
+    def sender_bound(self, src: int, dst: int, ready: float, volume: float) -> float:
+        if src == dst:
+            return ready
+        w = self.transfer_time(src, dst, volume)
+        if w == 0.0:
+            return ready
+        start = max(
+            ready,
+            self._send_free[src],
+            max(self._link_free[h] for h in self._route_hops(src, dst)),
+        )
+        return start + w
+
+    def place_transfer(
+        self, src: int, dst: int, ready: float, volume: float
+    ) -> tuple[float, float]:
+        if src == dst:
+            return ready, ready
+        w = self.transfer_time(src, dst, volume)
+        if w == 0.0:
+            return ready, ready
+        hops = self._route_hops(src, dst)
+        start = max(
+            ready,
+            self._send_free[src],
+            self._recv_free[dst],
+            max(self._link_free[h] for h in hops),
+        )
+        finish = start + w
+        self._log.append(("send", src, self._send_free[src]))
+        self._send_free[src] = finish
+        self._log.append(("recv", dst, self._recv_free[dst]))
+        self._recv_free[dst] = finish
+        for h in hops:
+            self._log.append(("link", h, self._link_free[h]))
+            self._link_free[h] = finish
+        return start, finish
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        return len(self._log)
+
+    def rollback(self, token: int) -> None:
+        while len(self._log) > token:
+            which, idx, old = self._log.pop()
+            if which == "send":
+                self._send_free[idx] = old
+            elif which == "recv":
+                self._recv_free[idx] = old
+            else:
+                self._link_free[idx] = old
+
+    def commit(self) -> None:
+        self._log.clear()
+
+    def reset(self) -> None:
+        m = self.topology.num_procs
+        self._send_free = [0.0] * m
+        self._recv_free = [0.0] * m
+        for key in self._link_free:
+            self._link_free[key] = 0.0
+        self._log.clear()

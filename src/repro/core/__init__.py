@@ -1,0 +1,25 @@
+"""The paper's contribution: CAFT and the one-to-one mapping procedure."""
+
+from repro.core.caft import caft, place_task_caft, LOCKING_MODES
+from repro.core.caft_batch import caft_batch
+from repro.core.one_to_one import (
+    PlacementState,
+    singleton_analysis,
+    support_pools,
+    one_to_one_round,
+    support_round,
+    greedy_round,
+)
+
+__all__ = [
+    "caft",
+    "caft_batch",
+    "place_task_caft",
+    "LOCKING_MODES",
+    "PlacementState",
+    "singleton_analysis",
+    "support_pools",
+    "one_to_one_round",
+    "support_round",
+    "greedy_round",
+]

@@ -1,0 +1,164 @@
+"""Static DAG analysis: levels, critical paths, width, degree statistics.
+
+These implement the quantities the paper's schedulers are built on:
+
+* **bottom level** ``bl(t)`` — longest path from ``t`` to an exit node,
+  *including* ``t``'s execution time (paper §5: "the bottom level of an exit
+  node is equal to its execution time");
+* **top level** ``tl(t)`` — longest path from an entry node to ``t``,
+  *excluding* ``t``'s execution time (entry nodes have ``tl = 0``);
+* path lengths use the **average** execution cost over processors and the
+  **average** communication cost over distinct processor pairs (paper §5,
+  following HEFT);
+* ``width(G)`` — the maximum number of pairwise independent tasks ``ω``,
+  which appears in the complexity bounds (Theorem 5.1);
+* the minimal critical path used as the SLR normalizer in the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.platform.instance import ProblemInstance
+
+
+def bottom_levels(instance: ProblemInstance) -> np.ndarray:
+    """``bl(t)`` for every task, with mean execution/communication costs."""
+    graph = instance.graph
+    mean_exec = instance.mean_exec
+    bl = np.zeros(graph.num_tasks)
+    for t in reversed(graph.topological_order()):
+        succs = graph.succs(t)
+        if not succs:
+            bl[t] = mean_exec[t]
+        else:
+            bl[t] = mean_exec[t] + max(
+                instance.mean_edge_weight(t, s) + bl[s] for s in succs
+            )
+    return bl
+
+
+def top_levels(instance: ProblemInstance) -> np.ndarray:
+    """``tl(t)`` for every task, with mean execution/communication costs."""
+    graph = instance.graph
+    mean_exec = instance.mean_exec
+    tl = np.zeros(graph.num_tasks)
+    for t in graph.topological_order():
+        preds = graph.preds(t)
+        if preds:
+            tl[t] = max(
+                tl[p] + mean_exec[p] + instance.mean_edge_weight(p, t) for p in preds
+            )
+    return tl
+
+
+def priorities(instance: ProblemInstance) -> np.ndarray:
+    """Static task priorities ``tl(t) + bl(t)`` (paper §5)."""
+    return top_levels(instance) + bottom_levels(instance)
+
+
+def critical_path_length(instance: ProblemInstance) -> float:
+    """Length of the critical path with mean costs: ``max_t tl(t)+bl(t)``."""
+    return float(priorities(instance).max())
+
+
+def min_critical_path(instance: ProblemInstance) -> float:
+    """Critical path with per-task *minimum* execution cost, zero comms.
+
+    This is the classic SLR denominator (Topcuoglu et al.): no schedule can
+    beat it, so ``latency / min_critical_path >= 1``.  We use it as the
+    "normalized latency" scale for the figures (the paper plots normalized
+    latency without defining the normalizer; see DESIGN.md).
+    """
+    graph = instance.graph
+    min_exec = instance.min_exec
+    cp = np.zeros(graph.num_tasks)
+    for t in reversed(graph.topological_order()):
+        succs = graph.succs(t)
+        tail = max((cp[s] for s in succs), default=0.0)
+        cp[t] = min_exec[t] + tail
+    return float(cp.max())
+
+
+def alap_levels(instance: ProblemInstance) -> np.ndarray:
+    """As-late-as-possible start levels with mean costs.
+
+    ``alap(t) = CP − bl(t)``: the latest a task may start (with average
+    costs and unlimited processors) without stretching the critical path.
+    This is the "latest start-time (bottom-up)" quantity FTBAR's schedule
+    pressure builds on (paper §4.1).
+    """
+    bl = bottom_levels(instance)
+    # the critical path through t is tl(t)+bl(t); the global CP is their max
+    cp = float((top_levels(instance) + bl).max())
+    return cp - bl
+
+
+def slack(instance: ProblemInstance) -> np.ndarray:
+    """Scheduling slack per task: ``alap(t) − tl(t)`` (0 on critical paths).
+
+    Tasks with zero slack form the critical path(s); large slack means the
+    task can be delayed freely — useful for diagnosing which tasks a
+    scheduler may safely push aside.
+    """
+    return alap_levels(instance) - top_levels(instance)
+
+
+def width(graph: TaskGraph) -> int:
+    """``ω``: the maximum number of pairwise independent tasks.
+
+    Computed exactly via Dilworth's theorem: the maximum antichain of the
+    precedence *poset* equals ``v`` minus the size of a maximum matching in
+    the bipartite graph of the transitive closure (minimum chain cover).
+    Cost is polynomial and perfectly fine at the paper's graph sizes.
+    """
+    import networkx as nx
+
+    v = graph.num_tasks
+    closure: list[set[int]] = [set() for _ in range(v)]
+    for t in reversed(graph.topological_order()):
+        for s in graph.succs(t):
+            closure[t].add(s)
+            closure[t] |= closure[s]
+
+    bip = nx.Graph()
+    left = [("L", t) for t in range(v)]
+    right = [("R", t) for t in range(v)]
+    bip.add_nodes_from(left, bipartite=0)
+    bip.add_nodes_from(right, bipartite=1)
+    for t in range(v):
+        for s in closure[t]:
+            bip.add_edge(("L", t), ("R", s))
+    matching = nx.bipartite.maximum_matching(bip, top_nodes=left)
+    matched_pairs = sum(1 for node in matching if node[0] == "L")
+    return v - matched_pairs
+
+
+def asap_levels(graph: TaskGraph) -> np.ndarray:
+    """Unit-cost as-soon-as-possible depth of each task (0 for entries)."""
+    depth = np.zeros(graph.num_tasks, dtype=int)
+    for t in graph.topological_order():
+        preds = graph.preds(t)
+        if preds:
+            depth[t] = 1 + max(depth[p] for p in preds)
+    return depth
+
+
+def layer_width(graph: TaskGraph) -> int:
+    """Maximum number of tasks sharing an ASAP level (cheap lower bound on ω)."""
+    depth = asap_levels(graph)
+    _levels, counts = np.unique(depth, return_counts=True)
+    return int(counts.max())
+
+
+def degree_stats(graph: TaskGraph) -> dict[str, float]:
+    """Mean/max in- and out-degree; handy for generator sanity checks."""
+    indeg = [graph.in_degree(t) for t in range(graph.num_tasks)]
+    outdeg = [graph.out_degree(t) for t in range(graph.num_tasks)]
+    return {
+        "mean_in": float(np.mean(indeg)),
+        "max_in": float(np.max(indeg)),
+        "mean_out": float(np.mean(outdeg)),
+        "max_out": float(np.max(outdeg)),
+    }

@@ -1,0 +1,101 @@
+"""Structural feature extraction for task graphs.
+
+Scheduling-research utilities: quantify the shape of a DAG (depth, width,
+degree profile, communication-to-computation ratio, parallelism profile)
+so experimental results can be conditioned on workload structure.  Used by
+the examples and handy when debugging why an instance behaves unusually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.analysis import asap_levels, layer_width, min_critical_path, width
+from repro.dag.graph import TaskGraph
+from repro.platform.instance import ProblemInstance
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Structural summary of one task graph."""
+
+    num_tasks: int
+    num_edges: int
+    depth: int  # longest chain (hops)
+    width: int  # maximum antichain ω
+    layer_width: int
+    num_entries: int
+    num_exits: int
+    mean_in_degree: float
+    max_in_degree: int
+    mean_out_degree: float
+    max_out_degree: int
+    edge_density: float  # e / (v(v-1)/2)
+    mean_volume: float
+
+    @property
+    def parallelism(self) -> float:
+        """Average parallelism ``v / (depth+1)`` — tasks per level."""
+        return self.num_tasks / (self.depth + 1)
+
+
+def graph_features(graph: TaskGraph) -> GraphFeatures:
+    """Compute every structural feature of ``graph``."""
+    v = graph.num_tasks
+    indeg = [graph.in_degree(t) for t in range(v)]
+    outdeg = [graph.out_degree(t) for t in range(v)]
+    depth = int(asap_levels(graph).max()) if v else 0
+    volumes = [vol for _u, _v, vol in graph.edges()]
+    return GraphFeatures(
+        num_tasks=v,
+        num_edges=graph.num_edges,
+        depth=depth,
+        width=width(graph),
+        layer_width=layer_width(graph),
+        num_entries=len(graph.entry_tasks),
+        num_exits=len(graph.exit_tasks),
+        mean_in_degree=float(np.mean(indeg)),
+        max_in_degree=int(np.max(indeg)),
+        mean_out_degree=float(np.mean(outdeg)),
+        max_out_degree=int(np.max(outdeg)),
+        edge_density=(
+            graph.num_edges / (v * (v - 1) / 2) if v > 1 else 0.0
+        ),
+        mean_volume=float(np.mean(volumes)) if volumes else 0.0,
+    )
+
+
+def communication_to_computation_ratio(instance: ProblemInstance) -> float:
+    """CCR: mean communication cost over mean computation cost.
+
+    Related to (roughly the inverse of) the paper's granularity, but using
+    *mean* rather than slowest costs — the convention of the HEFT
+    literature, provided for cross-paper comparability.
+    """
+    graph = instance.graph
+    if graph.num_edges == 0:
+        return 0.0
+    mean_comm = float(
+        np.mean([instance.mean_edge_weight(u, v) for u, v, _vol in graph.edges()])
+    )
+    mean_comp = float(np.mean(instance.mean_exec))
+    return mean_comm / mean_comp
+
+
+def parallelism_profile(graph: TaskGraph) -> list[int]:
+    """Tasks per ASAP level, entry level first — the graph's 'waistline'."""
+    depth = asap_levels(graph)
+    counts = np.bincount(depth, minlength=int(depth.max()) + 1 if len(depth) else 1)
+    return [int(c) for c in counts]
+
+
+def ideal_speedup(instance: ProblemInstance) -> float:
+    """Total minimal work divided by the minimal critical path.
+
+    The classic upper bound on achievable speedup for this DAG; a schedule
+    cannot use more parallelism than the graph offers.
+    """
+    total_work = float(instance.min_exec.sum())
+    return total_work / min_critical_path(instance)

@@ -1,0 +1,199 @@
+"""Random task-graph generators.
+
+:func:`random_dag` reproduces the paper's experimental workload (§6):
+a DAG whose task count is drawn from ``[80, 120]``, whose per-task degree
+target lies in ``[1, 3]`` and whose edge volumes are uniform in
+``[50, 150]``.  The remaining generators build the structured families used
+by the theory (fork/out-forest graphs of Proposition 5.1) and by tests.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.utils.errors import InvalidGraphError
+from repro.utils.rng import RngLike, as_rng
+
+
+def _draw_volume(rng: np.random.Generator, volume_range: tuple[float, float]) -> float:
+    lo, hi = volume_range
+    if not (0 <= lo <= hi):
+        raise InvalidGraphError(f"bad volume range {volume_range}")
+    return float(rng.uniform(lo, hi))
+
+
+def random_dag(
+    num_tasks: int,
+    degree_range: tuple[int, int] = (1, 3),
+    volume_range: tuple[float, float] = (50.0, 150.0),
+    window: Optional[int] = None,
+    rng: RngLike = None,
+) -> TaskGraph:
+    """The paper's random DAG: per-task in-degree drawn from ``degree_range``.
+
+    Tasks are created in topological order; task ``i > 0`` receives
+    ``min(i, U[degree_range])`` distinct predecessors sampled uniformly from
+    the ``window`` most recent earlier tasks (all earlier tasks when
+    ``window`` is ``None``).  Average out-degree therefore matches average
+    in-degree, landing both in the paper's ``[1, 3]`` band.
+    """
+    lo, hi = degree_range
+    if not (0 <= lo <= hi):
+        raise InvalidGraphError(f"bad degree range {degree_range}")
+    if num_tasks < 1:
+        raise InvalidGraphError("num_tasks must be >= 1")
+    gen = as_rng(rng)
+    edges: list[tuple[int, int, float]] = []
+    for i in range(1, num_tasks):
+        d = int(gen.integers(lo, hi + 1))
+        d = min(d, i)
+        if d == 0:
+            continue
+        first = 0 if window is None else max(0, i - window)
+        candidates = np.arange(first, i)
+        preds = gen.choice(candidates, size=d, replace=False)
+        for p in sorted(int(x) for x in preds):
+            edges.append((p, i, _draw_volume(gen, volume_range)))
+    return TaskGraph(num_tasks, edges)
+
+
+def layered_dag(
+    num_layers: int,
+    width_range: tuple[int, int] = (2, 6),
+    degree_range: tuple[int, int] = (1, 3),
+    volume_range: tuple[float, float] = (50.0, 150.0),
+    rng: RngLike = None,
+) -> TaskGraph:
+    """A layer-by-layer DAG: each task draws predecessors from the previous layer.
+
+    Produces wide graphs with many entry tasks — a good stress test for the
+    free-task priority queue and the replica placement logic.
+    """
+    if num_layers < 1:
+        raise InvalidGraphError("need at least one layer")
+    gen = as_rng(rng)
+    w_lo, w_hi = width_range
+    if not (1 <= w_lo <= w_hi):
+        raise InvalidGraphError(f"bad width range {width_range}")
+    d_lo, d_hi = degree_range
+    if not (1 <= d_lo <= d_hi):
+        raise InvalidGraphError(f"bad degree range {degree_range}")
+
+    layers: list[list[int]] = []
+    next_id = 0
+    for _ in range(num_layers):
+        w = int(gen.integers(w_lo, w_hi + 1))
+        layers.append(list(range(next_id, next_id + w)))
+        next_id += w
+
+    edges: list[tuple[int, int, float]] = []
+    for prev, cur in zip(layers, layers[1:]):
+        fed: set[int] = set()
+        for t in cur:
+            d = min(int(gen.integers(d_lo, d_hi + 1)), len(prev))
+            preds = gen.choice(np.asarray(prev), size=d, replace=False)
+            for p in sorted(int(x) for x in preds):
+                edges.append((p, t, _draw_volume(gen, volume_range)))
+                fed.add(p)
+        # Guarantee every task in the previous layer has a successor so the
+        # graph has a single "wavefront" shape rather than dangling exits.
+        for p in prev:
+            if p not in fed:
+                t = int(gen.choice(np.asarray(cur)))
+                edges.append((p, t, _draw_volume(gen, volume_range)))
+    return TaskGraph(next_id, edges)
+
+
+def random_out_forest(
+    num_tasks: int,
+    root_probability: float = 0.1,
+    volume_range: tuple[float, float] = (50.0, 150.0),
+    rng: RngLike = None,
+) -> TaskGraph:
+    """A random out-forest: every task has in-degree at most one.
+
+    This is the graph family of Proposition 5.1 (CAFT sends at most
+    ``e(ε+1)`` messages).  Task ``i > 0`` becomes a new root with
+    probability ``root_probability``, otherwise it attaches to a uniformly
+    chosen earlier task.
+    """
+    if not (0.0 <= root_probability <= 1.0):
+        raise InvalidGraphError("root_probability must be in [0, 1]")
+    gen = as_rng(rng)
+    edges = []
+    for i in range(1, num_tasks):
+        if gen.random() < root_probability:
+            continue
+        parent = int(gen.integers(0, i))
+        edges.append((parent, i, _draw_volume(gen, volume_range)))
+    graph = TaskGraph(num_tasks, edges)
+    assert graph.is_out_forest()
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Deterministic structured families
+# ----------------------------------------------------------------------
+def chain(num_tasks: int, volume: float = 100.0) -> TaskGraph:
+    """A linear chain ``t0 -> t1 -> ... -> t(n-1)``."""
+    return TaskGraph(num_tasks, [(i, i + 1, volume) for i in range(num_tasks - 1)])
+
+
+def fork(num_children: int, volume: float = 100.0) -> TaskGraph:
+    """One root feeding ``num_children`` leaves (an out-tree of depth 1)."""
+    if num_children < 1:
+        raise InvalidGraphError("fork needs at least one child")
+    return TaskGraph(
+        num_children + 1, [(0, i, volume) for i in range(1, num_children + 1)]
+    )
+
+
+def join(num_parents: int, volume: float = 100.0) -> TaskGraph:
+    """``num_parents`` sources feeding one sink (max fan-in stress test)."""
+    if num_parents < 1:
+        raise InvalidGraphError("join needs at least one parent")
+    return TaskGraph(
+        num_parents + 1,
+        [(i, num_parents, volume) for i in range(num_parents)],
+    )
+
+
+def fork_join(num_middle: int, volume: float = 100.0) -> TaskGraph:
+    """Source -> ``num_middle`` parallel tasks -> sink (a diamond)."""
+    if num_middle < 1:
+        raise InvalidGraphError("fork_join needs at least one middle task")
+    edges = [(0, i, volume) for i in range(1, num_middle + 1)]
+    sink = num_middle + 1
+    edges += [(i, sink, volume) for i in range(1, num_middle + 1)]
+    return TaskGraph(num_middle + 2, edges)
+
+
+def out_tree(depth: int, branching: int = 2, volume: float = 100.0) -> TaskGraph:
+    """A complete out-tree: in-degree one everywhere (Prop. 5.1 family)."""
+    if depth < 0 or branching < 1:
+        raise InvalidGraphError("need depth >= 0 and branching >= 1")
+    edges: list[tuple[int, int, float]] = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id, volume))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return TaskGraph(next_id, edges)
+
+
+def in_tree(depth: int, branching: int = 2, volume: float = 100.0) -> TaskGraph:
+    """A complete in-tree (reduction): the mirror image of :func:`out_tree`."""
+    tree = out_tree(depth, branching, volume)
+    v = tree.num_tasks
+    edges = [(v - 1 - b, v - 1 - a, vol) for a, b, vol in tree.edges()]
+    return TaskGraph(v, edges)

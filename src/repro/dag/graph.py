@@ -1,0 +1,206 @@
+"""Weighted directed acyclic task graphs (the paper's ``G = (V, E)``).
+
+Tasks are integers ``0 .. num_tasks-1``.  Every edge ``(u, v)`` carries the
+data volume ``V(u, v)`` the paper uses to derive communication costs
+``W(u, v) = V(u, v) * d(Pk, Ph)``.
+
+The class is deliberately plain: adjacency tuples plus a volume table.
+Schedulers traverse predecessor/successor lists in tight loops, so lookups
+are O(1) and allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.utils.errors import InvalidGraphError
+
+Edge = tuple[int, int]
+
+
+class TaskGraph:
+    """An immutable weighted DAG of tasks.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of vertices ``v``; tasks are ``0 .. v-1``.
+    edges:
+        Iterable of ``(u, v, volume)`` triples.  ``volume`` is the amount of
+        data task ``u`` sends to task ``v`` (``>= 0``; zero volume models a
+        pure precedence constraint).
+    names:
+        Optional human-readable task names (used by Gantt rendering and
+        examples); defaults to ``"t0", "t1", ...``.
+    """
+
+    __slots__ = ("_num_tasks", "_preds", "_succs", "_volume", "_names", "_topo")
+
+    def __init__(
+        self,
+        num_tasks: int,
+        edges: Iterable[tuple[int, int, float]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_tasks <= 0:
+            raise InvalidGraphError("a task graph needs at least one task")
+        self._num_tasks = int(num_tasks)
+
+        preds: list[list[int]] = [[] for _ in range(num_tasks)]
+        succs: list[list[int]] = [[] for _ in range(num_tasks)]
+        volume: dict[Edge, float] = {}
+        for u, v, vol in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < num_tasks and 0 <= v < num_tasks):
+                raise InvalidGraphError(f"edge ({u}, {v}) out of range for v={num_tasks}")
+            if u == v:
+                raise InvalidGraphError(f"self-loop on task {u}")
+            if (u, v) in volume:
+                raise InvalidGraphError(f"duplicate edge ({u}, {v})")
+            vol = float(vol)
+            if vol < 0:
+                raise InvalidGraphError(f"negative volume on edge ({u}, {v})")
+            volume[(u, v)] = vol
+            succs[u].append(v)
+            preds[v].append(u)
+
+        self._preds = tuple(tuple(p) for p in preds)
+        self._succs = tuple(tuple(s) for s in succs)
+        self._volume = volume
+
+        if names is None:
+            self._names = tuple(f"t{i}" for i in range(num_tasks))
+        else:
+            if len(names) != num_tasks:
+                raise InvalidGraphError("names length must equal num_tasks")
+            self._names = tuple(str(n) for n in names)
+
+        self._topo = self._toposort()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """``v``, the number of tasks."""
+        return self._num_tasks
+
+    @property
+    def num_edges(self) -> int:
+        """``e``, the number of precedence edges."""
+        return len(self._volume)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def preds(self, task: int) -> tuple[int, ...]:
+        """Immediate predecessors ``Γ⁻(task)``."""
+        return self._preds[task]
+
+    def succs(self, task: int) -> tuple[int, ...]:
+        """Immediate successors ``Γ⁺(task)``."""
+        return self._succs[task]
+
+    def in_degree(self, task: int) -> int:
+        return len(self._preds[task])
+
+    def out_degree(self, task: int) -> int:
+        return len(self._succs[task])
+
+    def volume(self, u: int, v: int) -> float:
+        """Data volume ``V(u, v)`` carried by edge ``(u, v)``."""
+        try:
+            return self._volume[(u, v)]
+        except KeyError:
+            raise InvalidGraphError(f"no edge ({u}, {v})") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._volume
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, volume)`` triples in insertion order."""
+        for (u, v), vol in self._volume.items():
+            yield u, v, vol
+
+    @property
+    def entry_tasks(self) -> tuple[int, ...]:
+        """Tasks with no predecessor, in index order."""
+        return tuple(t for t in range(self._num_tasks) if not self._preds[t])
+
+    @property
+    def exit_tasks(self) -> tuple[int, ...]:
+        """Tasks with no successor, in index order."""
+        return tuple(t for t in range(self._num_tasks) if not self._succs[t])
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _toposort(self) -> tuple[int, ...]:
+        indeg = [len(p) for p in self._preds]
+        stack = [t for t in range(self._num_tasks) if indeg[t] == 0]
+        # Reverse so pops yield ascending task ids (deterministic order).
+        stack.sort(reverse=True)
+        order: list[int] = []
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            ready: list[int] = []
+            for s in self._succs[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+            for s in sorted(ready, reverse=True):
+                stack.append(s)
+        if len(order) != self._num_tasks:
+            raise InvalidGraphError("the task graph contains a cycle")
+        return tuple(order)
+
+    def topological_order(self) -> tuple[int, ...]:
+        """A deterministic topological order (smallest-id-first Kahn)."""
+        return self._topo
+
+    def is_out_forest(self) -> bool:
+        """True iff every task has in-degree at most one (paper Prop. 5.1)."""
+        return all(len(p) <= 1 for p in self._preds)
+
+    def is_in_forest(self) -> bool:
+        """True iff every task has out-degree at most one."""
+        return all(len(s) <= 1 for s in self._succs)
+
+    # ------------------------------------------------------------------
+    # Interop / dunder
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with ``volume`` edge attrs."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self._num_tasks))
+        for u, v, vol in self.edges():
+            g.add_edge(u, v, volume=vol)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, volume_attr: str = "volume") -> "TaskGraph":
+        """Build from a :class:`networkx.DiGraph` whose nodes are 0..v-1."""
+        nodes = sorted(g.nodes())
+        if nodes != list(range(len(nodes))):
+            raise InvalidGraphError("networkx nodes must be 0..v-1 integers")
+        edges = [(u, v, float(d.get(volume_attr, 0.0))) for u, v, d in g.edges(data=True)]
+        return cls(len(nodes), edges)
+
+    def __repr__(self) -> str:
+        return f"TaskGraph(v={self._num_tasks}, e={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskGraph):
+            return NotImplemented
+        return (
+            self._num_tasks == other._num_tasks
+            and self._volume == other._volume
+            and self._names == other._names
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing is enough
+        return object.__hash__(self)

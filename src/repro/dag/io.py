@@ -1,0 +1,87 @@
+"""Task-graph serialization: edge-list text, JSON and Graphviz DOT.
+
+The text format is the classic scheduling-benchmark layout — one header
+line ``v e`` followed by ``e`` lines of ``src dst volume`` — so instances
+can be exchanged with other schedulers.  DOT export is for visualization
+(``dot -Tpdf``); node labels carry task names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dag.graph import TaskGraph
+from repro.utils.errors import InvalidGraphError
+
+
+def graph_to_text(graph: TaskGraph) -> str:
+    """Edge-list text: ``v e`` header then ``src dst volume`` lines."""
+    lines = [f"{graph.num_tasks} {graph.num_edges}"]
+    for u, v, vol in graph.edges():
+        lines.append(f"{u} {v} {vol!r}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_text(text: str) -> TaskGraph:
+    """Inverse of :func:`graph_to_text`."""
+    lines = [ln for ln in text.splitlines() if ln.strip() and not ln.startswith("#")]
+    if not lines:
+        raise InvalidGraphError("empty graph text")
+    try:
+        v, e = (int(x) for x in lines[0].split())
+    except ValueError as exc:
+        raise InvalidGraphError(f"bad header line {lines[0]!r}") from exc
+    if len(lines) - 1 != e:
+        raise InvalidGraphError(f"header says {e} edges, found {len(lines) - 1}")
+    edges = []
+    for ln in lines[1:]:
+        parts = ln.split()
+        if len(parts) != 3:
+            raise InvalidGraphError(f"bad edge line {ln!r}")
+        edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
+    return TaskGraph(v, edges)
+
+
+def save_graph(graph: TaskGraph, path: str | Path) -> Path:
+    """Write the edge-list text format to ``path``."""
+    path = Path(path)
+    path.write_text(graph_to_text(graph))
+    return path
+
+
+def load_graph(path: str | Path) -> TaskGraph:
+    """Read a graph written by :func:`save_graph`."""
+    return graph_from_text(Path(path).read_text())
+
+
+def graph_to_json(graph: TaskGraph) -> str:
+    """JSON with names: ``{"num_tasks": v, "names": [...], "edges": [...]}``."""
+    return json.dumps(
+        {
+            "num_tasks": graph.num_tasks,
+            "names": list(graph.names),
+            "edges": [[u, v, vol] for u, v, vol in graph.edges()],
+        }
+    )
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    """Inverse of :func:`graph_to_json`."""
+    data = json.loads(text)
+    return TaskGraph(
+        int(data["num_tasks"]),
+        [(int(u), int(v), float(vol)) for u, v, vol in data["edges"]],
+        names=data.get("names"),
+    )
+
+
+def graph_to_dot(graph: TaskGraph, name: str = "taskgraph") -> str:
+    """Graphviz DOT text with volumes as edge labels."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for t in range(graph.num_tasks):
+        lines.append(f'  t{t} [label="{graph.names[t]}"];')
+    for u, v, vol in graph.edges():
+        lines.append(f'  t{u} -> t{v} [label="{vol:g}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,178 @@
+"""Structured application DAGs from the scheduling literature.
+
+The paper's introduction motivates scheduling of real scientific
+applications on heterogeneous platforms; these are the canonical kernels
+used throughout that literature (HEFT et al.): Gaussian elimination, FFT
+butterflies, stencil sweeps and tiled Cholesky.  Each workload carries task
+names and a vector of *base* execution costs proportional to the
+operation's flop count, ready to be spread over processors with
+:func:`repro.platform.heterogeneity.range_exec_matrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.utils.errors import InvalidGraphError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named DAG plus per-task base execution costs."""
+
+    name: str
+    graph: TaskGraph
+    base_costs: np.ndarray
+
+    @property
+    def num_tasks(self) -> int:
+        return self.graph.num_tasks
+
+
+def gaussian_elimination(n: int, volume: float = 100.0) -> Workload:
+    """LU-style Gaussian elimination on an ``n x n`` matrix (column tasks).
+
+    Step ``k`` (``0 <= k <= n-2``) has one pivot task ``Pk`` feeding update
+    tasks ``U(k, j)`` for ``j > k``; each update feeds the corresponding
+    task of step ``k+1``.  Pivot cost ~ remaining column height, update
+    cost ~ remaining submatrix row.
+    """
+    if n < 2:
+        raise InvalidGraphError("gaussian_elimination needs n >= 2")
+    ids: dict[tuple[str, int, int], int] = {}
+    names: list[str] = []
+    costs: list[float] = []
+
+    def new_task(kind: str, k: int, j: int, cost: float) -> int:
+        tid = len(names)
+        ids[(kind, k, j)] = tid
+        names.append(f"{kind}({k},{j})" if kind == "U" else f"{kind}({k})")
+        costs.append(cost)
+        return tid
+
+    for k in range(n - 1):
+        new_task("P", k, k, float(n - k))
+        for j in range(k + 1, n):
+            new_task("U", k, j, 2.0 * (n - k))
+
+    edges: list[tuple[int, int, float]] = []
+    for k in range(n - 1):
+        pivot = ids[("P", k, k)]
+        for j in range(k + 1, n):
+            edges.append((pivot, ids[("U", k, j)], volume))
+        if k + 1 < n - 1:
+            edges.append((ids[("U", k, k + 1)], ids[("P", k + 1, k + 1)], volume))
+            for j in range(k + 2, n):
+                edges.append((ids[("U", k, j)], ids[("U", k + 1, j)], volume))
+    graph = TaskGraph(len(names), edges, names=names)
+    return Workload("gaussian_elimination", graph, np.asarray(costs))
+
+
+def fft_butterfly(num_points: int, volume: float = 100.0) -> Workload:
+    """The butterfly dataflow of an FFT over ``num_points`` (a power of 2).
+
+    ``log2(n) + 1`` layers of ``n`` tasks; the task ``(l+1, i)`` consumes
+    ``(l, i)`` and its butterfly partner ``(l, i xor 2^l)``.
+    """
+    n = int(num_points)
+    if n < 2 or n & (n - 1):
+        raise InvalidGraphError("num_points must be a power of two >= 2")
+    p = n.bit_length() - 1
+    names = [f"fft({l},{i})" for l in range(p + 1) for i in range(n)]
+
+    def tid(l: int, i: int) -> int:
+        return l * n + i
+
+    edges = []
+    for l in range(p):
+        for i in range(n):
+            edges.append((tid(l, i), tid(l + 1, i), volume))
+            edges.append((tid(l, i), tid(l + 1, i ^ (1 << l)), volume))
+    graph = TaskGraph((p + 1) * n, edges, names=names)
+    return Workload("fft_butterfly", graph, np.full(graph.num_tasks, 10.0))
+
+
+def stencil_1d(cells: int, steps: int = 4, volume: float = 100.0) -> Workload:
+    """``steps`` Jacobi sweeps over a 1-D domain of ``cells`` points.
+
+    Task ``(s, c)`` reads ``(s-1, c-1..c+1)``; the resulting DAG is the
+    classic wavefront/stencil pipeline (the paper's "Laplace"-style
+    workload family).
+    """
+    if cells < 1 or steps < 1:
+        raise InvalidGraphError("need cells >= 1 and steps >= 1")
+    names = [f"st({s},{c})" for s in range(steps) for c in range(cells)]
+
+    def tid(s: int, c: int) -> int:
+        return s * cells + c
+
+    edges = []
+    for s in range(1, steps):
+        for c in range(cells):
+            for dc in (-1, 0, 1):
+                cc = c + dc
+                if 0 <= cc < cells:
+                    edges.append((tid(s - 1, cc), tid(s, c), volume))
+    graph = TaskGraph(steps * cells, edges, names=names)
+    return Workload("stencil_1d", graph, np.full(graph.num_tasks, 10.0))
+
+
+def tiled_cholesky(num_tiles: int, volume: float = 100.0) -> Workload:
+    """Right-looking tiled Cholesky factorization over ``num_tiles`` tiles.
+
+    Tasks POTRF(k), TRSM(k, i), SYRK(k, i) and GEMM(k, j, i) with the
+    standard dependency pattern; base costs follow the kernels' flop ratios
+    (GEMM:SYRK:TRSM:POTRF ~ 2:1:1:1/3 per tile).
+    """
+    nt = int(num_tiles)
+    if nt < 1:
+        raise InvalidGraphError("tiled_cholesky needs num_tiles >= 1")
+    ids: dict[tuple, int] = {}
+    names: list[str] = []
+    costs: list[float] = []
+
+    def new_task(key: tuple, name: str, cost: float) -> int:
+        tid = len(names)
+        ids[key] = tid
+        names.append(name)
+        costs.append(cost)
+        return tid
+
+    edges: list[tuple[int, int, float]] = []
+
+    def add_edge(src_key: tuple, dst: int) -> None:
+        edges.append((ids[src_key], dst, volume))
+
+    for k in range(nt):
+        potrf = new_task(("POTRF", k), f"POTRF({k})", 1.0)
+        if k > 0:
+            add_edge(("SYRK", k - 1, k), potrf)
+        for i in range(k + 1, nt):
+            trsm = new_task(("TRSM", k, i), f"TRSM({k},{i})", 3.0)
+            add_edge(("POTRF", k), trsm)
+            if k > 0:
+                add_edge(("GEMM", k - 1, k, i), trsm)
+        for i in range(k + 1, nt):
+            syrk = new_task(("SYRK", k, i), f"SYRK({k},{i})", 3.0)
+            add_edge(("TRSM", k, i), syrk)
+            if k > 0:
+                add_edge(("SYRK", k - 1, i), syrk)
+            for j in range(k + 1, i):
+                gemm = new_task(("GEMM", k, j, i), f"GEMM({k},{j},{i})", 6.0)
+                add_edge(("TRSM", k, i), gemm)
+                add_edge(("TRSM", k, j), gemm)
+                if k > 0:
+                    add_edge(("GEMM", k - 1, j, i), gemm)
+    graph = TaskGraph(len(names), edges, names=names)
+    return Workload("tiled_cholesky", graph, np.asarray(costs))
+
+
+ALL_WORKLOADS = {
+    "gaussian_elimination": gaussian_elimination,
+    "fft_butterfly": fft_butterfly,
+    "stencil_1d": stencil_1d,
+    "tiled_cholesky": tiled_cholesky,
+}

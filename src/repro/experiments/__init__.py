@@ -1,0 +1,107 @@
+"""Experiment campaigns reproducing the paper's §6 evaluation."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    FIGURES,
+    GRANULARITY_SWEEP_A,
+    GRANULARITY_SWEEP_B,
+    default_num_graphs,
+)
+from repro.experiments.harness import (
+    generate_instance,
+    run_point,
+    run_campaign,
+    CampaignResult,
+    PointResult,
+    ALGORITHM_RUNNERS,
+    FAULTFREE_RUNNERS,
+)
+from repro.experiments.figures import (
+    run_figure,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    check_shape,
+    ShapeReport,
+)
+from repro.experiments.stats import (
+    SeriesStats,
+    summarize_series,
+    paired_mean_difference,
+    dominates,
+    win_rate,
+    geometric_mean_ratio,
+)
+from repro.experiments.svg import (
+    SvgLineChart,
+    campaign_to_charts,
+    write_html_report,
+)
+from repro.experiments.extra import (
+    heterogeneity_sweep,
+    platform_size_sweep,
+    sweep_table,
+)
+from repro.experiments.compare import (
+    ComparisonRow,
+    compare_algorithms,
+    comparison_table,
+    COMPARABLE,
+)
+from repro.experiments.report import (
+    render_figure,
+    panel_a,
+    panel_b,
+    panel_c,
+    messages_table,
+    write_csv,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "GRANULARITY_SWEEP_A",
+    "GRANULARITY_SWEEP_B",
+    "default_num_graphs",
+    "generate_instance",
+    "run_point",
+    "run_campaign",
+    "CampaignResult",
+    "PointResult",
+    "ALGORITHM_RUNNERS",
+    "FAULTFREE_RUNNERS",
+    "run_figure",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "check_shape",
+    "ShapeReport",
+    "render_figure",
+    "panel_a",
+    "panel_b",
+    "panel_c",
+    "messages_table",
+    "write_csv",
+    "SeriesStats",
+    "summarize_series",
+    "paired_mean_difference",
+    "dominates",
+    "win_rate",
+    "geometric_mean_ratio",
+    "SvgLineChart",
+    "campaign_to_charts",
+    "write_html_report",
+    "heterogeneity_sweep",
+    "platform_size_sweep",
+    "sweep_table",
+    "ComparisonRow",
+    "compare_algorithms",
+    "comparison_table",
+    "COMPARABLE",
+]

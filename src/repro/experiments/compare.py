@@ -1,0 +1,112 @@
+"""Side-by-side algorithm comparison on a single instance.
+
+The quickest way to answer "which scheduler should I use for *this*
+application on *this* cluster": run every algorithm, collect the full
+metric set (latency, bounds, messages, utilization, crash behaviour) and
+print one table.  Backs the ``repro-ftsched compare`` subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.caft import caft
+from repro.core.caft_batch import caft_batch
+from repro.fault.montecarlo import monte_carlo_crashes
+from repro.platform.instance import ProblemInstance
+from repro.schedule.bounds import latency_upper_bound
+from repro.schedule.metrics import normalized_latency
+from repro.schedule.schedule import Schedule
+from repro.schedule.utilization import replication_traffic_share
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+from repro.utils.rng import RngLike
+
+#: name -> callable(instance, epsilon, model, rng) -> Schedule
+COMPARABLE: dict[str, Callable[..., Schedule]] = {
+    "heft": lambda inst, eps, model, rng: heft(inst, model=model, rng=rng),
+    "ftsa": lambda inst, eps, model, rng: ftsa(inst, eps, model=model, rng=rng),
+    "ftbar": lambda inst, eps, model, rng: ftbar(inst, eps, model=model, rng=rng),
+    "caft": lambda inst, eps, model, rng: caft(inst, eps, model=model, rng=rng),
+    "caft-paper": lambda inst, eps, model, rng: caft(
+        inst, eps, model=model, locking="paper", rng=rng
+    ),
+    "caft-batch": lambda inst, eps, model, rng: caft_batch(
+        inst, eps, model=model, rng=rng
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """All headline metrics of one algorithm on one instance."""
+
+    algorithm: str
+    latency: float
+    normalized: float
+    upper_bound: float
+    messages: int
+    replication_share: float
+    survival_rate: float  # under `crashes` sampled crash scenarios
+    mean_crash_latency: float
+
+
+def compare_algorithms(
+    instance: ProblemInstance,
+    epsilon: int,
+    algorithms: Optional[Sequence[str]] = None,
+    model: str = "oneport",
+    crashes: int = 1,
+    samples: int = 25,
+    rng: RngLike = 0,
+) -> list[ComparisonRow]:
+    """Run each algorithm and collect the comparison metrics.
+
+    ``heft`` is automatically skipped when ``epsilon > 0`` unless
+    explicitly requested (it provides no fault tolerance).
+    """
+    if algorithms is None:
+        algorithms = [a for a in COMPARABLE if a != "heft" or epsilon == 0]
+    rows = []
+    for name in algorithms:
+        eps = 0 if name == "heft" else epsilon
+        sched = COMPARABLE[name](instance, eps, model, rng)
+        if eps > 0 and crashes > 0:
+            mc = monte_carlo_crashes(sched, min(crashes, eps), samples=samples, rng=rng)
+            survival = mc.survival_rate
+            crash_lat = mc.mean_latency
+        else:
+            survival = 1.0 if eps == 0 else float("nan")
+            crash_lat = float("nan")
+        rows.append(
+            ComparisonRow(
+                algorithm=name,
+                latency=sched.latency(),
+                normalized=normalized_latency(sched),
+                upper_bound=latency_upper_bound(sched),
+                messages=sched.message_count(),
+                replication_share=replication_traffic_share(sched),
+                survival_rate=survival,
+                mean_crash_latency=crash_lat,
+            )
+        )
+    return rows
+
+
+def comparison_table(rows: Sequence[ComparisonRow]) -> str:
+    """Render comparison rows as an aligned ASCII table."""
+    header = (
+        f"{'algorithm':12s} {'latency':>9} {'SLR':>6} {'bound':>9} "
+        f"{'msgs':>6} {'repl%':>6} {'surv':>6} {'crash-lat':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.algorithm:12s} {r.latency:>9.1f} {r.normalized:>6.2f} "
+            f"{r.upper_bound:>9.1f} {r.messages:>6d} "
+            f"{100 * r.replication_share:>5.1f}% "
+            f"{r.survival_rate:>6.1%} {r.mean_crash_latency:>10.1f}"
+        )
+    return "\n".join(lines)

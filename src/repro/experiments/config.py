@@ -1,0 +1,114 @@
+"""Experiment configurations for the paper's evaluation (§6).
+
+The paper characterizes its random workloads by three parameters — task
+count in ``[80, 120]``, per-task degree in ``[1, 3]``, granularity sweep —
+plus unit link delays in ``[0.5, 1]`` and message volumes in ``[50, 150]``.
+Each data point averages 60 random DAGs.  Two granularity sweeps are used:
+``A = 0.2..2.0`` (step 0.2, Figures 1–3) and ``B = 1..10`` (step 1,
+Figures 4–6), with platforms of 10 processors (ε ∈ {1, 3}) or 20
+processors (ε = 5).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+GRANULARITY_SWEEP_A: tuple[float, ...] = tuple(round(0.2 * i, 1) for i in range(1, 11))
+GRANULARITY_SWEEP_B: tuple[float, ...] = tuple(float(i) for i in range(1, 11))
+
+#: figure panels compare these fault-tolerant algorithms
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("caft", "caft-paper", "ftsa", "ftbar")
+
+
+def default_num_graphs(paper_count: int = 60) -> int:
+    """Graphs per data point: the paper's 60, unless ``REPRO_GRAPHS`` says less.
+
+    Benchmarks default to a faster count; export ``REPRO_GRAPHS=60`` to run
+    campaigns at the paper's scale (EXPERIMENTS.md records such runs).
+    """
+    env = os.environ.get("REPRO_GRAPHS")
+    if env:
+        return max(1, int(env))
+    return paper_count
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to regenerate one figure."""
+
+    name: str
+    granularities: tuple[float, ...]
+    num_procs: int
+    epsilon: int
+    crashes: int
+    num_graphs: int = 60
+    task_range: tuple[int, int] = (80, 120)
+    degree_range: tuple[int, int] = (1, 3)
+    volume_range: tuple[float, float] = (50.0, 150.0)
+    delay_range: tuple[float, float] = (0.5, 1.0)
+    base_cost_range: tuple[float, float] = (1.0, 2.0)
+    heterogeneity: float = 0.5
+    base_seed: int = 20080206  # the report's publication month
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
+    model: str = "oneport"
+    description: str = ""
+
+    def with_graphs(self, num_graphs: Optional[int]) -> "ExperimentConfig":
+        """A copy with a different repetition count (None keeps the default)."""
+        if num_graphs is None:
+            return self
+        return replace(self, num_graphs=num_graphs)
+
+
+FIGURES: dict[int, ExperimentConfig] = {
+    1: ExperimentConfig(
+        name="figure1",
+        granularities=GRANULARITY_SWEEP_A,
+        num_procs=10,
+        epsilon=1,
+        crashes=1,
+        description="latency/overhead vs granularity 0.2..2.0, m=10, eps=1, 1 crash",
+    ),
+    2: ExperimentConfig(
+        name="figure2",
+        granularities=GRANULARITY_SWEEP_A,
+        num_procs=10,
+        epsilon=3,
+        crashes=2,
+        description="latency/overhead vs granularity 0.2..2.0, m=10, eps=3, 2 crashes",
+    ),
+    3: ExperimentConfig(
+        name="figure3",
+        granularities=GRANULARITY_SWEEP_A,
+        num_procs=20,
+        epsilon=5,
+        crashes=3,
+        description="latency/overhead vs granularity 0.2..2.0, m=20, eps=5, 3 crashes",
+    ),
+    4: ExperimentConfig(
+        name="figure4",
+        granularities=GRANULARITY_SWEEP_B,
+        num_procs=10,
+        epsilon=1,
+        crashes=1,
+        description="latency/overhead vs granularity 1..10, m=10, eps=1, 1 crash",
+    ),
+    5: ExperimentConfig(
+        name="figure5",
+        granularities=GRANULARITY_SWEEP_B,
+        num_procs=10,
+        epsilon=3,
+        crashes=2,
+        description="latency/overhead vs granularity 1..10, m=10, eps=3, 2 crashes",
+    ),
+    6: ExperimentConfig(
+        name="figure6",
+        granularities=GRANULARITY_SWEEP_B,
+        num_procs=20,
+        epsilon=5,
+        crashes=3,
+        description="latency/overhead vs granularity 1..10, m=20, eps=5, 3 crashes",
+    ),
+}

@@ -1,0 +1,95 @@
+"""Sweeps beyond the paper's figures: heterogeneity and platform size.
+
+The paper fixes the processor-heterogeneity factor and evaluates only
+m ∈ {10, 20}.  These campaigns vary the dimensions the paper keeps
+constant, answering two natural follow-up questions:
+
+* does CAFT's advantage survive as machines become more *unrelated*
+  (heterogeneity sweep at fixed granularity)?
+* how do the algorithms scale with the platform size (contention grows
+  with the replica fan-out; more processors dilute it)?
+
+Each point reuses the main harness so every metric (normalized latency,
+bounds, crash latency, overhead, messages) stays comparable with the
+figure campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import PointResult, run_point
+
+
+def _base_config(name: str, num_procs: int, epsilon: int, crashes: int,
+                 num_graphs: int, heterogeneity: float) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=name,
+        granularities=(1.0,),
+        num_procs=num_procs,
+        epsilon=epsilon,
+        crashes=crashes,
+        num_graphs=num_graphs,
+        heterogeneity=heterogeneity,
+    )
+
+
+def heterogeneity_sweep(
+    factors: Sequence[float] = (0.0, 0.5, 1.0, 1.5),
+    num_procs: int = 10,
+    epsilon: int = 1,
+    granularity: float = 1.0,
+    num_graphs: int = 5,
+) -> list[tuple[float, PointResult]]:
+    """Run the figure-1 point at ``granularity`` across heterogeneity factors.
+
+    ``factor`` is the range-based spread ``h`` of
+    :func:`repro.platform.heterogeneity.range_exec_matrix`: 0 means
+    identical processors, values near 2 mean wildly unrelated ones.
+    """
+    results = []
+    for h in factors:
+        cfg = _base_config(
+            f"hetero-{h:g}", num_procs, epsilon, crashes=1,
+            num_graphs=num_graphs, heterogeneity=h,
+        )
+        results.append((h, run_point(cfg, granularity)))
+    return results
+
+
+def platform_size_sweep(
+    sizes: Sequence[int] = (5, 10, 20, 40),
+    epsilon: int = 1,
+    granularity: float = 1.0,
+    num_graphs: int = 5,
+) -> list[tuple[int, PointResult]]:
+    """Run one data point per platform size (fixed ε and granularity)."""
+    results = []
+    for m in sizes:
+        cfg = _base_config(
+            f"msize-{m}", m, epsilon, crashes=min(epsilon, m - 1),
+            num_graphs=num_graphs, heterogeneity=0.5,
+        )
+        results.append((m, run_point(cfg, granularity)))
+    return results
+
+
+def sweep_table(
+    results: Sequence[tuple[float, PointResult]],
+    metric: str = "norm_latency",
+    label: str = "x",
+) -> str:
+    """ASCII table of one metric across a sweep, one column per algorithm."""
+    if not results:
+        return "(empty sweep)"
+    algos = list(results[0][1].per_algorithm)
+    header = f"{label:>8} " + " ".join(f"{a:>12}" for a in algos)
+    lines = [header, "-" * len(header)]
+    for x, point in results:
+        cells = " ".join(
+            f"{point.per_algorithm[a].mean(metric):>12.2f}" for a in algos
+        )
+        lines.append(f"{x:>8g} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Campaign driver: generate instances, run every algorithm, aggregate.
+
+One *data point* of a figure is ``num_graphs`` random instances at a fixed
+granularity; for each instance every algorithm produces a fault-tolerant
+schedule plus its fault-free (ε = 0) reference, the schedule is replayed
+under a shared random crash scenario, and the paper's metrics (normalized
+latency, upper bound, crash latency, overhead) are averaged.
+
+All randomness derives from ``config.base_seed`` via labelled child seeds,
+so any single instance of any campaign can be regenerated in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.caft import caft
+from repro.dag.analysis import min_critical_path
+from repro.dag.generators import random_dag
+from repro.experiments.config import ExperimentConfig
+from repro.fault.model import FailureScenario
+from repro.fault.scenarios import random_crash_scenario
+from repro.fault.simulator import replay
+from repro.platform.heterogeneity import (
+    range_exec_matrix,
+    scale_to_granularity,
+    uniform_delay_platform,
+)
+from repro.platform.instance import ProblemInstance
+from repro.schedule.bounds import latency_upper_bound
+from repro.schedule.schedule import Schedule
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+from repro.utils.errors import ExecutionFailedError
+from repro.utils.rng import RngStream
+
+#: algorithm name -> callable(instance, epsilon, rng) -> Schedule
+ALGORITHM_RUNNERS: dict[str, Callable[..., Schedule]] = {
+    "caft": lambda inst, eps, rng, model: caft(inst, eps, model=model, rng=rng),
+    "caft-paper": lambda inst, eps, rng, model: caft(
+        inst, eps, model=model, locking="paper", rng=rng
+    ),
+    "ftsa": lambda inst, eps, rng, model: ftsa(inst, eps, model=model, rng=rng),
+    "ftbar": lambda inst, eps, rng, model: ftbar(inst, eps, model=model, rng=rng),
+}
+
+#: fault-free reference of each algorithm (the paper plots FaultFree-CAFT
+#: and FaultFree-FTBAR; FTSA's fault-free run coincides with CAFT's).
+FAULTFREE_RUNNERS: dict[str, Callable[..., Schedule]] = {
+    "caft": lambda inst, rng, model: caft(inst, 0, model=model, rng=rng),
+    "caft-paper": lambda inst, rng, model: caft(
+        inst, 0, model=model, locking="paper", rng=rng
+    ),
+    "ftsa": lambda inst, rng, model: ftsa(inst, 0, model=model, rng=rng),
+    "ftbar": lambda inst, rng, model: ftbar(inst, 0, model=model, rng=rng),
+}
+
+
+def generate_instance(
+    config: ExperimentConfig, granularity: float, rep: int
+) -> ProblemInstance:
+    """Instance ``rep`` of the data point at ``granularity`` (deterministic)."""
+    stream = RngStream(config.base_seed)
+    g_rng = stream.rng("graph", config.name, granularity, rep)
+    v = int(g_rng.integers(config.task_range[0], config.task_range[1] + 1))
+    graph = random_dag(
+        v,
+        degree_range=config.degree_range,
+        volume_range=config.volume_range,
+        rng=g_rng,
+    )
+    platform = uniform_delay_platform(
+        config.num_procs,
+        delay_range=config.delay_range,
+        rng=stream.rng("platform", config.name, granularity, rep),
+    )
+    cost_rng = stream.rng("costs", config.name, granularity, rep)
+    base = cost_rng.uniform(
+        config.base_cost_range[0], config.base_cost_range[1], size=v
+    )
+    exec_cost = range_exec_matrix(
+        base, config.num_procs, heterogeneity=config.heterogeneity, rng=cost_rng
+    )
+    exec_cost = scale_to_granularity(graph, platform, exec_cost, granularity)
+    return ProblemInstance(graph, platform, exec_cost)
+
+
+@dataclass
+class AlgorithmPoint:
+    """Accumulated per-algorithm metrics at one granularity."""
+
+    norm_latency: list[float] = field(default_factory=list)
+    norm_upper: list[float] = field(default_factory=list)
+    norm_crash: list[float] = field(default_factory=list)
+    overhead_0crash: list[float] = field(default_factory=list)
+    overhead_crash: list[float] = field(default_factory=list)
+    messages: list[float] = field(default_factory=list)
+    crash_failures: int = 0  # replays that did not tolerate the scenario
+
+    def mean(self, attr: str) -> float:
+        values = getattr(self, attr)
+        return float(np.mean(values)) if values else math.nan
+
+
+@dataclass
+class PointResult:
+    """Aggregated metrics of one (granularity) data point."""
+
+    granularity: float
+    per_algorithm: dict[str, AlgorithmPoint]
+    faultfree_norm: dict[str, float]
+
+    def row(self) -> dict[str, float]:
+        """Flatten to a CSV-ready mapping."""
+        row: dict[str, float] = {"granularity": self.granularity}
+        for algo, point in self.per_algorithm.items():
+            row[f"{algo}_latency0"] = point.mean("norm_latency")
+            row[f"{algo}_upper"] = point.mean("norm_upper")
+            row[f"{algo}_crash"] = point.mean("norm_crash")
+            row[f"{algo}_overhead0"] = point.mean("overhead_0crash")
+            row[f"{algo}_overhead_crash"] = point.mean("overhead_crash")
+            row[f"{algo}_messages"] = point.mean("messages")
+            row[f"{algo}_crash_failures"] = point.crash_failures
+        for algo, value in self.faultfree_norm.items():
+            row[f"faultfree_{algo}"] = value
+        return row
+
+
+def run_point(
+    config: ExperimentConfig,
+    granularity: float,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PointResult:
+    """Run every algorithm over ``config.num_graphs`` instances at one point."""
+    stream = RngStream(config.base_seed)
+    per_algo = {name: AlgorithmPoint() for name in config.algorithms}
+    ff_norm_acc: dict[str, list[float]] = {name: [] for name in config.algorithms}
+
+    for rep in range(config.num_graphs):
+        inst = generate_instance(config, granularity, rep)
+        cp = min_critical_path(inst)
+        scenario = random_crash_scenario(
+            config.num_procs,
+            config.crashes,
+            rng=stream.rng("crash", config.name, granularity, rep),
+        )
+        algo_seed = stream.seed("algo", config.name, granularity, rep)
+
+        # Fault-free CAFT is the overhead reference CAFT* of the paper.
+        reference = FAULTFREE_RUNNERS["caft"](inst, algo_seed, config.model)
+        ref_latency = reference.latency()
+        for name in config.algorithms:
+            if name == "caft":
+                ff = reference
+            else:
+                ff = FAULTFREE_RUNNERS[name](inst, algo_seed, config.model)
+            ff_norm_acc[name].append(ff.latency() / cp)
+
+        for name in config.algorithms:
+            sched = ALGORITHM_RUNNERS[name](
+                inst, config.epsilon, algo_seed, config.model
+            )
+            point = per_algo[name]
+            lat = sched.latency()
+            point.norm_latency.append(lat / cp)
+            point.norm_upper.append(latency_upper_bound(sched) / cp)
+            point.overhead_0crash.append(100.0 * (lat - ref_latency) / ref_latency)
+            point.messages.append(sched.message_count())
+            try:
+                crash_lat = replay(sched, scenario).latency()
+                point.norm_crash.append(crash_lat / cp)
+                point.overhead_crash.append(
+                    100.0 * (crash_lat - ref_latency) / ref_latency
+                )
+            except ExecutionFailedError:
+                # Only possible for non-robust variants (caft-paper).
+                point.crash_failures += 1
+        if progress is not None:
+            progress(
+                f"[{config.name}] g={granularity:g} rep {rep + 1}/{config.num_graphs}"
+            )
+
+    return PointResult(
+        granularity=granularity,
+        per_algorithm=per_algo,
+        faultfree_norm={k: float(np.mean(v)) for k, v in ff_norm_acc.items()},
+    )
+
+
+@dataclass
+class CampaignResult:
+    """All data points of one figure."""
+
+    config: ExperimentConfig
+    points: list[PointResult]
+
+    def rows(self) -> list[dict[str, float]]:
+        return [p.row() for p in self.points]
+
+    def series(self, column: str) -> list[float]:
+        """One named column across granularities (e.g. ``"caft_latency0"``)."""
+        return [row.get(column, math.nan) for row in self.rows()]
+
+
+def run_campaign(
+    config: ExperimentConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run the full granularity sweep of one figure."""
+    points = [
+        run_point(config, g, progress=progress) for g in config.granularities
+    ]
+    return CampaignResult(config=config, points=points)

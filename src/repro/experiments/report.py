@@ -1,0 +1,145 @@
+"""Rendering campaign results: ASCII series tables and CSV files.
+
+The tables mirror the paper's figure panels:
+
+* panel (a) — normalized latency with 0 crash, upper bounds and the
+  fault-free references;
+* panel (b) — normalized latency with 0 crash vs. with ``c`` crashes;
+* panel (c) — average overhead (%) relative to fault-free CAFT.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.harness import CampaignResult
+
+
+def _table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    out = io.StringIO()
+    out.write(title + "\n")
+    out.write("  ".join(str(h).rjust(w) for h, w in zip(header, widths)) + "\n")
+    out.write("-" * (sum(widths) + 2 * (len(widths) - 1)) + "\n")
+    for r in rows:
+        out.write("  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def panel_a(result: CampaignResult) -> str:
+    """Normalized latency (0 crash) + upper bounds + fault-free references."""
+    algos = result.config.algorithms
+    header = ["g"]
+    for a in algos:
+        header += [f"{a}", f"{a}-UB"]
+    header += [f"FF-{a}" for a in algos]
+    rows = []
+    for point in result.points:
+        row: list[object] = [point.granularity]
+        for a in algos:
+            row += [point.per_algorithm[a].mean("norm_latency"),
+                    point.per_algorithm[a].mean("norm_upper")]
+        row += [point.faultfree_norm[a] for a in algos]
+        rows.append(row)
+    return _table(
+        f"{result.config.name} (a): normalized latency, bounds "
+        f"(m={result.config.num_procs}, eps={result.config.epsilon})",
+        header,
+        rows,
+    )
+
+
+def panel_b(result: CampaignResult) -> str:
+    """Normalized latency with 0 crash vs. with ``c`` crashes."""
+    algos = result.config.algorithms
+    c = result.config.crashes
+    header = ["g"]
+    for a in algos:
+        header += [f"{a}-0c", f"{a}-{c}c"]
+    rows = []
+    for point in result.points:
+        row: list[object] = [point.granularity]
+        for a in algos:
+            row += [point.per_algorithm[a].mean("norm_latency"),
+                    point.per_algorithm[a].mean("norm_crash")]
+        rows.append(row)
+    return _table(
+        f"{result.config.name} (b): normalized latency, 0 vs {c} crash(es)",
+        header,
+        rows,
+    )
+
+
+def panel_c(result: CampaignResult) -> str:
+    """Average fault-tolerance overhead (%) vs fault-free CAFT."""
+    algos = result.config.algorithms
+    c = result.config.crashes
+    header = ["g"]
+    for a in algos:
+        header += [f"{a}-0c%", f"{a}-{c}c%"]
+    rows = []
+    for point in result.points:
+        row: list[object] = [point.granularity]
+        for a in algos:
+            row += [point.per_algorithm[a].mean("overhead_0crash"),
+                    point.per_algorithm[a].mean("overhead_crash")]
+        rows.append(row)
+    return _table(
+        f"{result.config.name} (c): average overhead (%)",
+        header,
+        rows,
+    )
+
+
+def messages_table(result: CampaignResult) -> str:
+    """Mean inter-processor message counts per algorithm."""
+    algos = result.config.algorithms
+    header = ["g"] + [f"{a}" for a in algos]
+    rows = []
+    for point in result.points:
+        rows.append(
+            [point.granularity]
+            + [point.per_algorithm[a].mean("messages") for a in algos]
+        )
+    return _table(f"{result.config.name}: mean message counts", header, rows)
+
+
+def render_figure(result: CampaignResult) -> str:
+    """Full text report of one figure (all three panels + messages)."""
+    return "\n".join(
+        [
+            panel_a(result),
+            panel_b(result),
+            panel_c(result),
+            messages_table(result),
+        ]
+    )
+
+
+def write_csv(result: CampaignResult, path: str | Path) -> Path:
+    """Dump all aggregated columns to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = result.rows()
+    fieldnames = list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

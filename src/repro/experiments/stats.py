@@ -1,0 +1,93 @@
+"""Statistical helpers for experiment campaigns.
+
+The paper reports plain means over 60 random graphs; for a production
+harness we also want dispersion and simple significance so that "A beats
+B" claims can be checked honestly at smaller repetition counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics of one metric at one data point."""
+
+    n: int
+    mean: float
+    std: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+
+def summarize_series(values: Sequence[float]) -> SeriesStats:
+    """Mean, sample std and a normal-approximation 95% CI half-width."""
+    vals = [float(v) for v in values if not math.isnan(float(v))]
+    n = len(vals)
+    if n == 0:
+        return SeriesStats(0, math.nan, math.nan, math.nan)
+    mean = sum(vals) / n
+    if n == 1:
+        return SeriesStats(1, mean, 0.0, math.inf)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    std = math.sqrt(var)
+    return SeriesStats(n, mean, std, 1.96 * std / math.sqrt(n))
+
+
+def paired_mean_difference(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Mean of ``a - b`` over paired observations, with its 95% CI half-width.
+
+    Campaign comparisons are *paired* (same random instance scheduled by
+    both algorithms), which removes the huge instance-to-instance variance;
+    pairing is the reason small repetition counts already produce
+    trustworthy orderings.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"paired series lengths differ: {len(a)} vs {len(b)}")
+    diffs = [float(x) - float(y) for x, y in zip(a, b)]
+    stats = summarize_series(diffs)
+    return stats.mean, stats.ci95_half_width
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff ``a`` is significantly smaller than ``b`` on paired data
+    (the 95% CI of the paired difference lies strictly below zero)."""
+    mean, half = paired_mean_difference(a, b)
+    return mean + half < 0.0
+
+
+def win_rate(a: Sequence[float], b: Sequence[float]) -> float:
+    """Fraction of paired instances where ``a < b`` (ties count half)."""
+    if len(a) != len(b):
+        raise ValueError("paired series lengths differ")
+    if not a:
+        return math.nan
+    score = 0.0
+    for x, y in zip(a, b):
+        if x < y:
+            score += 1.0
+        elif x == y:
+            score += 0.5
+    return score / len(a)
+
+
+def geometric_mean_ratio(a: Sequence[float], b: Sequence[float]) -> float:
+    """Geometric mean of ``a_i / b_i`` — the scale-free speedup summary."""
+    if len(a) != len(b):
+        raise ValueError("paired series lengths differ")
+    logs = []
+    for x, y in zip(a, b):
+        if x <= 0 or y <= 0:
+            raise ValueError("ratios need positive values")
+        logs.append(math.log(x / y))
+    if not logs:
+        return math.nan
+    return math.exp(sum(logs) / len(logs))

@@ -1,0 +1,206 @@
+"""Self-contained SVG/HTML rendering of campaign results.
+
+matplotlib is not a dependency of this library, so figures are drawn as
+hand-rolled SVG line charts: one chart per panel, same series as the
+paper's plots, embedded in a single HTML file.  The output is what you put
+next to the paper's PDF to compare curve shapes by eye.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.harness import CampaignResult
+
+# A colorblind-friendly palette (Okabe-Ito).
+_COLORS = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+]
+_DASHES = ["", "6,3", "2,2", "8,3,2,3"]
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    if not math.isfinite(lo) or not math.isfinite(hi) or hi <= lo:
+        return [lo]
+    raw = (hi - lo) / max(count - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        if t >= lo - step * 0.5:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+class SvgLineChart:
+    """A minimal multi-series line chart with legend and axes."""
+
+    def __init__(
+        self,
+        title: str,
+        xlabel: str,
+        ylabel: str,
+        width: int = 520,
+        height: int = 360,
+    ) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.series: list[tuple[str, list[float], list[float]]] = []
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        pts_x, pts_y = [], []
+        for x, y in zip(xs, ys):
+            if math.isfinite(float(y)):
+                pts_x.append(float(x))
+                pts_y.append(float(y))
+        if pts_x:
+            self.series.append((name, pts_x, pts_y))
+
+    def render(self) -> str:
+        margin_l, margin_r, margin_t, margin_b = 60, 160, 36, 46
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        all_x = [x for _n, xs, _ys in self.series for x in xs]
+        all_y = [y for _n, _xs, ys in self.series for y in ys]
+        if not all_x:
+            return f'<svg width="{self.width}" height="{self.height}"></svg>'
+        x_lo, x_hi = min(all_x), max(all_x)
+        y_lo, y_hi = min(all_y), max(all_y)
+        y_lo = min(y_lo, 0.0) if y_lo > 0 and y_lo < 0.2 * y_hi else y_lo
+        if x_hi == x_lo:
+            x_hi = x_lo + 1
+        if y_hi == y_lo:
+            y_hi = y_lo + 1
+        pad = 0.05 * (y_hi - y_lo)
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+
+        def sx(x: float) -> float:
+            return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y: float) -> float:
+            return margin_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="11">',
+            f'<text x="{margin_l + plot_w / 2}" y="16" text-anchor="middle" '
+            f'font-size="13" font-weight="bold">{html.escape(self.title)}</text>',
+            f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+            f'height="{plot_h}" fill="none" stroke="#888"/>',
+        ]
+        for t in _nice_ticks(x_lo, x_hi):
+            parts.append(
+                f'<line x1="{sx(t):.1f}" y1="{margin_t + plot_h}" x2="{sx(t):.1f}" '
+                f'y2="{margin_t + plot_h + 4}" stroke="#888"/>'
+                f'<text x="{sx(t):.1f}" y="{margin_t + plot_h + 16}" '
+                f'text-anchor="middle">{t:g}</text>'
+            )
+        for t in _nice_ticks(y_lo, y_hi):
+            parts.append(
+                f'<line x1="{margin_l - 4}" y1="{sy(t):.1f}" x2="{margin_l + plot_w}" '
+                f'y2="{sy(t):.1f}" stroke="#eee"/>'
+                f'<text x="{margin_l - 8}" y="{sy(t) + 4:.1f}" '
+                f'text-anchor="end">{t:g}</text>'
+            )
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2}" y="{self.height - 8}" '
+            f'text-anchor="middle">{html.escape(self.xlabel)}</text>'
+        )
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2})">'
+            f"{html.escape(self.ylabel)}</text>"
+        )
+        for i, (name, xs, ys) in enumerate(self.series):
+            color = _COLORS[i % len(_COLORS)]
+            dash = _DASHES[(i // len(_COLORS)) % len(_DASHES)]
+            pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+            dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="1.8"{dash_attr}/>'
+            )
+            for x, y in zip(xs, ys):
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.4" '
+                    f'fill="{color}"/>'
+                )
+            ly = margin_t + 14 * i
+            lx = margin_l + plot_w + 10
+            parts.append(
+                f'<line x1="{lx}" y1="{ly + 4}" x2="{lx + 18}" y2="{ly + 4}" '
+                f'stroke="{color}" stroke-width="2"{dash_attr}/>'
+                f'<text x="{lx + 22}" y="{ly + 8}">{html.escape(name)}</text>'
+            )
+        parts.append("</svg>")
+        return "".join(parts)
+
+
+def campaign_to_charts(result: CampaignResult) -> list[SvgLineChart]:
+    """The three paper panels of one campaign as SVG charts."""
+    cfg = result.config
+    xs = list(cfg.granularities)
+    c = cfg.crashes
+
+    a = SvgLineChart(
+        f"{cfg.name} (a): normalized latency, bounds (m={cfg.num_procs}, eps={cfg.epsilon})",
+        "granularity", "normalized latency",
+    )
+    for algo in cfg.algorithms:
+        a.add_series(f"{algo} 0 crash", xs, result.series(f"{algo}_latency0"))
+        a.add_series(f"{algo} UB", xs, result.series(f"{algo}_upper"))
+    a.add_series("FaultFree-caft", xs, result.series("faultfree_caft"))
+    a.add_series("FaultFree-ftbar", xs, result.series("faultfree_ftbar"))
+
+    b = SvgLineChart(
+        f"{cfg.name} (b): latency with 0 vs {c} crash(es)",
+        "granularity", "normalized latency",
+    )
+    for algo in cfg.algorithms:
+        b.add_series(f"{algo} 0c", xs, result.series(f"{algo}_latency0"))
+        b.add_series(f"{algo} {c}c", xs, result.series(f"{algo}_crash"))
+
+    cchart = SvgLineChart(
+        f"{cfg.name} (c): average overhead (%)", "granularity", "overhead %"
+    )
+    for algo in cfg.algorithms:
+        cchart.add_series(f"{algo} 0c", xs, result.series(f"{algo}_overhead0"))
+        cchart.add_series(f"{algo} {c}c", xs, result.series(f"{algo}_overhead_crash"))
+
+    m = SvgLineChart(
+        f"{cfg.name}: committed messages", "granularity", "messages"
+    )
+    for algo in cfg.algorithms:
+        m.add_series(algo, xs, result.series(f"{algo}_messages"))
+    return [a, b, cchart, m]
+
+
+def write_html_report(result: CampaignResult, path: str | Path) -> Path:
+    """Write the full figure report (four charts) to a standalone HTML file."""
+    charts = campaign_to_charts(result)
+    cfg = result.config
+    body = "\n".join(f"<div>{chart.render()}</div>" for chart in charts)
+    doc = (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(cfg.name)}</title></head>"
+        f"<body><h1>{html.escape(cfg.name)} — {html.escape(cfg.description)}</h1>"
+        f"<p>{cfg.num_graphs} random graphs per point, base seed {cfg.base_seed}.</p>"
+        f"{body}</body></html>"
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(doc)
+    return path

@@ -1,0 +1,42 @@
+"""Fault injection: fail-stop scenarios, crash replay, robustness checks."""
+
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import (
+    ExecutionResult,
+    EventOutcome,
+    ReplicaOutcome,
+    ReplicaStatus,
+    crash_latency,
+    replay,
+)
+from repro.fault.scenarios import (
+    random_crash_scenario,
+    all_crash_scenarios,
+    check_robustness,
+    RobustnessReport,
+)
+from repro.fault.validation import validate_execution, is_valid_execution
+from repro.fault.montecarlo import (
+    MonteCarloReport,
+    monte_carlo_crashes,
+    survival_curve,
+)
+
+__all__ = [
+    "FailureScenario",
+    "ExecutionResult",
+    "EventOutcome",
+    "ReplicaOutcome",
+    "ReplicaStatus",
+    "crash_latency",
+    "replay",
+    "random_crash_scenario",
+    "all_crash_scenarios",
+    "check_robustness",
+    "RobustnessReport",
+    "MonteCarloReport",
+    "monte_carlo_crashes",
+    "survival_curve",
+    "validate_execution",
+    "is_valid_execution",
+]

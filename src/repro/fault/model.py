@@ -1,0 +1,80 @@
+"""Fail-stop failure scenarios.
+
+A :class:`FailureScenario` assigns each failed processor the instant it
+stops (fail-silent / fail-stop, paper §2): the processor behaves correctly
+strictly before its failure time and does nothing afterwards.  The paper's
+experiments crash processors chosen uniformly at random; the failure time
+defaults to 0 (the processor never contributes), the most adverse case for
+an active-replication schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.utils.errors import ReproError
+
+
+class FailureScenario:
+    """An immutable map ``processor -> failure time``.
+
+    Processors absent from the map never fail.  A unit of work occupying
+    ``[start, finish]`` on processor ``p`` succeeds iff ``start <
+    fail_time(p)`` and ``finish <= fail_time(p)``.
+    """
+
+    __slots__ = ("_fail_times",)
+
+    def __init__(self, fail_times: Mapping[int, float]) -> None:
+        clean: dict[int, float] = {}
+        for proc, t in fail_times.items():
+            t = float(t)
+            if t < 0 or math.isnan(t):
+                raise ReproError(f"bad failure time {t} for P{proc}")
+            if not math.isinf(t):
+                clean[int(proc)] = t
+        self._fail_times = clean
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def crash_at_start(cls, procs: Iterable[int]) -> "FailureScenario":
+        """Processors in ``procs`` are dead from time 0."""
+        return cls({p: 0.0 for p in procs})
+
+    @classmethod
+    def none(cls) -> "FailureScenario":
+        """The failure-free scenario."""
+        return cls({})
+
+    # ------------------------------------------------------------------
+    @property
+    def failed_procs(self) -> tuple[int, ...]:
+        return tuple(sorted(self._fail_times))
+
+    @property
+    def num_failures(self) -> int:
+        return len(self._fail_times)
+
+    def fail_time(self, proc: int) -> float:
+        """Failure instant of ``proc`` (``inf`` if it never fails)."""
+        return self._fail_times.get(proc, math.inf)
+
+    def survives(self, proc: int, start: float, finish: float) -> bool:
+        """Whether work on ``proc`` over ``[start, finish]`` completes."""
+        t = self.fail_time(proc)
+        return start < t and finish <= t
+
+    def __repr__(self) -> str:
+        if not self._fail_times:
+            return "FailureScenario(none)"
+        inner = ", ".join(f"P{p}@{t:g}" for p, t in sorted(self._fail_times.items()))
+        return f"FailureScenario({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailureScenario):
+            return NotImplemented
+        return self._fail_times == other._fail_times
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._fail_times.items())))

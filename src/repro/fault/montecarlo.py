@@ -1,0 +1,105 @@
+"""Monte-Carlo fault analysis.
+
+Exhaustive robustness checking (:func:`repro.fault.scenarios.check_robustness`)
+is exponential in ε; for larger platforms this module estimates the same
+quantities by sampling failure scenarios: survival probability, expected
+crash latency, and the latency distribution's tail.  It also supports
+failure-*time* sampling (processors dying mid-execution), which the
+exhaustive checker does not explore.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.fault.model import FailureScenario
+from repro.fault.scenarios import random_crash_scenario
+from repro.fault.simulator import replay
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import RngLike, as_rng
+
+
+@dataclass
+class MonteCarloReport:
+    """Aggregated outcome of a sampled crash campaign."""
+
+    samples: int
+    survived: int
+    latencies: list[float] = field(default_factory=list)
+    failures: list[FailureScenario] = field(default_factory=list)
+
+    @property
+    def survival_rate(self) -> float:
+        return self.survived / self.samples if self.samples else math.nan
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else math.nan
+
+    @property
+    def max_latency(self) -> float:
+        return float(np.max(self.latencies)) if self.latencies else math.nan
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return math.nan
+        return float(np.quantile(self.latencies, q))
+
+
+def monte_carlo_crashes(
+    schedule: Schedule,
+    num_failures: int,
+    samples: int = 200,
+    rng: RngLike = None,
+    time_range: Optional[tuple[float, float]] = None,
+) -> MonteCarloReport:
+    """Replay ``schedule`` under ``samples`` random crash scenarios.
+
+    ``num_failures`` processors are drawn uniformly per sample; with
+    ``time_range`` the failure instants are drawn uniformly from the range
+    (mid-execution crashes), otherwise processors are dead from time 0.
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    gen = as_rng(rng)
+    report = MonteCarloReport(samples=samples, survived=0)
+    m = schedule.instance.num_procs
+    for _ in range(samples):
+        scenario = random_crash_scenario(
+            m, num_failures, rng=gen, time_range=time_range
+        )
+        result = replay(schedule, scenario)
+        if result.success:
+            report.survived += 1
+            report.latencies.append(result.latency())
+        else:
+            report.failures.append(scenario)
+    return report
+
+
+def survival_curve(
+    schedule: Schedule,
+    max_failures: int,
+    samples: int = 100,
+    rng: RngLike = None,
+) -> dict[int, float]:
+    """Estimated survival probability as a function of the crash count.
+
+    For a correct ε-fault-tolerant schedule the curve is exactly 1.0 up to
+    ``ε`` and typically degrades beyond it (the schedule may still survive
+    more crashes by luck — replication placement often covers more than the
+    guaranteed budget).
+    """
+    gen = as_rng(rng)
+    curve: dict[int, float] = {}
+    for k in range(max_failures + 1):
+        if k == 0:
+            curve[0] = 1.0
+            continue
+        report = monte_carlo_crashes(schedule, k, samples=samples, rng=gen)
+        curve[k] = report.survival_rate
+    return curve

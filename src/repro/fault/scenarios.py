@@ -1,0 +1,98 @@
+"""Failure-scenario generators and exhaustive robustness checking.
+
+The paper's experiments crash processors "chosen uniformly from the range
+[1, 10]" (§6); :func:`random_crash_scenario` reproduces that.
+:func:`check_robustness` verifies Proposition 5.2 the hard way: replay the
+schedule under **every** subset of at most ``ε`` failed processors and
+report any subset that kills a task.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import replay
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import RngLike, as_rng
+
+
+def random_crash_scenario(
+    num_procs: int,
+    num_failures: int,
+    rng: RngLike = None,
+    time_range: Optional[tuple[float, float]] = None,
+) -> FailureScenario:
+    """``num_failures`` distinct processors chosen uniformly at random.
+
+    With ``time_range=None`` processors are dead from time 0 (the paper's
+    setting); otherwise each failure time is drawn uniformly from the
+    range, modelling mid-execution crashes.
+    """
+    if not (0 <= num_failures <= num_procs):
+        raise ValueError(
+            f"cannot fail {num_failures} of {num_procs} processors"
+        )
+    gen = as_rng(rng)
+    procs = gen.choice(num_procs, size=num_failures, replace=False)
+    if time_range is None:
+        return FailureScenario.crash_at_start(int(p) for p in procs)
+    lo, hi = time_range
+    return FailureScenario(
+        {int(p): float(gen.uniform(lo, hi)) for p in procs}
+    )
+
+
+def all_crash_scenarios(
+    num_procs: int, max_failures: int, exact: bool = False
+) -> Iterator[FailureScenario]:
+    """Every crash-at-0 scenario with ``<= max_failures`` (or exactly that many)."""
+    sizes = [max_failures] if exact else range(max_failures + 1)
+    for k in sizes:
+        for subset in itertools.combinations(range(num_procs), k):
+            yield FailureScenario.crash_at_start(subset)
+
+
+@dataclass
+class RobustnessReport:
+    """Outcome of an exhaustive robustness check."""
+
+    schedule: Schedule
+    max_failures: int
+    scenarios_checked: int = 0
+    violations: list[tuple[FailureScenario, tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    worst_latency: float = 0.0
+
+    @property
+    def robust(self) -> bool:
+        return not self.violations
+
+
+def check_robustness(
+    schedule: Schedule,
+    max_failures: Optional[int] = None,
+    exact: bool = False,
+) -> RobustnessReport:
+    """Replay ``schedule`` under every ``<= max_failures`` crash subset.
+
+    ``max_failures`` defaults to the schedule's ``ε``.  The check is
+    exponential in ``max_failures`` — intended for tests and diagnostics
+    at small platform sizes, exactly like the paper's proof obligations.
+    """
+    if max_failures is None:
+        max_failures = schedule.epsilon
+    report = RobustnessReport(schedule=schedule, max_failures=max_failures)
+    for scenario in all_crash_scenarios(
+        schedule.instance.num_procs, max_failures, exact=exact
+    ):
+        result = replay(schedule, scenario)
+        report.scenarios_checked += 1
+        if result.success:
+            report.worst_latency = max(report.worst_latency, result.latency())
+        else:
+            report.violations.append((scenario, result.dead_tasks))
+    return report

@@ -1,0 +1,114 @@
+"""Validation of crash-replay executions (defense in depth).
+
+The replay engine is itself part of the trusted base for every robustness
+claim, so this module re-checks an :class:`ExecutionResult` against the
+model from first principles: completed work respects precedence with the
+*delivered* supplies only, nothing runs on a processor past its failure
+time, and the one-port exclusivity constraints hold on the executed
+timeline too.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.fault.simulator import ExecutionResult, ReplicaStatus
+from repro.utils.errors import ScheduleValidationError
+
+_EPS = 1e-9
+
+
+def validate_execution(result: ExecutionResult) -> None:
+    """Raise :class:`ScheduleValidationError` on any violated run-time rule."""
+    schedule = result.schedule
+    scenario = result.scenario
+    graph = schedule.instance.graph
+
+    # --- dead processors do no work -------------------------------------
+    for out in result.replica_outcomes.values():
+        if out.status is ReplicaStatus.COMPLETED:
+            if not scenario.survives(out.replica.proc, out.start, out.finish):
+                raise ScheduleValidationError(
+                    f"{out.replica} completed on a failed processor"
+                )
+    for eo in result.event_outcomes.values():
+        if eo.delivered:
+            e = eo.event
+            if not scenario.survives(e.src_proc, eo.start, eo.finish):
+                raise ScheduleValidationError(f"{e} delivered from a dead sender")
+            if not scenario.survives(e.dst_proc, eo.start, eo.finish):
+                raise ScheduleValidationError(f"{e} delivered to a dead receiver")
+
+    # --- messages only from completed sources ---------------------------
+    for eo in result.event_outcomes.values():
+        if eo.delivered:
+            src_out = result.replica_outcomes[eo.event.src_replica.seq]
+            if src_out.status is not ReplicaStatus.COMPLETED:
+                raise ScheduleValidationError(
+                    f"{eo.event} delivered but its source never completed"
+                )
+            if eo.start < src_out.finish - _EPS:
+                raise ScheduleValidationError(
+                    f"{eo.event} started before its source finished"
+                )
+
+    # --- precedence with delivered supplies only -------------------------
+    for out in result.replica_outcomes.values():
+        if out.status is not ReplicaStatus.COMPLETED:
+            continue
+        r = out.replica
+        for pred in graph.preds(r.task):
+            supplies = []
+            local = r.local_inputs.get(pred)
+            if local is not None:
+                lout = result.replica_outcomes[local.seq]
+                if lout.status is ReplicaStatus.COMPLETED:
+                    supplies.append(lout.finish)
+            for e in r.inputs.get(pred, ()):
+                eo = result.event_outcomes[e.seq]
+                if eo.delivered:
+                    supplies.append(eo.finish)
+            if not supplies:
+                raise ScheduleValidationError(
+                    f"{r} completed without any delivered supply for t{pred}"
+                )
+            if min(supplies) > out.start + _EPS:
+                raise ScheduleValidationError(
+                    f"{r} started before its earliest t{pred} supply"
+                )
+
+    # --- executed-timeline exclusivity -----------------------------------
+    def check_intervals(groups: dict, what: str) -> None:
+        for key, intervals in groups.items():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                if s2 < f1 - _EPS:
+                    raise ScheduleValidationError(
+                        f"executed {what} {key} overlaps: "
+                        f"[{s1:.3f},{f1:.3f}] vs [{s2:.3f},{f2:.3f}]"
+                    )
+
+    proc_groups: dict = defaultdict(list)
+    for out in result.replica_outcomes.values():
+        if out.status is ReplicaStatus.COMPLETED:
+            proc_groups[out.replica.proc].append((out.start, out.finish))
+    check_intervals(proc_groups, "processor")
+
+    if "oneport" in schedule.model:
+        send_groups: dict = defaultdict(list)
+        recv_groups: dict = defaultdict(list)
+        for eo in result.event_outcomes.values():
+            if eo.delivered and eo.finish > eo.start:
+                send_groups[eo.event.src_proc].append((eo.start, eo.finish))
+                recv_groups[eo.event.dst_proc].append((eo.start, eo.finish))
+        check_intervals(send_groups, "send port")
+        check_intervals(recv_groups, "receive port")
+
+
+def is_valid_execution(result: ExecutionResult) -> bool:
+    """Boolean wrapper around :func:`validate_execution`."""
+    try:
+        validate_execution(result)
+    except ScheduleValidationError:
+        return False
+    return True

@@ -1,0 +1,29 @@
+"""Heterogeneous platform substrate: processors, links, costs, topologies."""
+
+from repro.platform.platform import Platform
+from repro.platform.instance import ProblemInstance
+from repro.platform.topology import Topology
+from repro.platform.heterogeneity import (
+    uniform_delay_platform,
+    sender_dependent_platform,
+    range_exec_matrix,
+    related_exec_matrix,
+    granularity,
+    scale_to_granularity,
+    slowest_comm_sum,
+    slowest_exec_sum,
+)
+
+__all__ = [
+    "Platform",
+    "ProblemInstance",
+    "Topology",
+    "uniform_delay_platform",
+    "sender_dependent_platform",
+    "range_exec_matrix",
+    "related_exec_matrix",
+    "granularity",
+    "scale_to_granularity",
+    "slowest_comm_sum",
+    "slowest_exec_sum",
+]

@@ -1,0 +1,142 @@
+"""Generators for heterogeneous platforms and execution-cost matrices.
+
+These implement the parameter conventions of the paper's §6: unit link
+delays drawn uniformly (default ``[0.5, 1]``), per-task base costs spread
+across processors by a range-based heterogeneity factor, and exact scaling
+of the execution matrix so the instance hits a prescribed granularity
+``g(G, P)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.platform.platform import Platform
+from repro.utils.errors import InvalidPlatformError
+from repro.utils.rng import RngLike, as_rng
+
+
+def uniform_delay_platform(
+    num_procs: int,
+    delay_range: tuple[float, float] = (0.5, 1.0),
+    rng: RngLike = None,
+    symmetric: bool = True,
+) -> Platform:
+    """A clique whose unit delays are i.i.d. uniform in ``delay_range``.
+
+    ``symmetric=True`` (default) makes ``d(Pk, Ph) = d(Ph, Pk)``, matching
+    the paper's undirected links; set it to ``False`` for direction-dependent
+    bandwidth experiments.
+    """
+    lo, hi = delay_range
+    if not (0 <= lo <= hi):
+        raise InvalidPlatformError(f"bad delay range {delay_range}")
+    gen = as_rng(rng)
+    d = gen.uniform(lo, hi, size=(num_procs, num_procs))
+    if symmetric:
+        d = np.triu(d, k=1)
+        d = d + d.T
+    np.fill_diagonal(d, 0.0)
+    return Platform(d)
+
+
+def sender_dependent_platform(
+    num_procs: int,
+    rate_range: tuple[float, float] = (0.5, 1.0),
+    rng: RngLike = None,
+) -> Platform:
+    """The simpler model of Banikazemi / Liu / Khuller-Kim (paper §3).
+
+    "In this simpler model, the communication time only depends on the
+    sender, not on the receiver: the communication speed from a processor
+    to all its neighbors is the same."  Each processor ``Pk`` gets one
+    outgoing unit delay applied to every destination.
+    """
+    lo, hi = rate_range
+    if not (0 <= lo <= hi):
+        raise InvalidPlatformError(f"bad rate range {rate_range}")
+    gen = as_rng(rng)
+    rates = gen.uniform(lo, hi, size=num_procs)
+    d = np.repeat(rates[:, None], num_procs, axis=1)
+    np.fill_diagonal(d, 0.0)
+    return Platform(d)
+
+
+def range_exec_matrix(
+    base_costs: np.ndarray,
+    num_procs: int,
+    heterogeneity: float = 0.5,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Range-based unrelated-machine cost matrix (Topcuoglu et al. style).
+
+    ``E[t, k] = w_t · u`` with ``u ~ U[1 - h/2, 1 + h/2]``; ``h = 0`` gives
+    identical processors, ``h`` close to 2 gives wildly unrelated ones.
+    """
+    if not (0.0 <= heterogeneity < 2.0):
+        raise InvalidPlatformError("heterogeneity must be in [0, 2)")
+    base = np.asarray(base_costs, dtype=float)
+    if base.ndim != 1 or np.any(base <= 0):
+        raise InvalidPlatformError("base costs must be a 1-D positive vector")
+    gen = as_rng(rng)
+    factors = gen.uniform(1.0 - heterogeneity / 2.0, 1.0 + heterogeneity / 2.0,
+                          size=(base.size, num_procs))
+    return base[:, None] * factors
+
+
+def related_exec_matrix(base_costs: np.ndarray, speeds: np.ndarray) -> np.ndarray:
+    """Uniformly related machines: ``E[t, k] = w_t / speed_k``."""
+    base = np.asarray(base_costs, dtype=float)
+    spd = np.asarray(speeds, dtype=float)
+    if np.any(spd <= 0):
+        raise InvalidPlatformError("speeds must be positive")
+    if np.any(base <= 0):
+        raise InvalidPlatformError("base costs must be positive")
+    return base[:, None] / spd[None, :]
+
+
+def slowest_comm_sum(graph: TaskGraph, platform: Platform) -> float:
+    """Denominator of ``g(G, P)``: sum over edges of slowest comm time."""
+    d_max = platform.max_delay()
+    return d_max * sum(vol for _u, _v, vol in graph.edges())
+
+
+def slowest_exec_sum(exec_cost: np.ndarray) -> float:
+    """Numerator of ``g(G, P)``: sum over tasks of slowest execution time."""
+    return float(np.asarray(exec_cost).max(axis=1).sum())
+
+
+def granularity(graph: TaskGraph, platform: Platform, exec_cost: np.ndarray) -> float:
+    """The paper's granularity ``g(G, P)`` (§2).
+
+    Ratio of the sum of *slowest* computation times of each task to the sum
+    of *slowest* communication times along each edge.  ``g >= 1`` means a
+    coarse-grain application.  Raises for graphs without edges (undefined).
+    """
+    denom = slowest_comm_sum(graph, platform)
+    if denom <= 0.0:
+        raise InvalidPlatformError(
+            "granularity is undefined: the graph has no (positive-volume) edges"
+        )
+    return slowest_exec_sum(exec_cost) / denom
+
+
+def scale_to_granularity(
+    graph: TaskGraph,
+    platform: Platform,
+    exec_cost: np.ndarray,
+    target: float,
+) -> np.ndarray:
+    """Rescale ``exec_cost`` multiplicatively so ``g(G, P) == target``.
+
+    Because ``g`` is linear in the execution matrix, a single scalar factor
+    achieves the target exactly; communication volumes and delays are left
+    untouched.
+    """
+    if target <= 0:
+        raise InvalidPlatformError("target granularity must be positive")
+    current = granularity(graph, platform, exec_cost)
+    return np.asarray(exec_cost, dtype=float) * (target / current)

@@ -1,0 +1,121 @@
+"""A scheduling *problem instance*: task graph + platform + execution costs.
+
+The paper's computational heterogeneity is the function ``E : V × P → R+``;
+we store it as a dense ``(v, m)`` matrix.  Bundling the three objects keeps
+scheduler signatures small and lets us attach derived quantities (average
+costs, granularity) in one place with caching.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.platform.platform import Platform
+from repro.utils.errors import InvalidPlatformError
+
+
+class ProblemInstance:
+    """Immutable bundle of ``(graph, platform, exec_cost)``.
+
+    Parameters
+    ----------
+    graph:
+        The task DAG.
+    platform:
+        The target platform.
+    exec_cost:
+        ``(v, m)`` matrix; ``exec_cost[t, k]`` is the paper's ``E(t, Pk)``.
+        All entries must be positive and finite (a task always takes some
+        time to run).
+    """
+
+    __slots__ = (
+        "graph",
+        "platform",
+        "_exec_cost",
+        "_mean_exec",
+        "_min_exec",
+        "_mean_edge_weight",
+    )
+
+    def __init__(self, graph: TaskGraph, platform: Platform, exec_cost: np.ndarray) -> None:
+        exec_cost = np.asarray(exec_cost, dtype=float)
+        expected = (graph.num_tasks, platform.num_procs)
+        if exec_cost.shape != expected:
+            raise InvalidPlatformError(
+                f"exec_cost shape {exec_cost.shape} != (v, m) = {expected}"
+            )
+        if not np.all(np.isfinite(exec_cost)) or np.any(exec_cost <= 0.0):
+            raise InvalidPlatformError("execution costs must be finite and > 0")
+        self.graph = graph
+        self.platform = platform
+        self._exec_cost = exec_cost.copy()
+        self._exec_cost.setflags(write=False)
+        self._mean_exec: Optional[np.ndarray] = None
+        self._min_exec: Optional[np.ndarray] = None
+        self._mean_edge_weight: Optional[dict[tuple[int, int], float]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return self.graph.num_tasks
+
+    @property
+    def num_procs(self) -> int:
+        return self.platform.num_procs
+
+    @property
+    def exec_cost(self) -> np.ndarray:
+        """Read-only ``(v, m)`` execution-cost matrix ``E``."""
+        return self._exec_cost
+
+    def cost(self, task: int, proc: int) -> float:
+        """``E(task, Pproc)``."""
+        return float(self._exec_cost[task, proc])
+
+    # ------------------------------------------------------------------
+    # Averages used by priority functions (HEFT-style mean costs)
+    # ------------------------------------------------------------------
+    @property
+    def mean_exec(self) -> np.ndarray:
+        """Per-task mean execution cost over all processors (cached)."""
+        if self._mean_exec is None:
+            self._mean_exec = self._exec_cost.mean(axis=1)
+            self._mean_exec.setflags(write=False)
+        return self._mean_exec
+
+    @property
+    def min_exec(self) -> np.ndarray:
+        """Per-task minimum execution cost over all processors (cached)."""
+        if self._min_exec is None:
+            self._min_exec = self._exec_cost.min(axis=1)
+            self._min_exec.setflags(write=False)
+        return self._min_exec
+
+    def mean_edge_weight(self, u: int, v: int) -> float:
+        """Average communication cost of edge ``(u, v)``.
+
+        ``V(u, v)`` times the mean unit delay over distinct processor pairs
+        — the paper's "average sum of edge weights" used in path lengths.
+        """
+        if self._mean_edge_weight is None:
+            d_mean = self.platform.mean_delay()
+            self._mean_edge_weight = {
+                (a, b): vol * d_mean for a, b, vol in self.graph.edges()
+            }
+        return self._mean_edge_weight[(u, v)]
+
+    def comm_cost(self, u: int, v: int, src: int, dst: int) -> float:
+        """Actual cost ``W(u, v) = V(u, v) · d(Psrc, Pdst)`` (0 if same proc)."""
+        if src == dst:
+            return 0.0
+        return self.graph.volume(u, v) * self.platform.delay(src, dst)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemInstance(v={self.num_tasks}, e={self.graph.num_edges}, "
+            f"m={self.num_procs})"
+        )

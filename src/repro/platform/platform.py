@@ -1,0 +1,110 @@
+"""Heterogeneous target platforms (the paper's ``P = {P1..Pm}``).
+
+A :class:`Platform` is a set of ``m`` fully connected processors plus the
+unit-delay matrix ``d(Pk, Ph)``: the time to ship one unit of data from
+``Pk`` to ``Ph``.  ``d(P, P) = 0`` (intra-processor communication is free,
+paper §2).  Sparse interconnects (paper §7 extension) are layered on top in
+:mod:`repro.platform.topology` by deriving an *effective* delay matrix from
+per-link delays along shortest routes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.errors import InvalidPlatformError
+
+
+class Platform:
+    """``m`` fully connected heterogeneous processors.
+
+    Parameters
+    ----------
+    delay:
+        ``(m, m)`` matrix of unit communication delays; ``delay[k, h]`` is
+        the paper's ``d(Pk, Ph)``.  The diagonal must be zero and all
+        entries non-negative.  The matrix need not be symmetric.
+    names:
+        Optional processor names (default ``"P0", "P1", ...``).
+    """
+
+    __slots__ = ("_delay", "_names")
+
+    def __init__(self, delay: np.ndarray, names: Optional[Sequence[str]] = None) -> None:
+        delay = np.asarray(delay, dtype=float)
+        if delay.ndim != 2 or delay.shape[0] != delay.shape[1]:
+            raise InvalidPlatformError(f"delay matrix must be square, got {delay.shape}")
+        if delay.shape[0] < 1:
+            raise InvalidPlatformError("a platform needs at least one processor")
+        if np.any(np.diag(delay) != 0.0):
+            raise InvalidPlatformError("intra-processor delay d(P, P) must be 0")
+        if np.any(delay < 0.0) or not np.all(np.isfinite(delay)):
+            raise InvalidPlatformError("delays must be finite and non-negative")
+        self._delay = delay.copy()
+        self._delay.setflags(write=False)
+        m = delay.shape[0]
+        if names is None:
+            self._names = tuple(f"P{i}" for i in range(m))
+        else:
+            if len(names) != m:
+                raise InvalidPlatformError("names length must equal processor count")
+            self._names = tuple(str(n) for n in names)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_procs(self) -> int:
+        """``m``, the number of processors."""
+        return self._delay.shape[0]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def delay_matrix(self) -> np.ndarray:
+        """Read-only ``(m, m)`` unit-delay matrix."""
+        return self._delay
+
+    def delay(self, src: int, dst: int) -> float:
+        """Unit delay ``d(Psrc, Pdst)``; zero when ``src == dst``."""
+        return float(self._delay[src, dst])
+
+    def mean_delay(self) -> float:
+        """Average unit delay over *distinct* processor pairs.
+
+        Used for the average edge weights in priority computations
+        (top/bottom levels, paper §5).  For a single-processor platform the
+        mean is 0 by convention.
+        """
+        m = self.num_procs
+        if m == 1:
+            return 0.0
+        off_diag_sum = float(self._delay.sum())  # diagonal is zero
+        return off_diag_sum / (m * (m - 1))
+
+    def max_delay(self) -> float:
+        """Largest unit delay over distinct pairs (slowest link).
+
+        Feeds the granularity definition ``g(G, P)`` (paper §2), which uses
+        the *slowest* communication time along each edge.
+        """
+        if self.num_procs == 1:
+            return 0.0
+        return float(self._delay.max())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, num_procs: int, unit_delay: float = 1.0) -> "Platform":
+        """A clique of identical links (useful for tests and examples)."""
+        if num_procs < 1:
+            raise InvalidPlatformError("a platform needs at least one processor")
+        if unit_delay < 0:
+            raise InvalidPlatformError("unit delay must be non-negative")
+        d = np.full((num_procs, num_procs), float(unit_delay))
+        np.fill_diagonal(d, 0.0)
+        return cls(d)
+
+    def __repr__(self) -> str:
+        return f"Platform(m={self.num_procs})"

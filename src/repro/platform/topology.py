@@ -1,0 +1,173 @@
+"""Sparse interconnection topologies with static routing (paper §7 extension).
+
+The paper's core model assumes a clique.  Its conclusion sketches the
+extension to sparse interconnects: each processor owns a routing table, and
+contention awareness requires that at most one message crosses a given
+physical link at a time.  :class:`Topology` captures the physical graph and
+precomputes deterministic shortest-delay routes; the routed communication
+model (:mod:`repro.comm.routed`) then reserves every link along a route.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.platform.platform import Platform
+from repro.utils.errors import InvalidPlatformError
+
+Link = tuple[int, int]
+
+
+class Topology:
+    """A connected physical interconnect over ``m`` processors.
+
+    Parameters
+    ----------
+    num_procs:
+        Number of processors.
+    links:
+        Iterable of ``(a, b, delay)`` physical links; ``delay`` is the unit
+        delay of the link.  Links are bidirectional (full-duplex), matching
+        the paper's network-interface assumptions.
+    """
+
+    def __init__(self, num_procs: int, links: Iterable[tuple[int, int, float]]) -> None:
+        if num_procs < 1:
+            raise InvalidPlatformError("a topology needs at least one processor")
+        self.num_procs = int(num_procs)
+        self._adj: list[list[tuple[int, float]]] = [[] for _ in range(num_procs)]
+        self._link_delay: dict[Link, float] = {}
+        for a, b, delay in links:
+            a, b = int(a), int(b)
+            if not (0 <= a < num_procs and 0 <= b < num_procs) or a == b:
+                raise InvalidPlatformError(f"bad link ({a}, {b})")
+            delay = float(delay)
+            if delay <= 0:
+                raise InvalidPlatformError(f"link ({a}, {b}) needs positive delay")
+            key = (min(a, b), max(a, b))
+            if key in self._link_delay:
+                raise InvalidPlatformError(f"duplicate link {key}")
+            self._link_delay[key] = delay
+            self._adj[a].append((b, delay))
+            self._adj[b].append((a, delay))
+        self._routes = self._compute_routes()
+
+    # ------------------------------------------------------------------
+    def _compute_routes(self) -> list[list[tuple[int, ...]]]:
+        """All-pairs shortest-delay routes (Dijkstra, smallest-id tie break)."""
+        m = self.num_procs
+        routes: list[list[tuple[int, ...]]] = [[() for _ in range(m)] for _ in range(m)]
+        for src in range(m):
+            dist = [float("inf")] * m
+            parent: list[Optional[int]] = [None] * m
+            dist[src] = 0.0
+            heap: list[tuple[float, int]] = [(0.0, src)]
+            visited = [False] * m
+            while heap:
+                d, node = heapq.heappop(heap)
+                if visited[node]:
+                    continue
+                visited[node] = True
+                for nxt, w in sorted(self._adj[node]):
+                    nd = d + w
+                    if nd < dist[nxt] - 1e-15:
+                        dist[nxt] = nd
+                        parent[nxt] = node
+                        heapq.heappush(heap, (nd, nxt))
+            for dst in range(m):
+                if dst == src:
+                    routes[src][dst] = (src,)
+                    continue
+                if not visited[dst]:
+                    raise InvalidPlatformError(
+                        f"topology is disconnected: no route {src} -> {dst}"
+                    )
+                path = [dst]
+                while path[-1] != src:
+                    prev = parent[path[-1]]
+                    assert prev is not None
+                    path.append(prev)
+                routes[src][dst] = tuple(reversed(path))
+        return routes
+
+    # ------------------------------------------------------------------
+    def link_delay(self, a: int, b: int) -> float:
+        """Unit delay of the physical link between ``a`` and ``b``."""
+        try:
+            return self._link_delay[(min(a, b), max(a, b))]
+        except KeyError:
+            raise InvalidPlatformError(f"no physical link ({a}, {b})") from None
+
+    def links(self) -> tuple[Link, ...]:
+        """All physical links as ordered ``(min, max)`` pairs."""
+        return tuple(self._link_delay)
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Processor path from ``src`` to ``dst`` (inclusive)."""
+        return self._routes[src][dst]
+
+    def route_links(self, src: int, dst: int) -> tuple[Link, ...]:
+        """Physical links crossed by the ``src -> dst`` route."""
+        path = self._routes[src][dst]
+        return tuple((min(a, b), max(a, b)) for a, b in zip(path, path[1:]))
+
+    def effective_delay_matrix(self) -> np.ndarray:
+        """End-to-end unit delays: sum of link delays along each route."""
+        m = self.num_procs
+        d = np.zeros((m, m))
+        for src in range(m):
+            for dst in range(m):
+                if src != dst:
+                    d[src, dst] = sum(
+                        self.link_delay(a, b) for a, b in self.route_links(src, dst)
+                    )
+        return d
+
+    def to_platform(self) -> Platform:
+        """A :class:`Platform` whose delays are the end-to-end route delays."""
+        return Platform(self.effective_delay_matrix())
+
+    # ------------------------------------------------------------------
+    # Standard shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def clique(cls, m: int, delay: float = 1.0) -> "Topology":
+        return cls(m, [(a, b, delay) for a in range(m) for b in range(a + 1, m)])
+
+    @classmethod
+    def ring(cls, m: int, delay: float = 1.0) -> "Topology":
+        if m < 3:
+            raise InvalidPlatformError("a ring needs at least 3 processors")
+        return cls(m, [(i, (i + 1) % m, delay) for i in range(m)])
+
+    @classmethod
+    def line(cls, m: int, delay: float = 1.0) -> "Topology":
+        if m < 2:
+            raise InvalidPlatformError("a line needs at least 2 processors")
+        return cls(m, [(i, i + 1, delay) for i in range(m - 1)])
+
+    @classmethod
+    def star(cls, m: int, delay: float = 1.0) -> "Topology":
+        if m < 2:
+            raise InvalidPlatformError("a star needs at least 2 processors")
+        return cls(m, [(0, i, delay) for i in range(1, m)])
+
+    @classmethod
+    def mesh2d(cls, rows: int, cols: int, delay: float = 1.0) -> "Topology":
+        if rows < 1 or cols < 1 or rows * cols < 2:
+            raise InvalidPlatformError("mesh needs at least 2 processors")
+        links = []
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    links.append((node, node + 1, delay))
+                if r + 1 < rows:
+                    links.append((node, node + cols, delay))
+        return cls(rows * cols, links)
+
+    def __repr__(self) -> str:
+        return f"Topology(m={self.num_procs}, links={len(self._link_delay)})"

@@ -1,0 +1,67 @@
+"""Schedule substrate: containers, builder, bounds, validation, metrics."""
+
+from repro.schedule.schedule import (
+    Replica,
+    CommEvent,
+    Schedule,
+    ScheduleBuilder,
+    Trial,
+)
+from repro.schedule.bounds import latency_lower_bound, latency_upper_bound
+from repro.schedule.validation import validate_schedule, is_valid
+from repro.schedule.metrics import (
+    normalized_latency,
+    overhead_percent,
+    message_bound_ftsa,
+    message_bound_one_to_one,
+    ScheduleReport,
+    summarize,
+)
+from repro.schedule.gantt import render_gantt
+from repro.schedule.export import (
+    schedule_to_dict,
+    schedule_to_json,
+    schedule_from_dict,
+    schedule_from_json,
+)
+from repro.schedule.trace import (
+    schedule_to_trace,
+    replay_to_trace,
+    write_trace,
+)
+from repro.schedule.utilization import (
+    UtilizationReport,
+    utilization,
+    idle_fraction,
+    replication_traffic_share,
+)
+
+__all__ = [
+    "Replica",
+    "CommEvent",
+    "Schedule",
+    "ScheduleBuilder",
+    "Trial",
+    "latency_lower_bound",
+    "latency_upper_bound",
+    "validate_schedule",
+    "is_valid",
+    "normalized_latency",
+    "overhead_percent",
+    "message_bound_ftsa",
+    "message_bound_one_to_one",
+    "ScheduleReport",
+    "summarize",
+    "render_gantt",
+    "schedule_to_dict",
+    "schedule_to_json",
+    "schedule_from_dict",
+    "schedule_from_json",
+    "UtilizationReport",
+    "utilization",
+    "idle_fraction",
+    "replication_traffic_share",
+    "schedule_to_trace",
+    "replay_to_trace",
+    "write_trace",
+]

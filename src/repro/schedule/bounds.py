@@ -1,0 +1,71 @@
+"""Latency bounds of a fault-tolerant schedule.
+
+* The **lower bound** (0-crash latency) is read off the committed times:
+  the latest instant at which at least one replica of each task is done.
+* The **upper bound** — "always achieved even with ε failures ... computed
+  using as a finish time the completion time of the last replica of a task"
+  (paper §4.2) — is obtained by a worst-case forward propagation over the
+  commit log: every replica waits for the *last* supply of each predecessor
+  (as if the earlier copies had been lost) and every resource chain is
+  propagated pessimistically.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.schedule import CommEvent, Replica, Schedule
+
+
+def latency_lower_bound(schedule: Schedule) -> float:
+    """Alias of :meth:`Schedule.latency` (0-crash latency)."""
+    return schedule.latency()
+
+
+def latency_upper_bound(schedule: Schedule) -> float:
+    """Worst-case latency over every ≤ ε failure pattern (see module doc).
+
+    The propagation preserves the committed per-resource order, delays
+    every message until its source's worst-case completion, and starts
+    every replica after the worst-case arrival of *all* its supplies.
+    """
+    m = schedule.instance.num_procs
+    proc_ub = [0.0] * m
+    send_ub = [0.0] * m
+    recv_ub = [0.0] * m
+    link_ub: dict[tuple[int, int], float] = {}
+    replica_ub: dict[int, float] = {}  # replica.seq -> worst-case finish
+    event_ub: dict[int, float] = {}  # event.seq -> worst-case arrival
+
+    for entry in schedule.commit_log:
+        if isinstance(entry, CommEvent):
+            lk = (entry.src_proc, entry.dst_proc)
+            start = max(
+                entry.start,
+                replica_ub[entry.src_replica.seq],
+                send_ub[entry.src_proc],
+                recv_ub[entry.dst_proc],
+                link_ub.get(lk, 0.0),
+            )
+            finish = start + entry.duration
+            event_ub[entry.seq] = finish
+            send_ub[entry.src_proc] = finish
+            recv_ub[entry.dst_proc] = finish
+            link_ub[lk] = finish
+        else:
+            r: Replica = entry
+            data = 0.0
+            for pred_events in r.inputs.values():
+                worst = max(event_ub[e.seq] for e in pred_events)
+                if worst > data:
+                    data = worst
+            for local in r.local_inputs.values():
+                lb = replica_ub[local.seq]
+                if lb > data:
+                    data = lb
+            start = max(r.start, proc_ub[r.proc], data)
+            finish = start + r.duration
+            replica_ub[r.seq] = finish
+            proc_ub[r.proc] = finish
+
+    return max(
+        max(replica_ub[r.seq] for r in reps) for reps in schedule.replicas
+    )

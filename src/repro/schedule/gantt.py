@@ -1,0 +1,71 @@
+"""ASCII Gantt rendering of fault-tolerant schedules.
+
+Terminal-friendly visualization used by the examples: one row per
+processor showing task replicas, optionally one row per busy link showing
+messages.  Purely cosmetic — nothing else depends on this module.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 100,
+    show_comms: bool = False,
+) -> str:
+    """Render the schedule as an ASCII Gantt chart.
+
+    Each processor row paints replica occupancy; cells show the task id
+    (modulo alphabet size for wide graphs).  ``show_comms`` appends rows
+    for every link that carries at least one message.
+    """
+    horizon = schedule.makespan()
+    if show_comms and schedule.events:
+        horizon = max(horizon, max(e.finish for e in schedule.events))
+    if horizon <= 0:
+        return "(empty schedule)"
+    scale = width / horizon
+
+    def paint(intervals: list[tuple[float, float, str]]) -> str:
+        row = [" "] * width
+        for start, finish, label in intervals:
+            a = min(width - 1, int(start * scale))
+            b = max(a + 1, min(width, int(round(finish * scale))))
+            for i in range(a, b):
+                row[i] = "="
+            text = label[: b - a]
+            for i, ch in enumerate(text):
+                row[a + i] = ch
+        return "".join(row)
+
+    names = schedule.instance.graph.names
+    lines = [
+        f"{schedule.scheduler} | model={schedule.model} eps={schedule.epsilon} "
+        f"latency={schedule.latency():.1f} msgs={schedule.message_count()}",
+        "-" * (width + 6),
+    ]
+    for p, reps in enumerate(schedule.proc_replicas):
+        intervals = [(r.start, r.finish, names[r.task]) for r in reps]
+        lines.append(f"P{p:<3} |{paint(intervals)}")
+
+    if show_comms:
+        by_link: dict[tuple[int, int], list[tuple[float, float, str]]] = {}
+        for e in schedule.events:
+            if e.duration == 0:
+                continue
+            by_link.setdefault((e.src_proc, e.dst_proc), []).append(
+                (e.start, e.finish, names[e.src_task])
+            )
+        for (a, b), intervals in sorted(by_link.items()):
+            lines.append(f"{a}->{b:<2} |{paint(intervals)}")
+
+    lines.append("-" * (width + 6))
+    tick = horizon / 4
+    lines.append(
+        "time  "
+        + "".join(f"{t * tick:<{width // 4}.1f}" for t in range(4))
+        + f"{horizon:.1f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Scalar metrics reported by the paper's evaluation (§6).
+
+* normalized latency — latency divided by the minimal critical path (SLR
+  denominator; see DESIGN.md on the normalization choice);
+* fault-tolerance overhead —
+  ``(X − CAFT*) / CAFT* · 100`` where ``CAFT*`` is the latency of the
+  fault-free reference schedule and ``X`` the latency under scrutiny
+  (0-crash, with-crash, or upper bound);
+* message statistics used for Proposition 5.1 and the §6 discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.analysis import min_critical_path
+from repro.schedule.bounds import latency_upper_bound
+from repro.schedule.schedule import Schedule
+
+
+def normalized_latency(schedule: Schedule, latency: float | None = None) -> float:
+    """``latency / min_critical_path`` — the figure's "Normalized Latency"."""
+    if latency is None:
+        latency = schedule.latency()
+    return latency / min_critical_path(schedule.instance)
+
+
+def overhead_percent(latency: float, reference_latency: float) -> float:
+    """Fault-tolerance overhead in percent (paper §6 formula)."""
+    if reference_latency <= 0:
+        raise ValueError("reference latency must be positive")
+    return 100.0 * (latency - reference_latency) / reference_latency
+
+
+def message_bound_ftsa(schedule: Schedule) -> int:
+    """The FTSA/FTBAR worst case ``e(ε+1)²`` (paper §4.2)."""
+    e = schedule.instance.graph.num_edges
+    return e * (schedule.epsilon + 1) ** 2
+
+
+def message_bound_one_to_one(schedule: Schedule) -> int:
+    """The CAFT favorable-case bound ``e(ε+1)`` (Proposition 5.1)."""
+    e = schedule.instance.graph.num_edges
+    return e * (schedule.epsilon + 1)
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """A flat summary of one schedule, ready for CSV rows."""
+
+    scheduler: str
+    model: str
+    epsilon: int
+    latency: float
+    upper_bound: float
+    normalized_latency: float
+    normalized_upper_bound: float
+    makespan: float
+    messages: int
+    comm_volume: float
+    replication_factor: float
+
+
+def summarize(schedule: Schedule) -> ScheduleReport:
+    """Compute every scalar metric of a schedule in one pass."""
+    lat = schedule.latency()
+    ub = latency_upper_bound(schedule)
+    cp = min_critical_path(schedule.instance)
+    return ScheduleReport(
+        scheduler=schedule.scheduler,
+        model=schedule.model,
+        epsilon=schedule.epsilon,
+        latency=lat,
+        upper_bound=ub,
+        normalized_latency=lat / cp,
+        normalized_upper_bound=ub / cp,
+        makespan=schedule.makespan(),
+        messages=schedule.message_count(),
+        comm_volume=schedule.comm_volume(),
+        replication_factor=schedule.replication_factor(),
+    )

@@ -1,0 +1,102 @@
+"""Resource-utilization analysis of committed schedules.
+
+Answers the questions a performance engineer asks of a Gantt chart:
+how busy is each processor, how busy is each port, where does the
+replication traffic concentrate, and how much of the makespan is idle
+time.  Used by the examples and by the contention ablation to explain
+*why* the one-port model punishes replication fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy-time fractions over the schedule makespan."""
+
+    makespan: float
+    proc_busy: tuple[float, ...]  # computation time per processor
+    send_busy: tuple[float, ...]  # transfer time per send port
+    recv_busy: tuple[float, ...]  # transfer time per receive port
+    link_busy: dict[tuple[int, int], float]  # per directed link
+
+    @property
+    def mean_proc_utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return float(np.mean(self.proc_busy)) / self.makespan
+
+    @property
+    def max_port_utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        peak = max(
+            max(self.send_busy, default=0.0), max(self.recv_busy, default=0.0)
+        )
+        return peak / self.makespan
+
+    @property
+    def busiest_link(self) -> Optional[tuple[tuple[int, int], float]]:
+        if not self.link_busy:
+            return None
+        link = max(self.link_busy, key=self.link_busy.__getitem__)
+        return link, self.link_busy[link]
+
+
+def utilization(schedule: Schedule) -> UtilizationReport:
+    """Compute busy times for processors, ports and links."""
+    m = schedule.instance.num_procs
+    proc = [0.0] * m
+    send = [0.0] * m
+    recv = [0.0] * m
+    link: dict[tuple[int, int], float] = {}
+    for reps in schedule.replicas:
+        for r in reps:
+            proc[r.proc] += r.duration
+    for e in schedule.events:
+        send[e.src_proc] += e.duration
+        recv[e.dst_proc] += e.duration
+        key = (e.src_proc, e.dst_proc)
+        link[key] = link.get(key, 0.0) + e.duration
+    return UtilizationReport(
+        makespan=schedule.makespan(),
+        proc_busy=tuple(proc),
+        send_busy=tuple(send),
+        recv_busy=tuple(recv),
+        link_busy=link,
+    )
+
+
+def idle_fraction(schedule: Schedule) -> float:
+    """Fraction of processor-time the platform spends idle (no compute)."""
+    report = utilization(schedule)
+    m = schedule.instance.num_procs
+    total = report.makespan * m
+    if total <= 0:
+        return 0.0
+    return 1.0 - sum(report.proc_busy) / total
+
+
+def replication_traffic_share(schedule: Schedule) -> float:
+    """Share of transfer time attributable to replication (beyond one
+    message per task-graph edge).
+
+    A fault-free schedule ships each edge's data at most once; everything
+    above that is the price of active replication — the quantity CAFT's
+    one-to-one mapping is designed to shrink.
+    """
+    by_edge: dict[tuple[int, int], list[float]] = {}
+    for e in schedule.events:
+        by_edge.setdefault((e.src_task, e.dst_task), []).append(e.duration)
+    total = sum(sum(v) for v in by_edge.values())
+    if total <= 0:
+        return 0.0
+    baseline = sum(min(v) for v in by_edge.values())
+    return 1.0 - baseline / total

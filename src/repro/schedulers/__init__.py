@@ -1,0 +1,25 @@
+"""Scheduling heuristics: HEFT (baseline), FTSA and FTBAR (competitors)."""
+
+from repro.schedulers.heft import heft
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.base import (
+    FreeTaskList,
+    argmin_trial,
+    make_builder,
+    resolve_network,
+    full_fanin_sources,
+    eligible_procs,
+)
+
+__all__ = [
+    "heft",
+    "ftsa",
+    "ftbar",
+    "FreeTaskList",
+    "argmin_trial",
+    "make_builder",
+    "resolve_network",
+    "full_fanin_sources",
+    "eligible_procs",
+]

@@ -1,0 +1,115 @@
+"""FTBAR — Fault Tolerance Based Active Replication (Girault et al. [10]).
+
+The second comparison algorithm (§4.1).  At every step, for every free
+task ``ti`` and processor ``pj`` the *schedule pressure*
+
+    ``σ(ti, pj) = S(ti, pj) + s̄(ti) − R``
+
+is computed, where ``S(ti, pj)`` is the earliest start time of ``ti`` on
+``pj`` (top-down), ``s̄(ti)`` the latest start time from the bottom (we
+use the bottom level ``bl(ti)``, i.e. the remaining critical path through
+``ti``), and ``R`` the schedule length before this step.  Each free task
+keeps its ``Npf+1 = ε+1`` minimum-pressure processors; the task whose
+retained pressure is **largest** (the most urgent) is scheduled on those
+processors.  Ties are broken randomly.
+
+Like FTSA, every replica of every predecessor communicates with every
+replica of the task.  The recursive Ahmad–Kwok ``Minimize-Start-Time``
+duplication pass of the original paper is omitted (documented substitution
+in DESIGN.md): it adds copies *beyond* the ε+1 replication scheme and does
+not affect the qualitative comparison the paper reports.
+
+Time complexity is O(P·N³) in the original paper — noticeably slower than
+FTSA/CAFT, which our complexity benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.dag.analysis import bottom_levels
+from repro.platform.instance import ProblemInstance
+from repro.schedule.schedule import Schedule, ScheduleBuilder, Trial
+from repro.schedulers.base import (
+    FreeTaskList,
+    ModelSpec,
+    TIE_EPS,
+    eligible_procs,
+    full_fanin_sources,
+    make_builder,
+    seeded,
+)
+from repro.utils.errors import SchedulingError
+from repro.utils.rng import RngLike
+
+
+def _best_pressure_set(
+    builder: ScheduleBuilder,
+    task: int,
+    bl: float,
+    current_length: float,
+) -> tuple[list[tuple[float, Trial]], float]:
+    """The ``ε+1`` minimum-pressure (σ, trial) pairs for ``task``.
+
+    Returns the retained pairs sorted by σ and the task's urgency (the
+    largest retained pressure — the pressure it will actually suffer).
+    """
+    sources = full_fanin_sources(builder, task)
+    scored: list[tuple[float, int, Trial]] = []
+    for p in eligible_procs(builder, task):
+        trial = builder.trial(task, p, sources)
+        sigma = trial.start + bl - current_length
+        scored.append((sigma, p, trial))
+    scored.sort(key=lambda item: (item[0], item[1]))
+    keep = scored[: builder.epsilon + 1]
+    if len(keep) < builder.epsilon + 1:
+        raise SchedulingError(
+            f"not enough processors for {builder.epsilon + 1} replicas of t{task}"
+        )
+    pairs = [(sigma, trial) for sigma, _p, trial in keep]
+    urgency = pairs[-1][0]
+    return pairs, urgency
+
+
+def ftbar(
+    instance: ProblemInstance,
+    epsilon: int,
+    model: ModelSpec = "oneport",
+    rng: RngLike = 0,
+) -> Schedule:
+    """Schedule ``instance`` with FTBAR, tolerating ``epsilon`` failures."""
+    gen = seeded(rng)
+    builder = make_builder(instance, epsilon=epsilon, model=model, scheduler="ftbar")
+    # The free list is used purely for free-task bookkeeping here; FTBAR
+    # re-ranks all free tasks by schedule pressure at every step.
+    free = FreeTaskList(instance, gen, priority="tl+bl", dynamic=False)
+    bl = bottom_levels(instance)
+    current_length = 0.0
+
+    while free:
+        candidates = free.free_tasks()
+        best_task = None
+        best_urgency = -float("inf")
+        best_pairs: list[tuple[float, Trial]] = []
+        ties: list[tuple[int, list[tuple[float, Trial]]]] = []
+        for task in candidates:
+            pairs, urgency = _best_pressure_set(builder, task, float(bl[task]), current_length)
+            if urgency > best_urgency + TIE_EPS:
+                best_urgency = urgency
+                ties = [(task, pairs)]
+            elif urgency >= best_urgency - TIE_EPS:
+                ties.append((task, pairs))
+        best_task, best_pairs = ties[int(gen.integers(len(ties)))] if len(ties) > 1 else ties[0]
+
+        sources = full_fanin_sources(builder, best_task)
+        best_finish = float("inf")
+        # Commit on the selected processors in pressure order; actual times
+        # are recomputed at commit since earlier replicas reserve ports.
+        for _sigma, trial in best_pairs:
+            replica = builder.commit(best_task, trial.proc, sources, kind="greedy")
+            best_finish = min(best_finish, replica.finish)
+            current_length = max(current_length, replica.finish)
+
+        free.pop_specific(best_task)
+        builder.mark_task_done(best_task)
+        free.task_scheduled(best_task, best_finish=best_finish)
+
+    return builder.finish()

@@ -1,0 +1,25 @@
+"""Shared low-level utilities: RNG handling, errors, small containers."""
+
+from repro.utils.errors import (
+    ReproError,
+    InvalidGraphError,
+    InvalidPlatformError,
+    SchedulingError,
+    ScheduleValidationError,
+    ExecutionFailedError,
+)
+from repro.utils.rng import RngStream, as_rng, spawn_seed
+from repro.utils.priority_queue import StablePriorityQueue
+
+__all__ = [
+    "ReproError",
+    "InvalidGraphError",
+    "InvalidPlatformError",
+    "SchedulingError",
+    "ScheduleValidationError",
+    "ExecutionFailedError",
+    "RngStream",
+    "as_rng",
+    "spawn_seed",
+    "StablePriorityQueue",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) escape.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidGraphError(ReproError):
+    """A task graph violates a structural requirement (cycle, bad weight...)."""
+
+
+class InvalidPlatformError(ReproError):
+    """A platform description is inconsistent (bad matrix shape, delays...)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a valid schedule for its inputs."""
+
+
+class ScheduleValidationError(ReproError):
+    """A produced schedule violates a model constraint.
+
+    Raised by :mod:`repro.schedule.validation`; the message pinpoints the
+    first violated constraint (precedence, port overlap, space exclusion...).
+    """
+
+
+class ExecutionFailedError(ReproError):
+    """Crash replay ended with at least one task having no completed replica.
+
+    This means the schedule did **not** tolerate the injected failure
+    scenario; for a correct fault-tolerant scheduler this can only happen
+    when more than ``epsilon`` processors fail.
+    """
+
+    def __init__(self, message: str, dead_tasks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        #: tasks for which no replica completed, in index order
+        self.dead_tasks = tuple(dead_tasks)

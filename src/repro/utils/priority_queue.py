@@ -1,0 +1,73 @@
+"""A max-priority queue with deterministic, seedable tie breaking.
+
+List schedulers repeatedly extract the *free* task with the highest priority
+(`tl + bl` in the paper).  Ties are "broken randomly" (paper §5); to keep
+schedules reproducible we draw the tie-break token from a seeded generator at
+insertion time, which makes the queue order a pure function of
+``(priorities, insertion order, seed)``.
+
+The queue supports lazy priority increase: re-pushing an item with a new
+priority supersedes the old entry (stale entries are skipped on pop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+import numpy as np
+
+T = TypeVar("T", bound=Hashable)
+
+
+class StablePriorityQueue(Generic[T]):
+    """Max-queue over hashable items with seeded random tie-breaking."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._heap: list[tuple[float, float, int, T]] = []
+        self._current: dict[T, float] = {}
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._current)
+
+    def __bool__(self) -> bool:
+        return bool(self._current)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._current
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate over live items (unspecified order)."""
+        return iter(self._current)
+
+    def push(self, item: T, priority: float) -> None:
+        """Insert ``item`` or update its priority (last push wins)."""
+        self._current[item] = float(priority)
+        tie = float(self._rng.random())
+        # heapq is a min-heap: negate priority for max-queue behaviour.
+        heapq.heappush(self._heap, (-float(priority), tie, self._counter, item))
+        self._counter += 1
+
+    def pop(self) -> T:
+        """Remove and return the item with the highest priority."""
+        while self._heap:
+            neg_priority, _tie, _count, item = heapq.heappop(self._heap)
+            if item in self._current and self._current[item] == -neg_priority:
+                del self._current[item]
+                return item
+        raise IndexError("pop from an empty StablePriorityQueue")
+
+    def peek(self) -> T:
+        """Return (without removing) the item with the highest priority."""
+        while self._heap:
+            neg_priority, _tie, _count, item = self._heap[0]
+            if item in self._current and self._current[item] == -neg_priority:
+                return item
+            heapq.heappop(self._heap)
+        raise IndexError("peek at an empty StablePriorityQueue")
+
+    def priority_of(self, item: T) -> float:
+        """Current priority of a live item."""
+        return self._current[item]

@@ -1,0 +1,111 @@
+"""Cross-model property tests for the communication substrates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.macrodataflow import MacroDataflowNetwork
+from repro.comm.oneport import OnePortNetwork, UniPortNetwork
+from repro.comm.routed import RoutedOnePortNetwork
+from repro.platform.platform import Platform
+from repro.platform.topology import Topology
+
+TRANSFERS = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.floats(0, 40),
+        st.floats(0, 15),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _networks():
+    platform = Platform.homogeneous(4, unit_delay=1.0)
+    return [
+        OnePortNetwork(platform),
+        OnePortNetwork(platform, policy="insertion"),
+        UniPortNetwork(Platform.homogeneous(4, unit_delay=1.0)),
+        MacroDataflowNetwork(platform),
+        RoutedOnePortNetwork(Topology.clique(4)),
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=TRANSFERS)
+def test_sender_bound_is_lower_bound(ops):
+    """Under append-only policies the placed finish never beats the
+    sender-side bound (the receiver can only delay further); every model,
+    including insertion (which may backfill gaps *below* the scalar
+    frontier), still respects ``finish >= ready + W``."""
+    for net in _networks():
+        append_policy = getattr(net, "policy", "append") == "append"
+        for src, dst, ready, vol in ops:
+            bound = net.sender_bound(src, dst, ready, vol)
+            start, finish = net.place_transfer(src, dst, ready, vol)
+            w = net.transfer_time(src, dst, vol)
+            assert finish >= ready + w - 1e-9
+            if append_policy:
+                assert finish >= bound - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=TRANSFERS)
+def test_placements_monotone_per_resource(ops):
+    """Sequential placements on the same model never travel back in time on
+    a shared resource (append semantics)."""
+    net = OnePortNetwork(Platform.homogeneous(4, unit_delay=1.0))
+    last_finish: dict = {}
+    for src, dst, ready, vol in ops:
+        start, finish = net.place_transfer(src, dst, ready, vol)
+        if src == dst or vol == 0:
+            continue
+        key = ("send", src)
+        if key in last_finish:
+            assert start >= last_finish[key] - 1e-9
+        last_finish[key] = finish
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=TRANSFERS)
+def test_macro_is_fastest_model(ops):
+    """The contention-free model lower-bounds every contention model,
+    transfer by transfer, given the same inputs."""
+    macro = MacroDataflowNetwork(Platform.homogeneous(4, unit_delay=1.0))
+    for net in _networks()[:3]:
+        macro_finishes = []
+        real_finishes = []
+        for src, dst, ready, vol in ops:
+            _s, f = macro.place_transfer(src, dst, ready, vol)
+            macro_finishes.append(f)
+            _s2, f2 = net.place_transfer(src, dst, ready, vol)
+            real_finishes.append(f2)
+        for mf, rf in zip(macro_finishes, real_finishes):
+            assert rf >= mf - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=TRANSFERS, split=st.integers(0, 19))
+def test_commit_prefix_independent_of_rollback(ops, split):
+    """Rolling back a suffix then replaying it reproduces the same times."""
+    net = OnePortNetwork(Platform.homogeneous(4, unit_delay=1.0))
+    split = min(split, len(ops))
+    for src, dst, ready, vol in ops[:split]:
+        net.place_transfer(src, dst, ready, vol)
+    token = net.checkpoint()
+    first = [net.place_transfer(*op) for op in ops[split:]]
+    net.rollback(token)
+    second = [net.place_transfer(*op) for op in ops[split:]]
+    assert first == second
+
+
+def test_uniport_stricter_than_oneport():
+    """Any transfer sequence finishes no earlier under the uni-port model."""
+    ops = [(0, 1, 0.0, 10.0), (2, 0, 0.0, 10.0), (1, 3, 0.0, 5.0), (3, 0, 0.0, 5.0)]
+    bi = OnePortNetwork(Platform.homogeneous(4, unit_delay=1.0))
+    uni = UniPortNetwork(Platform.homogeneous(4, unit_delay=1.0))
+    for op in ops:
+        _s1, f1 = bi.place_transfer(*op)
+        _s2, f2 = uni.place_transfer(*op)
+        assert f2 >= f1 - 1e-9

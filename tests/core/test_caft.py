@@ -1,0 +1,199 @@
+"""Tests for the CAFT scheduler (Algorithm 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.caft import caft
+from repro.dag.generators import chain, fork, out_tree, random_out_forest
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+from repro.schedule.metrics import message_bound_ftsa, message_bound_one_to_one
+from repro.schedule.validation import validate_schedule
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+from repro.utils.errors import SchedulingError
+from tests.conftest import make_instance
+
+
+class TestReplication:
+    @pytest.mark.parametrize("locking", ["support", "paper"])
+    def test_replica_count(self, epsilon, locking):
+        inst = make_instance()
+        sched = caft(inst, epsilon, locking=locking, rng=0)
+        assert all(len(reps) == epsilon + 1 for reps in sched.replicas)
+        validate_schedule(sched)
+
+    def test_deterministic(self):
+        inst = make_instance()
+        assert caft(inst, 1, rng=4).latency() == caft(inst, 1, rng=4).latency()
+
+    def test_unknown_locking_rejected(self):
+        inst = make_instance()
+        with pytest.raises(SchedulingError, match="locking"):
+            caft(inst, 1, locking="bogus")
+
+    def test_metadata_counts(self):
+        inst = make_instance()
+        sched = caft(inst, 1, rng=0)
+        md = sched.metadata
+        total = sum(len(reps) for reps in sched.replicas)
+        assert md["channel_replicas"] + md["greedy_replicas"] == total
+        assert len(md["theta_per_task"]) == inst.num_tasks
+        assert md["locking"] == "support"
+
+    def test_mixed_replicas_counted_as_greedy_stat(self):
+        inst = make_instance(num_tasks=30, num_procs=5)
+        sched = caft(inst, 2, rng=0)
+        kinds = {r.kind for reps in sched.replicas for r in reps}
+        assert kinds <= {"channel", "mixed", "greedy"}
+
+
+class TestHeftReduction:
+    def test_eps0_equals_heft(self):
+        """Paper §6: the fault-free version of CAFT reduces to HEFT."""
+        inst = make_instance(num_tasks=30, num_procs=6, seed=2)
+        a = caft(inst, 0, rng=9)
+        b = heft(inst, priority="tl+bl", dynamic=True, rng=9)
+        assert a.latency() == pytest.approx(b.latency())
+        assert a.message_count() == b.message_count()
+        for ra, rb in zip(a.all_replicas(), b.all_replicas()):
+            assert (ra.task, ra.proc, ra.start) == (rb.task, rb.proc, rb.start)
+
+    def test_eps0_single_replicas(self):
+        inst = make_instance()
+        sched = caft(inst, 0, rng=0)
+        validate_schedule(sched, expected_replicas=1)
+
+
+class TestMessageReduction:
+    def test_out_forest_prop51_paper(self):
+        """Proposition 5.1: at most e(ε+1) messages on out-forests.
+
+        The literal algorithm guarantees the bound (singleton analysis gives
+        θ = ε+1 on in-degree-1 graphs whenever the platform is large enough).
+        """
+        for seed in range(4):
+            graph = random_out_forest(30, rng=seed)
+            platform = Platform.homogeneous(8, unit_delay=1.0)
+            E = np.full((30, 8), 50.0)
+            inst = ProblemInstance(graph, platform, E)
+            for eps in (1, 2):
+                sched = caft(inst, eps, locking="paper", rng=seed)
+                assert sched.message_count() <= message_bound_one_to_one(sched)
+
+    def test_out_forest_near_bound_support(self):
+        """The robust variant may exceed e(ε+1) on out-forests when a
+        cross-pairing forces a fan-in replica, but stays close to it and far
+        below the FTSA bound."""
+        for seed in range(4):
+            graph = random_out_forest(30, rng=seed)
+            platform = Platform.homogeneous(8, unit_delay=1.0)
+            E = np.full((30, 8), 50.0)
+            inst = ProblemInstance(graph, platform, E)
+            for eps in (1, 2):
+                sched = caft(inst, eps, rng=seed)
+                bound = message_bound_one_to_one(sched)
+                assert sched.message_count() <= bound + graph.num_edges * eps
+                assert sched.message_count() < message_bound_ftsa(sched)
+
+    def test_fork_prop51(self):
+        graph = fork(6, volume=10.0)
+        platform = Platform.homogeneous(8, unit_delay=1.0)
+        E = np.full((7, 8), 50.0)
+        inst = ProblemInstance(graph, platform, E)
+        sched = caft(inst, 1, rng=0)
+        assert sched.message_count() <= graph.num_edges * 2
+
+    def test_fewer_messages_than_ftsa_bound(self, epsilon):
+        inst = make_instance(num_tasks=40, num_procs=8)
+        sched = caft(inst, epsilon, rng=0)
+        assert sched.message_count() < message_bound_ftsa(sched)
+
+    def test_beats_ftsa_on_messages(self):
+        """§6: CAFT drastically reduces message counts vs FTSA."""
+        inst = make_instance(num_tasks=50, num_procs=10, granularity=0.5, seed=5)
+        c = caft(inst, 1, rng=0).message_count()
+        f = ftsa(inst, 1, rng=0).message_count()
+        assert c < f
+
+    def test_out_tree_mostly_channels(self):
+        """On an out-tree with plenty of processors almost every replica is a
+        one-to-one channel (occasional cross-pairings may demote a unit)."""
+        wl = out_tree(2, branching=2, volume=10.0)
+        platform = Platform.homogeneous(10, unit_delay=1.0)
+        E = np.full((wl.num_tasks, 10), 50.0)
+        inst = ProblemInstance(wl, platform, E)
+        sched = caft(inst, 1, rng=0)
+        total = sum(len(reps) for reps in sched.replicas)
+        assert sched.metadata["channel_replicas"] >= total - 2
+        # the literal algorithm stays fully one-to-one here
+        paper = caft(inst, 1, locking="paper", rng=0)
+        assert paper.metadata["greedy_replicas"] == 0
+
+
+class TestLatency:
+    def test_beats_or_matches_ftsa_at_eps1(self):
+        """§6 headline: CAFT outperforms FTSA (fine grain, ε=1)."""
+        wins = 0
+        for seed in range(5):
+            inst = make_instance(num_tasks=60, num_procs=10, granularity=0.4, seed=seed)
+            c = caft(inst, 1, rng=seed).latency()
+            f = ftsa(inst, 1, rng=seed).latency()
+            wins += c <= f
+        assert wins >= 4
+
+    def test_latency_increases_with_epsilon(self):
+        inst = make_instance(num_tasks=40, num_procs=10)
+        l0 = caft(inst, 0, rng=0).latency()
+        l2 = caft(inst, 2, rng=0).latency()
+        assert l2 >= l0
+
+    def test_models_run(self):
+        inst = make_instance()
+        for model in ("oneport", "macro-dataflow", "uniport", "oneport-nooverlap"):
+            assert caft(inst, 1, model=model, rng=0).latency() > 0
+
+
+class TestSupportInvariants:
+    def test_supports_pairwise_disjoint(self):
+        """The invariant behind Proposition 5.2 for the robust variant."""
+        inst = make_instance(num_tasks=30, num_procs=8)
+        for eps in (1, 2, 3):
+            sched = caft(inst, eps, rng=0)
+            for reps in sched.replicas:
+                for i, a in enumerate(reps):
+                    for b in reps[i + 1:]:
+                        assert not (a.support & b.support), (a, b)
+
+    def test_own_proc_in_support(self):
+        inst = make_instance()
+        sched = caft(inst, 2, rng=0)
+        for reps in sched.replicas:
+            for r in reps:
+                assert r.proc in r.support
+
+    def test_channel_support_includes_suppliers(self):
+        inst = make_instance(num_tasks=25, num_procs=8)
+        sched = caft(inst, 1, rng=0)
+        for reps in sched.replicas:
+            for r in reps:
+                if r.kind == "channel":
+                    for evs in r.inputs.values():
+                        for e in evs:
+                            assert e.src_replica.support <= r.support
+                    for local in r.local_inputs.values():
+                        assert local.support <= r.support
+
+    def test_paper_locking_has_no_disjointness_guarantee(self):
+        """Contrast: the literal algorithm can produce overlapping supports
+        (that is exactly why Prop. 5.2 fails for it — see
+        tests/fault/test_robustness.py)."""
+        overlapping = 0
+        for seed in range(6):
+            inst = make_instance(num_tasks=40, num_procs=6, seed=seed)
+            sched = caft(inst, 1, locking="paper", rng=seed)
+            for reps in sched.replicas:
+                a, b = reps
+                if a.support & b.support:
+                    overlapping += 1
+        assert overlapping > 0

@@ -1,0 +1,80 @@
+"""Tests for the batched CAFT extension (§7 further work)."""
+
+import pytest
+
+from repro.core.caft import caft
+from repro.core.caft_batch import caft_batch
+from repro.fault.scenarios import check_robustness
+from repro.schedule.validation import validate_schedule
+from repro.utils.errors import SchedulingError
+from tests.conftest import make_instance
+
+
+class TestBasics:
+    def test_replica_count(self, epsilon):
+        inst = make_instance()
+        sched = caft_batch(inst, epsilon, window=4, rng=0)
+        assert all(len(reps) == epsilon + 1 for reps in sched.replicas)
+        validate_schedule(sched)
+
+    def test_window_one_equals_caft(self):
+        inst = make_instance(num_tasks=30, num_procs=6, seed=5)
+        a = caft_batch(inst, 1, window=1, rng=7)
+        b = caft(inst, 1, rng=7)
+        assert a.latency() == pytest.approx(b.latency())
+        assert a.message_count() == b.message_count()
+        for ra, rb in zip(a.all_replicas(), b.all_replicas()):
+            assert (ra.task, ra.proc, ra.start) == (rb.task, rb.proc, rb.start)
+
+    def test_deterministic(self):
+        inst = make_instance()
+        assert (
+            caft_batch(inst, 1, window=5, rng=3).latency()
+            == caft_batch(inst, 1, window=5, rng=3).latency()
+        )
+
+    def test_bad_window(self):
+        inst = make_instance()
+        with pytest.raises(SchedulingError):
+            caft_batch(inst, 1, window=0)
+
+    def test_metadata(self):
+        inst = make_instance()
+        sched = caft_batch(inst, 1, window=6, rng=0)
+        assert sched.metadata["window"] == 6
+        assert len(sched.metadata["theta_per_task"]) == inst.num_tasks
+        assert sched.scheduler == "caft-batch6"
+
+
+class TestRobustness:
+    """The batched variant keeps the support-locking guarantee verbatim."""
+
+    @pytest.mark.parametrize("window", [2, 4, 10])
+    def test_exhaustive_robustness(self, window):
+        for seed in range(3):
+            inst = make_instance(num_tasks=18, num_procs=5, seed=seed)
+            sched = caft_batch(inst, 1, window=window, rng=seed)
+            assert check_robustness(sched).robust
+
+    def test_supports_stay_disjoint(self):
+        inst = make_instance(num_tasks=25, num_procs=7)
+        sched = caft_batch(inst, 2, window=5, rng=0)
+        for reps in sched.replicas:
+            for i, a in enumerate(reps):
+                for b in reps[i + 1:]:
+                    assert not (a.support & b.support)
+
+
+class TestBatchingEffect:
+    def test_runs_across_windows(self):
+        inst = make_instance(num_tasks=40, num_procs=8, granularity=0.5, seed=2)
+        lats = {w: caft_batch(inst, 1, window=w, rng=0).latency() for w in (1, 4, 10)}
+        # no strict ordering is guaranteed; all must be valid & positive
+        assert all(v > 0 for v in lats.values())
+
+    def test_topological_order_respected(self):
+        inst = make_instance(num_tasks=30)
+        sched = caft_batch(inst, 1, window=8, rng=0)
+        pos = {t: i for i, t in enumerate(sched.task_order)}
+        for u, v, _ in inst.graph.edges():
+            assert pos[u] < pos[v]

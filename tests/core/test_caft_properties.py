@@ -1,0 +1,125 @@
+"""Deeper CAFT behaviour tests: θ accounting, workloads, regime behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.caft import caft
+from repro.dag.workloads import gaussian_elimination, stencil_1d, tiled_cholesky
+from repro.fault.scenarios import check_robustness
+from repro.platform.heterogeneity import (
+    range_exec_matrix,
+    scale_to_granularity,
+    uniform_delay_platform,
+)
+from repro.platform.instance import ProblemInstance
+from repro.schedule.validation import validate_schedule
+from tests.conftest import make_instance
+
+
+class TestThetaAccounting:
+    def test_theta_matches_channel_count(self):
+        """θ per task counts exactly the replicas committed as channels."""
+        inst = make_instance(num_tasks=30, num_procs=8)
+        sched = caft(inst, 2, rng=0)
+        thetas = sched.metadata["theta_per_task"]
+        # thetas are recorded in scheduling order; map back through task_order
+        by_task = dict(zip(sched.task_order, thetas))
+        for t, reps in enumerate(sched.replicas):
+            channels = sum(1 for r in reps if r.kind == "channel")
+            assert by_task[t] == channels
+
+    def test_theta_bounded_by_eps_plus_one(self):
+        inst = make_instance(num_tasks=25, num_procs=8)
+        for eps in (0, 1, 2):
+            sched = caft(inst, eps, rng=0)
+            assert all(0 <= t <= eps + 1 for t in sched.metadata["theta_per_task"])
+
+    def test_entry_tasks_always_full_theta(self):
+        """Entry tasks have no suppliers, so every unit is a channel."""
+        inst = make_instance(num_tasks=25, num_procs=8)
+        sched = caft(inst, 1, rng=0)
+        by_task = dict(zip(sched.task_order, sched.metadata["theta_per_task"]))
+        for t in inst.graph.entry_tasks:
+            assert by_task[t] == 2
+
+    def test_more_processors_more_channels(self):
+        """Channel fraction grows with platform slack (fixed workload)."""
+        fractions = []
+        for m in (5, 10, 20):
+            inst = make_instance(num_tasks=40, num_procs=m, seed=6)
+            sched = caft(inst, 2, rng=0)
+            total = sum(len(r) for r in sched.replicas)
+            fractions.append(sched.metadata["channel_replicas"] / total)
+        assert fractions[-1] >= fractions[0]
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [gaussian_elimination(6), stencil_1d(6, 4), tiled_cholesky(4)],
+        ids=["gauss", "stencil", "cholesky"],
+    )
+    @pytest.mark.parametrize("eps", [1, 2])
+    def test_caft_on_structured_workloads(self, workload, eps):
+        platform = uniform_delay_platform(8, rng=1)
+        E = range_exec_matrix(workload.base_costs, 8, rng=2)
+        E = scale_to_granularity(workload.graph, platform, E, 1.0)
+        inst = ProblemInstance(workload.graph, platform, E)
+        sched = caft(inst, eps, rng=0)
+        validate_schedule(sched)
+        assert check_robustness(sched, max_failures=min(eps, 2)).robust
+
+
+class TestRegimes:
+    def test_saturated_platform_runs(self):
+        """eps+1 == m: every processor hosts a replica of every task."""
+        inst = make_instance(num_tasks=12, num_procs=4, seed=3)
+        sched = caft(inst, 3, rng=0)
+        validate_schedule(sched)
+        for reps in sched.replicas:
+            assert {r.proc for r in reps} == {0, 1, 2, 3}
+
+    def test_saturated_platform_still_robust(self):
+        inst = make_instance(num_tasks=10, num_procs=4, seed=5)
+        sched = caft(inst, 3, rng=0)
+        assert check_robustness(sched).robust
+
+    def test_very_fine_grain(self):
+        inst = make_instance(num_tasks=30, num_procs=6, granularity=0.05, seed=9)
+        sched = caft(inst, 1, rng=0)
+        validate_schedule(sched)
+        assert check_robustness(sched).robust
+
+    def test_very_coarse_grain(self):
+        inst = make_instance(num_tasks=30, num_procs=6, granularity=50.0, seed=9)
+        sched = caft(inst, 1, rng=0)
+        validate_schedule(sched)
+        # at coarse grain the fault-free latency dominates: overhead small
+        base = caft(inst, 0, rng=0).latency()
+        assert sched.latency() <= 3.0 * base
+
+    def test_wide_independent_graph(self):
+        """A graph of isolated tasks: pure load balancing, no messages."""
+        from repro.dag.graph import TaskGraph
+        from repro.platform.platform import Platform
+
+        graph = TaskGraph(12, [])
+        platform = Platform.homogeneous(4, unit_delay=1.0)
+        E = np.full((12, 4), 5.0)
+        inst = ProblemInstance(graph, platform, E)
+        sched = caft(inst, 1, rng=0)
+        assert sched.message_count() == 0
+        # 24 replicas over 4 procs, 5s each => makespan 30
+        assert sched.makespan() == pytest.approx(30.0)
+
+    def test_single_task_graph(self):
+        from repro.dag.graph import TaskGraph
+        from repro.platform.platform import Platform
+
+        graph = TaskGraph(1, [])
+        platform = Platform.homogeneous(3, unit_delay=1.0)
+        E = np.array([[2.0, 3.0, 4.0]])
+        inst = ProblemInstance(graph, platform, E)
+        sched = caft(inst, 2, rng=0)
+        assert len(sched.replicas[0]) == 3
+        assert sched.latency() == pytest.approx(2.0)  # fastest replica

@@ -1,0 +1,195 @@
+"""Unit tests for the one-to-one mapping machinery (Algorithm 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.oneport import OnePortNetwork
+from repro.core.one_to_one import (
+    PlacementState,
+    _pick_heads,
+    greedy_round,
+    one_to_one_round,
+    singleton_analysis,
+    support_pools,
+    support_round,
+)
+from repro.dag.graph import TaskGraph
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+from repro.schedule.schedule import ScheduleBuilder
+from repro.utils.errors import SchedulingError
+
+
+def builder_for(graph, m=6, epsilon=1, exec_time=5.0):
+    platform = Platform.homogeneous(m, unit_delay=1.0)
+    E = np.full((graph.num_tasks, m), exec_time)
+    inst = ProblemInstance(graph, platform, E)
+    return ScheduleBuilder(inst, OnePortNetwork(platform), epsilon, "test")
+
+
+def join2() -> TaskGraph:
+    """t0, t1 -> t2."""
+    return TaskGraph(3, [(0, 2, 10.0), (1, 2, 10.0)])
+
+
+class TestSingletonAnalysis:
+    def test_all_singletons(self):
+        b = builder_for(join2(), epsilon=1)
+        r0a = b.commit(0, 0, {})
+        r0b = b.commit(0, 1, {})
+        r1a = b.commit(1, 2, {})
+        r1b = b.commit(1, 3, {})
+        state = singleton_analysis(b, 2)
+        assert state.theta == 2
+        assert [r.proc for r in state.pools[0]] == [0, 1]
+        assert [r.proc for r in state.pools[1]] == [2, 3]
+
+    def test_shared_processor_breaks_singleton(self):
+        """The paper's example: replicas of different predecessors sharing a
+        processor make it non-singleton and reduce θ."""
+        b = builder_for(join2(), epsilon=1)
+        b.commit(0, 0, {})
+        b.commit(0, 1, {})
+        b.commit(1, 0, {})  # shares P0 with t0's first replica
+        b.commit(1, 3, {})
+        state = singleton_analysis(b, 2)
+        # P0 hosts two replicas -> only P1 (t0) and P3 (t1) are singletons
+        assert state.theta == 1
+        assert [r.proc for r in state.pools[0]] == [1]
+        assert [r.proc for r in state.pools[1]] == [3]
+
+    def test_paper_worked_example_theta_zero(self):
+        """§5 example: ε=1, t1/t2/t3 pairwise sharing P1, P2, P3 — no
+        singleton processor at all, θ = 0."""
+        graph = TaskGraph(4, [(0, 3, 1.0), (1, 3, 1.0), (2, 3, 1.0)])
+        b = builder_for(graph, m=6, epsilon=1)
+        b.commit(0, 0, {})  # t1^(1) on P1 (index 0)
+        b.commit(1, 0, {})  # t2^(1) on P1  -- wait: space exclusion is per
+        # task, two different tasks may share a processor
+        b.commit(0, 1, {})
+        b.commit(2, 1, {})
+        b.commit(1, 2, {})
+        b.commit(2, 2, {})
+        state = singleton_analysis(b, 3)
+        assert state.theta == 0
+
+    def test_entry_task(self):
+        b = builder_for(join2(), epsilon=2)
+        state = singleton_analysis(b, 0)
+        assert state.theta == 3
+        assert state.pools == {}
+
+
+class TestSupportPools:
+    def test_locked_support_excluded(self):
+        b = builder_for(join2(), epsilon=1)
+        r0a = b.commit(0, 0, {}, support=frozenset({0}))
+        r0b = b.commit(0, 1, {}, support=frozenset({1, 4}))
+        pools = support_pools(b, 2, locked={4})
+        assert pools[0] == [r0a]  # r0b's support intersects the lock
+
+    def test_empty_pool_omitted(self):
+        b = builder_for(join2(), epsilon=1)
+        b.commit(0, 0, {}, support=frozenset({0}))
+        b.commit(0, 1, {}, support=frozenset({1}))
+        b.commit(1, 2, {}, support=frozenset({2}))
+        b.commit(1, 3, {}, support=frozenset({3}))
+        pools = support_pools(b, 2, locked={0, 1})
+        assert 0 not in pools  # both t0 suppliers blocked
+        assert len(pools[1]) == 2
+
+
+class TestPickHeads:
+    def test_prefers_earliest_sender_bound(self):
+        b = builder_for(join2(), m=4, epsilon=1)
+        early = b.commit(0, 0, {})
+        b.proc_ready[1] = 100.0  # make the second replica late
+        late = b.commit(0, 1, {})
+        heads = _pick_heads(b, 2, 3, {0: [early, late]})
+        assert heads[0] is early
+
+    def test_local_replica_wins(self):
+        b = builder_for(join2(), m=4, epsilon=1)
+        remote = b.commit(0, 0, {})
+        b.proc_ready[1] = 6.0
+        local = b.commit(0, 1, {})  # finishes later but is local to P1
+        heads = _pick_heads(b, 2, 1, {0: [remote, local]})
+        # local supply: ready at finish (11) vs remote arrival 5 + 10 = 15
+        assert heads[0] is local
+
+
+class TestRounds:
+    def place_preds(self, b):
+        return (
+            b.commit(0, 0, {}),
+            b.commit(0, 1, {}),
+            b.commit(1, 2, {}),
+            b.commit(1, 3, {}),
+        )
+
+    def test_one_to_one_locks_eq7(self):
+        b = builder_for(join2(), epsilon=1)
+        self.place_preds(b)
+        state = singleton_analysis(b, 2)
+        gen = np.random.default_rng(0)
+        replica = one_to_one_round(b, 2, state, gen)
+        assert replica is not None and replica.kind == "channel"
+        # eq. (7): the chosen processor and both head processors are locked
+        assert replica.proc in state.locked
+        used_head_procs = {e.src_proc for evs in replica.inputs.values() for e in evs}
+        used_head_procs |= {r.proc for r in replica.local_inputs.values()}
+        assert used_head_procs <= state.locked
+        # heads were consumed from the pools
+        assert all(len(pool) == 1 for pool in state.pools.values())
+
+    def test_one_to_one_exhausted_returns_none(self):
+        b = builder_for(join2(), epsilon=1)
+        self.place_preds(b)
+        state = singleton_analysis(b, 2)
+        state.locked = set(range(6))  # everything locked
+        assert one_to_one_round(b, 2, state, np.random.default_rng(0)) is None
+
+    def test_greedy_round_full_fanin(self):
+        b = builder_for(join2(), epsilon=1)
+        self.place_preds(b)
+        state = PlacementState(locked=set(), pools={}, theta=0)
+        replica = greedy_round(b, 2, state, np.random.default_rng(0))
+        assert replica.kind == "greedy"
+        # receives from both replicas of each predecessor (or local copies)
+        for pred in (0, 1):
+            supplies = len(replica.inputs.get(pred, ())) + (
+                1 if pred in replica.local_inputs else 0
+            )
+            assert supplies >= 1
+        assert replica.proc in state.locked
+
+    def test_greedy_round_degraded_fallback(self):
+        b = builder_for(join2(), epsilon=1)
+        self.place_preds(b)
+        state = PlacementState(locked=set(range(6)), pools={}, theta=0)
+        replica = greedy_round(b, 2, state, np.random.default_rng(0))
+        assert state.degraded == 1
+        assert replica.proc in range(6)
+
+    def test_support_round_mixed_kind(self):
+        """When one predecessor has no eligible supplier the round degrades
+        to fan-in for that predecessor only."""
+        b = builder_for(join2(), epsilon=1)
+        r0a = b.commit(0, 0, {}, support=frozenset({0, 5}))
+        r0b = b.commit(0, 1, {}, support=frozenset({1, 4}))
+        b.commit(1, 2, {})
+        b.commit(1, 3, {})
+        state = PlacementState(locked={4, 5}, pools={}, theta=2)
+        state.pools = support_pools(b, 2, state.locked)
+        assert 0 not in state.pools  # both t0 suppliers blocked by the lock
+        gen = np.random.default_rng(0)
+        replica = support_round(b, 2, state, gen, remaining_after=0)
+        assert replica.kind == "mixed"
+        assert len(replica.inputs.get(0, ())) + len(replica.local_inputs) >= 2
+
+    def test_support_round_raises_when_no_processor(self):
+        b = builder_for(join2(), epsilon=1)
+        self.place_preds(b)
+        state = PlacementState(locked=set(range(6)), pools={}, theta=0)
+        with pytest.raises(SchedulingError, match="no feasible processor"):
+            support_round(b, 2, state, np.random.default_rng(0), remaining_after=0)

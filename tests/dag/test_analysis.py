@@ -1,0 +1,162 @@
+"""Tests for DAG analysis: levels, critical paths, width."""
+
+import numpy as np
+import pytest
+
+from repro.dag.analysis import (
+    asap_levels,
+    bottom_levels,
+    critical_path_length,
+    degree_stats,
+    layer_width,
+    min_critical_path,
+    priorities,
+    top_levels,
+    width,
+)
+from repro.dag.generators import chain, fork, fork_join, random_dag
+from repro.dag.graph import TaskGraph
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+
+
+def homogeneous_instance(graph, exec_time=5.0, delay=1.0, m=3) -> ProblemInstance:
+    platform = Platform.homogeneous(m, unit_delay=delay)
+    E = np.full((graph.num_tasks, m), exec_time)
+    return ProblemInstance(graph, platform, E)
+
+
+class TestLevelsOnChain:
+    """Chain t0 -> t1 -> t2, volumes 10, exec 5, mean delay 1 => W̄ = 10."""
+
+    @pytest.fixture
+    def inst(self):
+        return homogeneous_instance(chain(3, volume=10.0))
+
+    def test_bottom_levels(self, inst):
+        bl = bottom_levels(inst)
+        # exit: bl = 5; middle: 5 + 10 + 5 = 20; entry: 5 + 10 + 20 = 35
+        assert bl.tolist() == [35.0, 20.0, 5.0]
+
+    def test_top_levels(self, inst):
+        tl = top_levels(inst)
+        # entry 0; tl(t1) = 0 + 5 + 10; tl(t2) = 15 + 5 + 10
+        assert tl.tolist() == [0.0, 15.0, 30.0]
+
+    def test_priority_constant_on_critical_path(self, inst):
+        pr = priorities(inst)
+        assert np.allclose(pr, 35.0)
+
+    def test_critical_path_length(self, inst):
+        assert critical_path_length(inst) == 35.0
+
+    def test_min_critical_path_ignores_comm(self, inst):
+        assert min_critical_path(inst) == 15.0
+
+
+class TestLevelsOnDiamond:
+    def test_fork_join_levels(self):
+        inst = homogeneous_instance(fork_join(2, volume=10.0))
+        bl = bottom_levels(inst)
+        # exit t3: 5; middle: 5+10+5=20; entry: 5+10+20=35
+        assert bl[3] == 5.0
+        assert bl[1] == bl[2] == 20.0
+        assert bl[0] == 35.0
+
+    def test_mean_delay_excludes_diagonal(self):
+        # With unit delay 1 on all off-diagonal pairs, mean delay is exactly 1.
+        inst = homogeneous_instance(chain(2, volume=8.0))
+        assert inst.mean_edge_weight(0, 1) == pytest.approx(8.0)
+
+
+class TestHeterogeneousLevels:
+    def test_mean_exec_used(self):
+        graph = chain(2, volume=0.0)
+        platform = Platform.homogeneous(2, unit_delay=1.0)
+        E = np.array([[2.0, 4.0], [6.0, 10.0]])  # means: 3, 8
+        inst = ProblemInstance(graph, platform, E)
+        bl = bottom_levels(inst)
+        assert bl.tolist() == [11.0, 8.0]
+
+    def test_min_critical_path_uses_min_exec(self):
+        graph = chain(2, volume=100.0)
+        platform = Platform.homogeneous(2, unit_delay=1.0)
+        E = np.array([[2.0, 4.0], [6.0, 10.0]])
+        inst = ProblemInstance(graph, platform, E)
+        assert min_critical_path(inst) == 8.0  # 2 + 6, no comm
+
+
+class TestWidth:
+    def test_chain_width_one(self):
+        assert width(chain(5)) == 1
+
+    def test_fork_width(self):
+        assert width(fork(4)) == 4
+
+    def test_fork_join_width(self):
+        assert width(fork_join(3)) == 3
+
+    def test_independent_tasks(self):
+        assert width(TaskGraph(6, [])) == 6
+
+    def test_width_at_least_layer_width(self):
+        for seed in range(5):
+            g = random_dag(25, rng=seed)
+            assert width(g) >= layer_width(g)
+
+    def test_z_poset_width(self):
+        # 0->2, 1->2, 1->3: antichain {0,1} and {2,3}; but {0,3} also
+        # independent — width is 2.
+        g = TaskGraph(4, [(0, 2, 1.0), (1, 2, 1.0), (1, 3, 1.0)])
+        assert width(g) == 2
+
+
+class TestAsapLevels:
+    def test_chain_depths(self):
+        assert asap_levels(chain(4)).tolist() == [0, 1, 2, 3]
+
+    def test_fork_join_depths(self):
+        assert asap_levels(fork_join(2)).tolist() == [0, 1, 1, 2]
+
+    def test_layer_width_fork(self):
+        assert layer_width(fork(5)) == 5
+
+
+class TestDegreeStats:
+    def test_fork_stats(self):
+        stats = degree_stats(fork(3))
+        assert stats["max_out"] == 3
+        assert stats["max_in"] == 1
+        assert stats["mean_in"] == pytest.approx(3 / 4)
+
+    def test_random_dag_in_degree_band(self):
+        g = random_dag(200, degree_range=(1, 3), rng=0)
+        stats = degree_stats(g)
+        assert 1.0 <= stats["mean_in"] <= 3.0
+        assert stats["max_in"] <= 3
+
+
+class TestAlapSlack:
+    def test_chain_has_zero_slack(self):
+        from repro.dag.analysis import alap_levels, slack
+
+        inst = homogeneous_instance(chain(3, volume=10.0))
+        assert np.allclose(slack(inst), 0.0)  # a chain is all critical
+        assert np.allclose(alap_levels(inst), top_levels(inst))
+
+    def test_fork_join_slack(self):
+        from repro.dag.analysis import slack
+
+        graph = TaskGraph(4, [(0, 1, 10.0), (0, 2, 0.0), (1, 3, 10.0), (2, 3, 0.0)])
+        inst = homogeneous_instance(graph)
+        s = slack(inst)
+        # the heavy branch (via t1) is critical; the light one (t2) has slack
+        assert s[1] == pytest.approx(0.0)
+        assert s[2] > 0.0
+
+    def test_slack_nonnegative(self):
+        from repro.dag.analysis import slack
+
+        for seed in range(4):
+            inst = homogeneous_instance(random_dag(20, rng=seed))
+            assert (slack(inst) >= -1e-9).all()

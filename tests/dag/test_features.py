@@ -1,0 +1,98 @@
+"""Tests for graph feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.dag.features import (
+    communication_to_computation_ratio,
+    graph_features,
+    ideal_speedup,
+    parallelism_profile,
+)
+from repro.dag.generators import chain, fork, fork_join, random_dag
+from repro.dag.graph import TaskGraph
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+
+
+class TestGraphFeatures:
+    def test_chain(self):
+        f = graph_features(chain(5, volume=10.0))
+        assert f.num_tasks == 5
+        assert f.depth == 4
+        assert f.width == 1
+        assert f.parallelism == pytest.approx(1.0)
+        assert f.mean_volume == 10.0
+        assert f.num_entries == f.num_exits == 1
+
+    def test_fork(self):
+        f = graph_features(fork(4))
+        assert f.depth == 1
+        assert f.width == 4
+        assert f.max_out_degree == 4
+        assert f.num_exits == 4
+
+    def test_fork_join(self):
+        f = graph_features(fork_join(3))
+        assert f.depth == 2
+        assert f.width == 3
+        assert f.max_in_degree == 3
+
+    def test_edgeless(self):
+        f = graph_features(TaskGraph(6, []))
+        assert f.depth == 0
+        assert f.width == 6
+        assert f.edge_density == 0.0
+        assert f.mean_volume == 0.0
+
+    def test_density_bounds(self):
+        for seed in range(4):
+            f = graph_features(random_dag(20, rng=seed))
+            assert 0.0 < f.edge_density <= 1.0
+
+    def test_single_task(self):
+        f = graph_features(TaskGraph(1, []))
+        assert f.edge_density == 0.0
+        assert f.parallelism == 1.0
+
+
+class TestParallelismProfile:
+    def test_chain_profile(self):
+        assert parallelism_profile(chain(4)) == [1, 1, 1, 1]
+
+    def test_fork_join_profile(self):
+        assert parallelism_profile(fork_join(3)) == [1, 3, 1]
+
+    def test_profile_sums_to_tasks(self):
+        g = random_dag(30, rng=1)
+        assert sum(parallelism_profile(g)) == 30
+
+
+class TestInstanceFeatures:
+    def make(self, volume=10.0, exec_time=5.0, delay=1.0):
+        graph = chain(3, volume=volume)
+        platform = Platform.homogeneous(3, unit_delay=delay)
+        E = np.full((3, 3), exec_time)
+        return ProblemInstance(graph, platform, E)
+
+    def test_ccr_definition(self):
+        inst = self.make(volume=10.0, exec_time=5.0, delay=1.0)
+        # mean comm = 10 * 1.0; mean comp = 5 -> CCR = 2
+        assert communication_to_computation_ratio(inst) == pytest.approx(2.0)
+
+    def test_ccr_edgeless(self):
+        graph = TaskGraph(3, [])
+        platform = Platform.homogeneous(2)
+        inst = ProblemInstance(graph, platform, np.full((3, 2), 1.0))
+        assert communication_to_computation_ratio(inst) == 0.0
+
+    def test_ideal_speedup_chain_is_one(self):
+        inst = self.make()
+        assert ideal_speedup(inst) == pytest.approx(1.0)
+
+    def test_ideal_speedup_fork(self):
+        graph = fork_join(4, volume=0.0)
+        platform = Platform.homogeneous(4)
+        inst = ProblemInstance(graph, platform, np.full((6, 4), 5.0))
+        # 6 tasks of equal work over a 3-task critical path
+        assert ideal_speedup(inst) == pytest.approx(2.0)

@@ -1,0 +1,168 @@
+"""Tests for graph generators, including hypothesis structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.generators import (
+    chain,
+    fork,
+    fork_join,
+    in_tree,
+    join,
+    layered_dag,
+    out_tree,
+    random_dag,
+    random_out_forest,
+)
+from repro.utils.errors import InvalidGraphError
+
+
+class TestRandomDag:
+    def test_deterministic(self):
+        assert random_dag(40, rng=3) == random_dag(40, rng=3)
+
+    def test_seed_changes_graph(self):
+        assert random_dag(40, rng=3) != random_dag(40, rng=4)
+
+    def test_task_count(self):
+        assert random_dag(55, rng=0).num_tasks == 55
+
+    def test_in_degree_band(self):
+        g = random_dag(100, degree_range=(1, 3), rng=1)
+        for t in range(1, 100):
+            assert 1 <= g.in_degree(t) <= 3
+
+    def test_volumes_in_range(self):
+        g = random_dag(50, volume_range=(50, 150), rng=2)
+        for _u, _v, vol in g.edges():
+            assert 50 <= vol <= 150
+
+    def test_window_limits_edge_span(self):
+        g = random_dag(60, window=5, rng=0)
+        for u, v, _ in g.edges():
+            assert v - u <= 5
+
+    def test_single_task(self):
+        g = random_dag(1, rng=0)
+        assert g.num_tasks == 1 and g.num_edges == 0
+
+    def test_zero_degree_allowed(self):
+        g = random_dag(20, degree_range=(0, 0), rng=0)
+        assert g.num_edges == 0
+
+    def test_bad_degree_range(self):
+        with pytest.raises(InvalidGraphError):
+            random_dag(10, degree_range=(3, 1), rng=0)
+
+    def test_bad_volume_range(self):
+        with pytest.raises(InvalidGraphError):
+            random_dag(10, volume_range=(5, 1), rng=0)
+
+
+class TestLayeredDag:
+    def test_deterministic(self):
+        assert layered_dag(5, rng=1) == layered_dag(5, rng=1)
+
+    def test_every_layer_feeds_forward(self):
+        g = layered_dag(6, width_range=(2, 4), rng=0)
+        # every non-final task must have a successor (no dangling exits)
+        exits = set(g.exit_tasks)
+        from repro.dag.analysis import asap_levels
+
+        depth = asap_levels(g)
+        max_depth = depth.max()
+        for t in range(g.num_tasks):
+            if t not in exits:
+                assert g.out_degree(t) >= 1
+
+    def test_bad_width_range(self):
+        with pytest.raises(InvalidGraphError):
+            layered_dag(3, width_range=(0, 2), rng=0)
+
+
+class TestOutForest:
+    def test_is_out_forest(self):
+        for seed in range(5):
+            assert random_out_forest(30, rng=seed).is_out_forest()
+
+    def test_root_probability_one_gives_no_edges(self):
+        g = random_out_forest(20, root_probability=1.0, rng=0)
+        assert g.num_edges == 0
+
+    def test_root_probability_zero_gives_tree(self):
+        g = random_out_forest(20, root_probability=0.0, rng=0)
+        assert g.num_edges == 19
+
+    def test_bad_probability(self):
+        with pytest.raises(InvalidGraphError):
+            random_out_forest(10, root_probability=1.5)
+
+
+class TestStructured:
+    def test_chain_shape(self):
+        g = chain(4)
+        assert g.num_edges == 3
+        assert g.entry_tasks == (0,) and g.exit_tasks == (3,)
+
+    def test_fork_shape(self):
+        g = fork(3)
+        assert g.out_degree(0) == 3
+        assert g.is_out_forest()
+
+    def test_join_shape(self):
+        g = join(3)
+        assert g.in_degree(3) == 3
+        assert g.is_in_forest()
+
+    def test_fork_join_shape(self):
+        g = fork_join(3)
+        assert g.num_tasks == 5
+        assert g.entry_tasks == (0,) and g.exit_tasks == (4,)
+
+    def test_out_tree_counts(self):
+        g = out_tree(3, branching=2)
+        assert g.num_tasks == 15  # 1 + 2 + 4 + 8
+        assert g.is_out_forest()
+
+    def test_out_tree_depth_zero(self):
+        g = out_tree(0)
+        assert g.num_tasks == 1 and g.num_edges == 0
+
+    def test_in_tree_mirrors_out_tree(self):
+        g = in_tree(2, branching=2)
+        assert g.num_tasks == 7
+        assert g.is_in_forest()
+        assert len(g.exit_tasks) == 1
+
+    def test_fork_requires_child(self):
+        with pytest.raises(InvalidGraphError):
+            fork(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_tasks=st.integers(2, 60),
+    lo=st.integers(1, 2),
+    span=st.integers(0, 2),
+    seed=st.integers(0, 10_000),
+)
+def test_random_dag_structural_invariants(num_tasks, lo, span, seed):
+    """Any generated DAG is acyclic, respects the degree band, and its
+    edges point forward in creation order."""
+    g = random_dag(num_tasks, degree_range=(lo, lo + span), rng=seed)
+    order = g.topological_order()  # raises on cycles
+    assert len(order) == num_tasks
+    for u, v, vol in g.edges():
+        assert u < v
+        assert vol >= 0
+    for t in range(1, num_tasks):
+        assert g.in_degree(t) <= lo + span
+        assert g.in_degree(t) >= min(lo, t)
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_tasks=st.integers(1, 50), seed=st.integers(0, 1000))
+def test_out_forest_invariant(num_tasks, seed):
+    g = random_out_forest(num_tasks, rng=seed)
+    assert all(g.in_degree(t) <= 1 for t in range(num_tasks))

@@ -1,0 +1,156 @@
+"""Tests for the TaskGraph container."""
+
+import networkx as nx
+import pytest
+
+from repro.dag.graph import TaskGraph
+from repro.utils.errors import InvalidGraphError
+
+
+def diamond() -> TaskGraph:
+    return TaskGraph(4, [(0, 1, 5.0), (0, 2, 6.0), (1, 3, 7.0), (2, 3, 8.0)])
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = diamond()
+        assert g.num_tasks == 4
+        assert g.num_edges == 4
+
+    def test_adjacency(self):
+        g = diamond()
+        assert g.preds(3) == (1, 2)
+        assert g.succs(0) == (1, 2)
+        assert g.preds(0) == ()
+        assert g.succs(3) == ()
+
+    def test_degrees(self):
+        g = diamond()
+        assert g.in_degree(3) == 2
+        assert g.out_degree(0) == 2
+
+    def test_volume(self):
+        g = diamond()
+        assert g.volume(0, 1) == 5.0
+        assert g.volume(2, 3) == 8.0
+
+    def test_missing_edge_raises(self):
+        with pytest.raises(InvalidGraphError):
+            diamond().volume(1, 2)
+
+    def test_has_edge(self):
+        g = diamond()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_entry_exit(self):
+        g = diamond()
+        assert g.entry_tasks == (0,)
+        assert g.exit_tasks == (3,)
+
+    def test_default_names(self):
+        assert diamond().names == ("t0", "t1", "t2", "t3")
+
+    def test_custom_names(self):
+        g = TaskGraph(2, [(0, 1, 1.0)], names=["in", "out"])
+        assert g.names == ("in", "out")
+
+    def test_zero_volume_allowed(self):
+        g = TaskGraph(2, [(0, 1, 0.0)])
+        assert g.volume(0, 1) == 0.0
+
+    def test_edges_iteration(self):
+        edges = list(diamond().edges())
+        assert (0, 1, 5.0) in edges
+        assert len(edges) == 4
+
+
+class TestValidation:
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(InvalidGraphError):
+            TaskGraph(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidGraphError, match="self-loop"):
+            TaskGraph(2, [(1, 1, 1.0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(InvalidGraphError, match="duplicate"):
+            TaskGraph(2, [(0, 1, 1.0), (0, 1, 2.0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidGraphError, match="out of range"):
+            TaskGraph(2, [(0, 2, 1.0)])
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(InvalidGraphError, match="negative"):
+            TaskGraph(2, [(0, 1, -1.0)])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(InvalidGraphError, match="cycle"):
+            TaskGraph(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+
+    def test_rejects_two_cycle(self):
+        with pytest.raises(InvalidGraphError, match="cycle"):
+            TaskGraph(2, [(0, 1, 1.0), (1, 0, 1.0)])
+
+    def test_rejects_bad_names_length(self):
+        with pytest.raises(InvalidGraphError):
+            TaskGraph(2, [(0, 1, 1.0)], names=["only-one"])
+
+
+class TestTopologicalOrder:
+    def test_respects_precedence(self):
+        g = diamond()
+        order = g.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for u, v, _ in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_deterministic_smallest_first(self):
+        g = TaskGraph(4, [(2, 3, 1.0)])  # 0, 1 independent
+        assert g.topological_order() == (0, 1, 2, 3)
+
+    def test_includes_all_tasks(self):
+        g = diamond()
+        assert sorted(g.topological_order()) == [0, 1, 2, 3]
+
+
+class TestShapes:
+    def test_out_forest_detection(self):
+        assert TaskGraph(3, [(0, 1, 1.0), (0, 2, 1.0)]).is_out_forest()
+        assert not diamond().is_out_forest()
+
+    def test_in_forest_detection(self):
+        assert TaskGraph(3, [(0, 2, 1.0), (1, 2, 1.0)]).is_in_forest()
+        assert not diamond().is_in_forest()
+
+    def test_isolated_tasks_are_both(self):
+        g = TaskGraph(3, [])
+        assert g.is_out_forest() and g.is_in_forest()
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = diamond()
+        back = TaskGraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_to_networkx_volumes(self):
+        nxg = diamond().to_networkx()
+        assert nxg[0][1]["volume"] == 5.0
+        assert nx.is_directed_acyclic_graph(nxg)
+
+    def test_from_networkx_bad_nodes(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(InvalidGraphError):
+            TaskGraph.from_networkx(nxg)
+
+    def test_equality(self):
+        assert diamond() == diamond()
+        other = TaskGraph(4, [(0, 1, 5.0)])
+        assert diamond() != other
+
+    def test_repr(self):
+        assert "v=4" in repr(diamond())

@@ -1,0 +1,97 @@
+"""Tests for task-graph serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.generators import random_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.io import (
+    graph_from_json,
+    graph_from_text,
+    graph_to_dot,
+    graph_to_json,
+    graph_to_text,
+    load_graph,
+    save_graph,
+)
+from repro.utils.errors import InvalidGraphError
+
+
+def diamond() -> TaskGraph:
+    return TaskGraph(
+        4,
+        [(0, 1, 5.0), (0, 2, 6.5), (1, 3, 7.0), (2, 3, 8.0)],
+        names=["in", "a", "b", "out"],
+    )
+
+
+class TestText:
+    def test_roundtrip(self):
+        g = diamond()
+        back = graph_from_text(graph_to_text(g))
+        assert back.num_tasks == g.num_tasks
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_header(self):
+        text = graph_to_text(diamond())
+        assert text.splitlines()[0] == "4 4"
+
+    def test_file_roundtrip(self, tmp_path):
+        g = diamond()
+        path = save_graph(g, tmp_path / "g.txt")
+        assert load_graph(path).num_edges == 4
+
+    def test_comments_ignored(self):
+        text = "# a comment\n2 1\n0 1 3.5\n"
+        g = graph_from_text(text)
+        assert g.volume(0, 1) == 3.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidGraphError):
+            graph_from_text("")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(InvalidGraphError):
+            graph_from_text("not a header\n")
+
+    def test_rejects_edge_count_mismatch(self):
+        with pytest.raises(InvalidGraphError, match="edges"):
+            graph_from_text("3 2\n0 1 1.0\n")
+
+    def test_rejects_bad_edge_line(self):
+        with pytest.raises(InvalidGraphError):
+            graph_from_text("2 1\n0 1\n")
+
+    def test_exact_volume_precision(self):
+        g = TaskGraph(2, [(0, 1, 0.1 + 0.2)])  # a float without short repr
+        back = graph_from_text(graph_to_text(g))
+        assert back.volume(0, 1) == g.volume(0, 1)
+
+
+class TestJson:
+    def test_roundtrip_with_names(self):
+        g = diamond()
+        back = graph_from_json(graph_to_json(g))
+        assert back == g
+        assert back.names == ("in", "a", "b", "out")
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        dot = graph_to_dot(diamond())
+        assert "digraph" in dot
+        assert '"in"' in dot and '"out"' in dot
+        assert "t0 -> t1" in dot
+        assert 'label="5"' in dot
+
+    def test_custom_name(self):
+        assert "digraph myapp {" in graph_to_dot(diamond(), name="myapp")
+
+
+@settings(max_examples=25, deadline=None)
+@given(v=st.integers(1, 40), seed=st.integers(0, 1000))
+def test_text_roundtrip_property(v, seed):
+    g = random_dag(v, rng=seed)
+    back = graph_from_text(graph_to_text(g))
+    assert back.num_tasks == g.num_tasks
+    assert sorted(back.edges()) == sorted(g.edges())

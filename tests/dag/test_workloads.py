@@ -1,0 +1,129 @@
+"""Tests for the structured application workloads."""
+
+import pytest
+
+from repro.dag.analysis import asap_levels, width
+from repro.dag.workloads import (
+    ALL_WORKLOADS,
+    fft_butterfly,
+    gaussian_elimination,
+    stencil_1d,
+    tiled_cholesky,
+)
+from repro.utils.errors import InvalidGraphError
+
+
+class TestGaussianElimination:
+    def test_task_count(self):
+        # sum_{k=0}^{n-2} (1 + (n-1-k)) = (n-1)(n+2)/2
+        for n in (2, 3, 5, 8):
+            wl = gaussian_elimination(n)
+            assert wl.num_tasks == (n - 1) * (n + 2) // 2
+
+    def test_pivot_feeds_updates(self):
+        wl = gaussian_elimination(4)
+        g = wl.graph
+        # P(0) is task 0; it must feed U(0,1..3)
+        assert g.out_degree(0) == 3
+
+    def test_single_exit_chain(self):
+        wl = gaussian_elimination(3)
+        # last step has pivot P(1) and update U(1,2)
+        assert len(wl.graph.exit_tasks) >= 1
+
+    def test_costs_positive_and_matching(self):
+        wl = gaussian_elimination(5)
+        assert wl.base_costs.shape == (wl.num_tasks,)
+        assert (wl.base_costs > 0).all()
+
+    def test_depth_scales_with_n(self):
+        d3 = asap_levels(gaussian_elimination(3).graph).max()
+        d6 = asap_levels(gaussian_elimination(6).graph).max()
+        assert d6 > d3
+
+    def test_rejects_tiny(self):
+        with pytest.raises(InvalidGraphError):
+            gaussian_elimination(1)
+
+
+class TestFFT:
+    def test_task_count(self):
+        wl = fft_butterfly(8)
+        assert wl.num_tasks == 4 * 8  # (log2(8)+1) layers of 8
+
+    def test_in_degree_two_past_first_layer(self):
+        wl = fft_butterfly(4)
+        g = wl.graph
+        for t in range(4, g.num_tasks):
+            assert g.in_degree(t) == 2
+
+    def test_width_is_n(self):
+        assert width(fft_butterfly(4).graph) == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidGraphError):
+            fft_butterfly(6)
+
+    def test_rejects_one_point(self):
+        with pytest.raises(InvalidGraphError):
+            fft_butterfly(1)
+
+
+class TestStencil:
+    def test_task_count(self):
+        assert stencil_1d(5, 3).num_tasks == 15
+
+    def test_interior_in_degree(self):
+        wl = stencil_1d(5, 2)
+        g = wl.graph
+        # interior cell of sweep 1 reads 3 neighbours
+        assert g.in_degree(5 + 2) == 3
+        # boundary cells read 2
+        assert g.in_degree(5 + 0) == 2
+
+    def test_single_sweep_has_no_edges(self):
+        assert stencil_1d(4, 1).graph.num_edges == 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(InvalidGraphError):
+            stencil_1d(0, 3)
+
+
+class TestCholesky:
+    def test_task_count(self):
+        # nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + sum_k (i-k-1 gemm)
+        wl = tiled_cholesky(4)
+        nt = 4
+        expected = nt + nt * (nt - 1) + sum(
+            max(0, i - k - 1) for k in range(nt) for i in range(k + 1, nt)
+        )
+        assert wl.num_tasks == expected
+
+    def test_one_tile_is_single_task(self):
+        assert tiled_cholesky(1).num_tasks == 1
+
+    def test_gemm_cost_dominates(self):
+        wl = tiled_cholesky(4)
+        costs = dict(zip(wl.graph.names, wl.base_costs))
+        assert costs["GEMM(0,1,2)"] > costs["POTRF(0)"]
+
+    def test_potrf_chain_depth(self):
+        wl = tiled_cholesky(4)
+        names = wl.graph.names
+        depth = asap_levels(wl.graph)
+        potrf_depths = [depth[i] for i, n in enumerate(names) if n.startswith("POTRF")]
+        assert potrf_depths == sorted(potrf_depths)
+        assert potrf_depths[-1] > potrf_depths[0]
+
+
+class TestRegistry:
+    def test_all_workloads_run(self):
+        for name, factory in ALL_WORKLOADS.items():
+            wl = factory(4)
+            assert wl.num_tasks >= 1
+            assert wl.base_costs.shape == (wl.num_tasks,)
+            wl.graph.topological_order()  # acyclic
+
+    def test_names_match(self):
+        for name, factory in ALL_WORKLOADS.items():
+            assert factory(4).name == name

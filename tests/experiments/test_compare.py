@@ -1,0 +1,67 @@
+"""Tests for the algorithm comparison tool."""
+
+import math
+
+import pytest
+
+from repro.experiments.compare import (
+    COMPARABLE,
+    compare_algorithms,
+    comparison_table,
+)
+from tests.conftest import make_instance
+
+
+@pytest.fixture(scope="module")
+def rows():
+    inst = make_instance(num_tasks=15, num_procs=5, seed=4)
+    return compare_algorithms(inst, epsilon=1, samples=10, rng=0)
+
+
+class TestCompare:
+    def test_default_skips_heft_with_eps(self, rows):
+        names = [r.algorithm for r in rows]
+        assert "heft" not in names
+        assert "caft" in names and "ftsa" in names
+
+    def test_heft_included_at_eps0(self):
+        inst = make_instance(num_tasks=12, num_procs=5)
+        rows = compare_algorithms(inst, epsilon=0, crashes=0, rng=0)
+        assert "heft" in [r.algorithm for r in rows]
+
+    def test_metrics_sane(self, rows):
+        for r in rows:
+            assert r.latency > 0
+            assert r.normalized >= 1.0
+            assert r.upper_bound >= r.latency - 1e-9
+            assert 0 <= r.replication_share <= 1
+            assert 0.0 <= r.survival_rate <= 1.0
+
+    def test_robust_algorithms_survive(self, rows):
+        by_name = {r.algorithm: r for r in rows}
+        for name in ("caft", "ftsa", "ftbar", "caft-batch"):
+            assert by_name[name].survival_rate == 1.0
+
+    def test_explicit_algorithm_list(self):
+        inst = make_instance(num_tasks=12, num_procs=5)
+        rows = compare_algorithms(
+            inst, epsilon=1, algorithms=["caft", "ftsa"], samples=5, rng=0
+        )
+        assert [r.algorithm for r in rows] == ["caft", "ftsa"]
+
+    def test_registry_complete(self):
+        assert set(COMPARABLE) >= {
+            "heft", "ftsa", "ftbar", "caft", "caft-paper", "caft-batch",
+        }
+
+
+class TestTable:
+    def test_table_renders_all_rows(self, rows):
+        table = comparison_table(rows)
+        for r in rows:
+            assert r.algorithm in table
+        assert "latency" in table and "surv" in table
+
+    def test_table_alignment(self, rows):
+        lines = comparison_table(rows).splitlines()
+        assert len({len(lines[0]), len(lines[1])}) <= 2  # header + rule match

@@ -1,0 +1,99 @@
+"""Tests for campaign statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.stats import (
+    dominates,
+    geometric_mean_ratio,
+    paired_mean_difference,
+    summarize_series,
+    win_rate,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize_series([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.ci95_half_width == pytest.approx(1.96 / math.sqrt(3))
+
+    def test_ci_interval(self):
+        s = summarize_series([5.0] * 10)
+        assert s.std == 0.0
+        assert s.ci95 == (5.0, 5.0)
+
+    def test_nan_filtered(self):
+        s = summarize_series([1.0, math.nan, 3.0])
+        assert s.n == 2
+        assert s.mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        s = summarize_series([])
+        assert s.n == 0 and math.isnan(s.mean)
+
+    def test_single(self):
+        s = summarize_series([4.0])
+        assert s.n == 1 and s.mean == 4.0 and math.isinf(s.ci95_half_width)
+
+
+class TestPaired:
+    def test_mean_difference(self):
+        mean, half = paired_mean_difference([3.0, 4.0], [1.0, 2.0])
+        assert mean == pytest.approx(2.0)
+        assert half == 0.0  # constant difference
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            paired_mean_difference([1.0], [1.0, 2.0])
+
+    def test_dominates_clear_case(self):
+        a = [1.0, 1.1, 0.9, 1.05]
+        b = [2.0, 2.1, 1.9, 2.05]
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_dominates_noisy_tie(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(1.0, 0.5, 50)
+        b = a + rng.normal(0.0, 0.01, 50)  # indistinguishable
+        assert not dominates(list(a), list(b)) or not dominates(list(b), list(a))
+
+
+class TestWinRate:
+    def test_all_wins(self):
+        assert win_rate([1, 1], [2, 2]) == 1.0
+
+    def test_ties_count_half(self):
+        assert win_rate([1, 2], [1, 3]) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert math.isnan(win_rate([], []))
+
+
+class TestGeomMean:
+    def test_symmetric(self):
+        r = geometric_mean_ratio([1.0, 4.0], [2.0, 2.0])
+        assert r == pytest.approx(1.0)  # sqrt(0.5 * 2)
+
+    def test_speedup(self):
+        assert geometric_mean_ratio([1.0], [2.0]) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean_ratio([0.0], [1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=40))
+def test_mean_within_ci(values):
+    """The sample mean is inside its own CI, and std is non-negative."""
+    s = summarize_series(values)
+    lo, hi = s.ci95
+    assert lo <= s.mean <= hi
+    assert s.std >= 0

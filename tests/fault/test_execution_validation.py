@@ -1,0 +1,104 @@
+"""Tests for execution-result validation and trace export."""
+
+import json
+
+import pytest
+
+from repro.core.caft import caft
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import ReplicaOutcome, ReplicaStatus, replay
+from repro.fault.validation import is_valid_execution, validate_execution
+from repro.schedule.trace import replay_to_trace, schedule_to_trace, write_trace
+from repro.schedulers.ftsa import ftsa
+from repro.utils.errors import ScheduleValidationError
+from tests.conftest import make_instance
+
+
+class TestValidateExecution:
+    def test_healthy_replays_validate(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        for algo_rng in range(3):
+            sched = caft(inst, 1, rng=algo_rng)
+            for scenario in (
+                FailureScenario.none(),
+                FailureScenario.crash_at_start([0]),
+                FailureScenario({2: sched.makespan() / 2}),
+            ):
+                result = replay(sched, scenario)
+                validate_execution(result)  # no raise
+
+    def test_ftsa_replays_validate(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = ftsa(inst, 2, rng=0)
+        for victims in ([0], [0, 1], [3, 4]):
+            validate_execution(
+                replay(sched, FailureScenario.crash_at_start(victims))
+            )
+
+    def test_tampered_completion_detected(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        scenario = FailureScenario.crash_at_start([0])
+        result = replay(sched, scenario)
+        # forge a completion on the dead processor
+        for seq, out in result.replica_outcomes.items():
+            if out.replica.proc == 0:
+                result.replica_outcomes[seq] = ReplicaOutcome(
+                    out.replica, ReplicaStatus.COMPLETED, 0.0, 1.0
+                )
+                break
+        assert not is_valid_execution(result)
+
+    def test_tampered_early_start_detected(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        result = replay(sched, FailureScenario.none())
+        # move a remote-fed replica before its supply
+        for seq, out in result.replica_outcomes.items():
+            if out.replica.inputs:
+                result.replica_outcomes[seq] = ReplicaOutcome(
+                    out.replica, ReplicaStatus.COMPLETED, 0.0, out.replica.duration
+                )
+                break
+        with pytest.raises(ScheduleValidationError):
+            validate_execution(result)
+
+
+class TestTraceExport:
+    def test_schedule_trace_shape(self):
+        inst = make_instance(num_tasks=12, num_procs=4)
+        sched = caft(inst, 1, rng=0)
+        events = schedule_to_trace(sched)
+        computes = [e for e in events if e["cat"].startswith("compute")]
+        sends = [e for e in events if e["cat"] == "send"]
+        assert len(computes) == sum(len(r) for r in sched.replicas)
+        assert len(sends) == sched.message_count()
+        for e in events:
+            assert e["ph"] == "X" and e["dur"] >= 0
+
+    def test_replay_trace_drops_dead_work(self):
+        inst = make_instance(num_tasks=12, num_procs=4)
+        sched = caft(inst, 1, rng=0)
+        result = replay(sched, FailureScenario.crash_at_start([0]))
+        events = replay_to_trace(result)
+        computes = [e for e in events if e["cat"].startswith("compute")]
+        assert len(computes) == result.counts()["completed"]
+        assert not any(
+            e["pid"] == 0 and e["cat"].startswith("compute") for e in computes
+        )
+        # the failure marker is present
+        assert any(e["cat"] == "fault" for e in events)
+
+    def test_write_trace_file(self, tmp_path):
+        inst = make_instance(num_tasks=12, num_procs=4)
+        sched = caft(inst, 1, rng=0)
+        path = write_trace(sched, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data, list) and data
+
+    def test_write_replay_trace_file(self, tmp_path):
+        inst = make_instance(num_tasks=12, num_procs=4)
+        sched = caft(inst, 1, rng=0)
+        result = replay(sched, FailureScenario.crash_at_start([1]))
+        path = write_trace(result, tmp_path / "replay.json")
+        assert json.loads(path.read_text())

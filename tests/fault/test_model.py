@@ -1,0 +1,65 @@
+"""Tests for failure scenarios."""
+
+import math
+
+import pytest
+
+from repro.fault.model import FailureScenario
+from repro.utils.errors import ReproError
+
+
+class TestConstruction:
+    def test_crash_at_start(self):
+        s = FailureScenario.crash_at_start([1, 3])
+        assert s.failed_procs == (1, 3)
+        assert s.num_failures == 2
+        assert s.fail_time(1) == 0.0
+        assert s.fail_time(0) == math.inf
+
+    def test_none(self):
+        s = FailureScenario.none()
+        assert s.num_failures == 0
+        assert s.fail_time(5) == math.inf
+
+    def test_infinite_times_dropped(self):
+        s = FailureScenario({0: math.inf, 1: 5.0})
+        assert s.failed_procs == (1,)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ReproError):
+            FailureScenario({0: -1.0})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ReproError):
+            FailureScenario({0: math.nan})
+
+
+class TestSurvives:
+    def test_healthy_proc_always_survives(self):
+        s = FailureScenario.crash_at_start([0])
+        assert s.survives(1, 0.0, 1e12)
+
+    def test_dead_from_start(self):
+        s = FailureScenario.crash_at_start([0])
+        assert not s.survives(0, 0.0, 1.0)
+        assert not s.survives(0, 0.0, 0.0)  # zero-duration work at the crash
+
+    def test_mid_execution_crash(self):
+        s = FailureScenario({0: 10.0})
+        assert s.survives(0, 0.0, 10.0)  # finishes exactly at the crash
+        assert not s.survives(0, 0.0, 10.1)
+        assert not s.survives(0, 10.0, 12.0)  # starts at the crash instant
+        assert s.survives(0, 5.0, 9.0)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = FailureScenario.crash_at_start([1, 2])
+        b = FailureScenario({2: 0.0, 1: 0.0})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FailureScenario.crash_at_start([1])
+
+    def test_repr(self):
+        assert "P1@0" in repr(FailureScenario.crash_at_start([1]))
+        assert "none" in repr(FailureScenario.none())

@@ -1,0 +1,74 @@
+"""Tests for Monte-Carlo fault analysis."""
+
+import pytest
+
+from repro.core.caft import caft
+from repro.fault.montecarlo import monte_carlo_crashes, survival_curve
+from repro.schedulers.ftsa import ftsa
+from tests.conftest import make_instance
+
+
+class TestMonteCarloCrashes:
+    def test_robust_schedule_always_survives_within_budget(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = caft(inst, 2, rng=0)
+        report = monte_carlo_crashes(sched, 2, samples=40, rng=1)
+        assert report.survival_rate == 1.0
+        assert report.samples == 40
+        assert len(report.latencies) == 40
+        assert report.mean_latency > 0
+        assert report.max_latency >= report.mean_latency
+
+    def test_literal_variant_fails_sometimes(self):
+        inst = make_instance(num_tasks=30, num_procs=6, seed=3)
+        sched = caft(inst, 1, locking="paper", rng=3)
+        report = monte_carlo_crashes(sched, 1, samples=30, rng=2)
+        # the headline finding: random single crashes defeat Algorithm 5.2
+        assert report.survival_rate < 1.0
+        assert report.failures
+
+    def test_quantiles_ordered(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = ftsa(inst, 1, rng=0)
+        report = monte_carlo_crashes(sched, 1, samples=30, rng=3)
+        assert report.latency_quantile(0.1) <= report.latency_quantile(0.9)
+
+    def test_time_range_sampling(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = caft(inst, 1, rng=0)
+        horizon = sched.makespan()
+        report = monte_carlo_crashes(
+            sched, 1, samples=25, rng=4, time_range=(0.0, horizon)
+        )
+        assert report.survival_rate == 1.0  # mid-run crashes are weaker
+
+    def test_deterministic_given_seed(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        a = monte_carlo_crashes(sched, 1, samples=20, rng=9)
+        b = monte_carlo_crashes(sched, 1, samples=20, rng=9)
+        assert a.latencies == b.latencies
+
+    def test_rejects_bad_samples(self):
+        inst = make_instance(num_tasks=10, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        with pytest.raises(ValueError):
+            monte_carlo_crashes(sched, 1, samples=0)
+
+
+class TestSurvivalCurve:
+    def test_guaranteed_prefix(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = caft(inst, 2, rng=0)
+        curve = survival_curve(sched, max_failures=4, samples=25, rng=0)
+        assert curve[0] == 1.0
+        assert curve[1] == 1.0
+        assert curve[2] == 1.0  # within the epsilon budget
+        assert 0.0 <= curve[4] <= 1.0
+
+    def test_curve_roughly_monotone(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = ftsa(inst, 1, rng=0)
+        curve = survival_curve(sched, max_failures=5, samples=30, rng=1)
+        # sampled, so allow small inversions; the endpoints must order
+        assert curve[1] >= curve[5] - 0.2

@@ -1,0 +1,158 @@
+"""Tests for the crash-replay engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.caft import caft
+from repro.dag.generators import chain
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import ReplicaStatus, crash_latency, replay
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+from repro.utils.errors import ExecutionFailedError
+from tests.conftest import make_instance
+
+
+class TestNoFailureConsistency:
+    """Replaying with no failures must reproduce the committed times."""
+
+    @pytest.mark.parametrize("algo", ["heft", "ftsa", "caft", "caft-paper"])
+    @pytest.mark.parametrize("model", ["oneport", "macro-dataflow"])
+    def test_replay_matches_schedule(self, algo, model):
+        inst = make_instance(num_tasks=25, num_procs=6, seed=4)
+        sched = {
+            "heft": lambda: heft(inst, model=model, rng=1),
+            "ftsa": lambda: ftsa(inst, 1, model=model, rng=1),
+            "caft": lambda: caft(inst, 1, model=model, rng=1),
+            "caft-paper": lambda: caft(inst, 1, model=model, locking="paper", rng=1),
+        }[algo]()
+        result = replay(sched, FailureScenario.none())
+        assert result.success
+        assert result.latency() == pytest.approx(sched.latency())
+        for reps in sched.replicas:
+            for r in reps:
+                out = result.outcome_of(r)
+                assert out.status is ReplicaStatus.COMPLETED
+                assert out.start == pytest.approx(r.start)
+                assert out.finish == pytest.approx(r.finish)
+        for e in sched.events:
+            eo = result.event_outcomes[e.seq]
+            assert eo.delivered
+            assert eo.start == pytest.approx(e.start)
+            assert eo.finish == pytest.approx(e.finish)
+
+
+class TestCrashSemantics:
+    def make_chain_schedule(self):
+        graph = chain(3, volume=10.0)
+        platform = Platform.homogeneous(4, unit_delay=1.0)
+        E = np.full((3, 4), 5.0)
+        inst = ProblemInstance(graph, platform, E)
+        return ftsa(inst, 1, rng=0)
+
+    def test_tasks_on_dead_proc_crash(self):
+        sched = self.make_chain_schedule()
+        victim = sched.replicas[0][0].proc
+        result = replay(sched, FailureScenario.crash_at_start([victim]))
+        assert result.success
+        for reps in sched.replicas:
+            for r in reps:
+                if r.proc == victim:
+                    assert result.outcome_of(r).status is not ReplicaStatus.COMPLETED
+
+    def test_messages_from_dead_proc_dropped(self):
+        sched = self.make_chain_schedule()
+        victim = sched.replicas[0][0].proc
+        result = replay(sched, FailureScenario.crash_at_start([victim]))
+        for e in sched.events:
+            if e.src_proc == victim:
+                assert not result.event_outcomes[e.seq].delivered
+
+    def test_messages_to_dead_proc_dropped(self):
+        sched = self.make_chain_schedule()
+        victim = sched.replicas[2][0].proc
+        result = replay(sched, FailureScenario.crash_at_start([victim]))
+        for e in sched.events:
+            if e.dst_proc == victim:
+                assert not result.event_outcomes[e.seq].delivered
+
+    def test_crash_latency_helper(self):
+        sched = self.make_chain_schedule()
+        assert crash_latency(sched, FailureScenario.none()) == pytest.approx(
+            sched.latency()
+        )
+
+    def test_too_many_failures_raise(self):
+        sched = self.make_chain_schedule()  # eps = 1
+        procs = {r.proc for reps in sched.replicas for r in reps}
+        result = replay(sched, FailureScenario.crash_at_start(procs))
+        assert not result.success
+        with pytest.raises(ExecutionFailedError) as exc:
+            result.latency()
+        assert exc.value.dead_tasks
+
+    def test_counts_tally(self):
+        sched = self.make_chain_schedule()
+        victim = sched.replicas[0][0].proc
+        result = replay(sched, FailureScenario.crash_at_start([victim]))
+        counts = result.counts()
+        total = sum(len(reps) for reps in sched.replicas)
+        assert (
+            counts["completed"] + counts["crashed"] + counts["starved"] == total
+        )
+        assert counts["messages_delivered"] + counts["messages_dropped"] == len(
+            sched.events
+        )
+
+
+class TestMidExecutionFailure:
+    def test_work_before_failure_counts(self):
+        """A processor failing late contributes everything it finished."""
+        inst = make_instance(num_tasks=20, num_procs=5, seed=9)
+        sched = ftsa(inst, 1, rng=2)
+        victim = sched.replicas[0][0].proc
+        horizon = sched.makespan()
+        late = replay(sched, FailureScenario({victim: horizon + 1}))
+        assert late.success
+        assert late.latency() == pytest.approx(sched.latency())
+
+    def test_failure_time_monotonicity(self):
+        """Failing earlier can only kill more replicas."""
+        inst = make_instance(num_tasks=20, num_procs=5, seed=9)
+        sched = ftsa(inst, 1, rng=2)
+        victim = max(
+            range(inst.num_procs), key=lambda p: len(sched.proc_replicas[p])
+        )
+        horizon = sched.makespan()
+        completed = []
+        for t in (0.0, horizon / 2, horizon + 1):
+            result = replay(sched, FailureScenario({victim: t}))
+            completed.append(result.counts()["completed"])
+        assert completed[0] <= completed[1] <= completed[2]
+
+
+class TestCrashCanSpeedUpOrSlowDown:
+    """§6: crash latency may be smaller or larger than the 0-crash latency
+    because dropped messages free ports (smaller) while lost first copies
+    delay starts (larger).  Both directions must be witnessed."""
+
+    def test_both_directions_exist(self):
+        faster = slower = False
+        for seed in range(30):
+            inst = make_instance(num_tasks=25, num_procs=5, granularity=0.4, seed=seed)
+            sched = ftsa(inst, 1, rng=seed)
+            base = sched.latency()
+            for victim in range(inst.num_procs):
+                result = replay(sched, FailureScenario.crash_at_start([victim]))
+                if not result.success:
+                    continue
+                lat = result.latency()
+                if lat < base - 1e-6:
+                    faster = True
+                if lat > base + 1e-6:
+                    slower = True
+            if faster and slower:
+                break
+        assert faster and slower

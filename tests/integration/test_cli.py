@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "3", "--graphs", "5"])
+        assert args.number == 3 and args.graphs == 5
+
+    def test_figure_rejects_bad_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "7"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.workload == "gaussian_elimination"
+        assert args.scheduler == "caft"
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        rc = main(
+            ["demo", "--size", "4", "--procs", "4", "--epsilon", "1", "--crash", "1",
+             "--width", "60"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "latency=" in out
+        assert "replay under" in out
+
+    def test_demo_heft(self, capsys):
+        rc = main(["demo", "--scheduler", "heft", "--size", "4", "--procs", "4"])
+        assert rc == 0
+        assert "heft" in capsys.readouterr().out
+
+    def test_demo_all_workloads(self, capsys):
+        for wl in ("fft_butterfly", "stencil_1d", "tiled_cholesky"):
+            rc = main(["demo", "--workload", wl, "--size", "4", "--procs", "4"])
+            assert rc == 0
+
+    def test_prop51_runs(self, capsys):
+        rc = main(["prop51", "--trials", "2", "--tasks", "20", "--procs", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Proposition 5.1 holds" in out
+
+    def test_figure_tiny(self, capsys, tmp_path):
+        out_csv = tmp_path / "fig.csv"
+        rc = main(["figure", "1", "--graphs", "1", "--out", str(out_csv)])
+        out = capsys.readouterr().out
+        assert "figure1 (a)" in out
+        assert "shape checks:" in out
+        assert out_csv.exists()
+
+
+class TestNewSubcommands:
+    def test_robustness_exhaustive(self, capsys):
+        rc = main(
+            ["robustness", "--size", "4", "--procs", "5", "--epsilon", "1",
+             "--exhaustive", "--samples", "10", "--max-failures", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ROBUST" in out
+        assert "survival curve" in out
+
+    def test_robustness_literal_can_fail(self, capsys):
+        # the literal variant has no guarantee; exit code reflects the curve
+        rc = main(
+            ["robustness", "--workload", "stencil_1d", "--size", "6",
+             "--procs", "6", "--epsilon", "2", "--locking", "paper",
+             "--samples", "10", "--max-failures", "2", "--seed", "0"]
+        )
+        assert rc in (0, 1)
+
+    def test_trace_export(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        rc = main(
+            ["trace", "--size", "4", "--procs", "4", "--out", str(out),
+             "--crash", "1"]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert (tmp_path / "t.crash.json").exists()
+
+    def test_sweep_heterogeneity(self, capsys):
+        rc = main(["sweep", "heterogeneity", "--graphs", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "norm_latency vs h" in out
+
+    def test_figure_html(self, capsys, tmp_path):
+        html_out = tmp_path / "fig.html"
+        rc = main(["figure", "1", "--graphs", "1", "--html", str(html_out)])
+        assert html_out.exists()
+        assert "<svg" in html_out.read_text()
+
+    def test_compare_subcommand(self, capsys):
+        rc = main(
+            ["compare", "--size", "4", "--procs", "5", "--epsilon", "1",
+             "--samples", "5"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "caft" in out and "ftsa" in out and "surv" in out

@@ -1,0 +1,55 @@
+"""Smoke tests running every example script end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "latency (0 crash)" in out
+        assert out.count("completes=True") == 6  # every crash survived
+
+    def test_linear_algebra_pipeline(self, capsys):
+        out = run_example("linear_algebra_pipeline.py", capsys=capsys)
+        assert "gaussian_elimination" in out
+        assert "tiled_cholesky" in out
+        assert "price of fault tolerance" in out
+
+    def test_cluster_failures(self, capsys):
+        out = run_example("cluster_failures.py", capsys=capsys)
+        assert "crash patterns survive" in out
+        assert "literal Algorithm 5.2" in out
+
+    def test_sparse_cluster(self, capsys):
+        out = run_example("sparse_cluster.py", capsys=capsys)
+        assert "clique" in out and "ring" in out
+        # the clique row is the 1.00x baseline
+        assert "1.00x" in out
+
+    def test_reproduce_figure(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = run_example("reproduce_figure.py", argv=["1", "1"], capsys=capsys)
+        assert "average overhead" in out
+        assert (tmp_path / "results" / "figure1_example.csv").exists()
+
+    def test_compare_algorithms(self, capsys):
+        out = run_example("compare_algorithms.py", capsys=capsys)
+        assert "parallelism profile" in out
+        assert "surv" in out
+        assert "caft-paper" in out

@@ -1,0 +1,169 @@
+"""Tests for platform/cost generators and granularity scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.generators import chain, random_dag
+from repro.platform.heterogeneity import (
+    granularity,
+    range_exec_matrix,
+    related_exec_matrix,
+    scale_to_granularity,
+    slowest_comm_sum,
+    slowest_exec_sum,
+    uniform_delay_platform,
+)
+from repro.platform.platform import Platform
+from repro.utils.errors import InvalidPlatformError
+
+
+class TestUniformDelayPlatform:
+    def test_in_range(self):
+        p = uniform_delay_platform(8, delay_range=(0.5, 1.0), rng=0)
+        d = p.delay_matrix
+        off = d[~np.eye(8, dtype=bool)]
+        assert (off >= 0.5).all() and (off <= 1.0).all()
+
+    def test_symmetric_by_default(self):
+        p = uniform_delay_platform(6, rng=1)
+        assert np.allclose(p.delay_matrix, p.delay_matrix.T)
+
+    def test_asymmetric_option(self):
+        p = uniform_delay_platform(6, rng=1, symmetric=False)
+        assert not np.allclose(p.delay_matrix, p.delay_matrix.T)
+
+    def test_deterministic(self):
+        a = uniform_delay_platform(5, rng=9).delay_matrix
+        b = uniform_delay_platform(5, rng=9).delay_matrix
+        assert np.array_equal(a, b)
+
+    def test_bad_range(self):
+        with pytest.raises(InvalidPlatformError):
+            uniform_delay_platform(4, delay_range=(1.0, 0.5))
+
+
+class TestExecMatrices:
+    def test_range_matrix_band(self):
+        base = np.array([10.0, 20.0])
+        E = range_exec_matrix(base, 50, heterogeneity=0.5, rng=0)
+        assert E.shape == (2, 50)
+        assert (E[0] >= 7.5).all() and (E[0] <= 12.5).all()
+        assert (E[1] >= 15.0).all() and (E[1] <= 25.0).all()
+
+    def test_zero_heterogeneity_identical(self):
+        E = range_exec_matrix(np.array([5.0]), 4, heterogeneity=0.0, rng=0)
+        assert np.allclose(E, 5.0)
+
+    def test_rejects_heterogeneity_2(self):
+        with pytest.raises(InvalidPlatformError):
+            range_exec_matrix(np.array([1.0]), 2, heterogeneity=2.0)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(InvalidPlatformError):
+            range_exec_matrix(np.array([0.0]), 2)
+
+    def test_related_matrix(self):
+        E = related_exec_matrix(np.array([6.0, 12.0]), np.array([1.0, 2.0, 3.0]))
+        assert E[0].tolist() == [6.0, 3.0, 2.0]
+        assert E[1].tolist() == [12.0, 6.0, 4.0]
+
+    def test_related_rejects_bad_speed(self):
+        with pytest.raises(InvalidPlatformError):
+            related_exec_matrix(np.array([1.0]), np.array([0.0]))
+
+
+class TestGranularity:
+    def test_definition(self):
+        graph = chain(2, volume=10.0)
+        platform = Platform.homogeneous(2, unit_delay=2.0)
+        E = np.array([[4.0, 8.0], [6.0, 2.0]])
+        # slowest exec sum = 8 + 6 = 14; slowest comm = 10 * 2 = 20
+        assert slowest_exec_sum(E) == 14.0
+        assert slowest_comm_sum(graph, platform) == 20.0
+        assert granularity(graph, platform, E) == pytest.approx(0.7)
+
+    def test_scaling_is_exact(self):
+        graph = random_dag(30, rng=0)
+        platform = uniform_delay_platform(5, rng=1)
+        E = range_exec_matrix(np.full(30, 3.0), 5, rng=2)
+        for target in (0.2, 1.0, 7.5):
+            scaled = scale_to_granularity(graph, platform, E, target)
+            assert granularity(graph, platform, scaled) == pytest.approx(target)
+
+    def test_scaling_preserves_ratios(self):
+        graph = chain(3, volume=5.0)
+        platform = Platform.homogeneous(2, unit_delay=1.0)
+        E = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        scaled = scale_to_granularity(graph, platform, E, 2.0)
+        assert np.allclose(scaled / E, scaled[0, 0] / E[0, 0])
+
+    def test_edgeless_graph_rejected(self):
+        from repro.dag.graph import TaskGraph
+
+        graph = TaskGraph(3, [])
+        platform = Platform.homogeneous(2)
+        with pytest.raises(InvalidPlatformError, match="undefined"):
+            granularity(graph, platform, np.ones((3, 2)))
+
+    def test_bad_target_rejected(self):
+        graph = chain(2, volume=1.0)
+        platform = Platform.homogeneous(2)
+        with pytest.raises(InvalidPlatformError):
+            scale_to_granularity(graph, platform, np.ones((2, 2)), 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    v=st.integers(5, 40),
+    m=st.integers(2, 8),
+    target=st.floats(0.1, 10.0),
+    seed=st.integers(0, 500),
+)
+def test_granularity_scaling_property(v, m, target, seed):
+    """scale_to_granularity hits any positive target exactly for any instance."""
+    graph = random_dag(v, rng=seed)
+    if graph.num_edges == 0:
+        return
+    platform = uniform_delay_platform(m, rng=seed + 1)
+    E = range_exec_matrix(np.full(v, 2.0), m, rng=seed + 2)
+    scaled = scale_to_granularity(graph, platform, E, target)
+    assert granularity(graph, platform, scaled) == pytest.approx(target)
+    assert (scaled > 0).all()
+
+
+class TestSenderDependent:
+    def test_rows_constant(self):
+        from repro.platform.heterogeneity import sender_dependent_platform
+
+        p = sender_dependent_platform(5, rng=0)
+        d = p.delay_matrix
+        for k in range(5):
+            off = [d[k, h] for h in range(5) if h != k]
+            assert len(set(off)) == 1  # one outgoing rate per sender
+
+    def test_rates_in_range(self):
+        from repro.platform.heterogeneity import sender_dependent_platform
+
+        p = sender_dependent_platform(6, rate_range=(0.5, 1.0), rng=1)
+        off = p.delay_matrix[~np.eye(6, dtype=bool)]
+        assert (off >= 0.5).all() and (off <= 1.0).all()
+
+    def test_schedulable(self):
+        from repro.core.caft import caft
+        from repro.dag.generators import random_dag
+        from repro.platform.heterogeneity import sender_dependent_platform
+        from repro.platform.instance import ProblemInstance
+
+        graph = random_dag(15, rng=0)
+        platform = sender_dependent_platform(5, rng=2)
+        E = range_exec_matrix(np.full(15, 5.0), 5, rng=3)
+        inst = ProblemInstance(graph, platform, E)
+        sched = caft(inst, 1, rng=0)
+        assert sched.latency() > 0
+
+    def test_bad_range(self):
+        from repro.platform.heterogeneity import sender_dependent_platform
+
+        with pytest.raises(InvalidPlatformError):
+            sender_dependent_platform(4, rate_range=(2.0, 1.0))

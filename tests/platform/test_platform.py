@@ -1,0 +1,132 @@
+"""Tests for Platform and ProblemInstance."""
+
+import numpy as np
+import pytest
+
+from repro.dag.generators import chain, random_dag
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+from repro.utils.errors import InvalidPlatformError
+
+
+class TestPlatform:
+    def test_homogeneous(self):
+        p = Platform.homogeneous(4, unit_delay=2.0)
+        assert p.num_procs == 4
+        assert p.delay(0, 1) == 2.0
+        assert p.delay(2, 2) == 0.0
+
+    def test_delay_matrix_read_only(self):
+        p = Platform.homogeneous(3)
+        with pytest.raises(ValueError):
+            p.delay_matrix[0, 1] = 5.0
+
+    def test_mean_delay_excludes_diagonal(self):
+        p = Platform.homogeneous(3, unit_delay=2.0)
+        assert p.mean_delay() == pytest.approx(2.0)
+
+    def test_mean_delay_single_proc(self):
+        assert Platform.homogeneous(1).mean_delay() == 0.0
+
+    def test_max_delay(self):
+        d = np.array([[0.0, 1.0], [3.0, 0.0]])
+        assert Platform(d).max_delay() == 3.0
+
+    def test_asymmetric_allowed(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        p = Platform(d)
+        assert p.delay(0, 1) == 1.0
+        assert p.delay(1, 0) == 2.0
+
+    def test_custom_names(self):
+        p = Platform(np.zeros((2, 2)), names=["fast", "slow"])
+        assert p.names == ("fast", "slow")
+
+    def test_rejects_nonzero_diagonal(self):
+        d = np.ones((2, 2))
+        with pytest.raises(InvalidPlatformError, match="d\\(P, P\\)"):
+            Platform(d)
+
+    def test_rejects_negative_delay(self):
+        d = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(InvalidPlatformError):
+            Platform(d)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidPlatformError, match="square"):
+            Platform(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform(np.zeros((0, 0)))
+
+    def test_rejects_nan(self):
+        d = np.array([[0.0, np.nan], [1.0, 0.0]])
+        with pytest.raises(InvalidPlatformError):
+            Platform(d)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform(np.zeros((2, 2)), names=["a"])
+
+    def test_rejects_bad_homogeneous(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform.homogeneous(0)
+        with pytest.raises(InvalidPlatformError):
+            Platform.homogeneous(2, unit_delay=-1.0)
+
+
+class TestProblemInstance:
+    def make(self):
+        graph = chain(3, volume=10.0)
+        platform = Platform.homogeneous(2, unit_delay=0.5)
+        E = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        return ProblemInstance(graph, platform, E)
+
+    def test_cost_lookup(self):
+        inst = self.make()
+        assert inst.cost(1, 0) == 3.0
+        assert inst.cost(2, 1) == 6.0
+
+    def test_mean_and_min_exec(self):
+        inst = self.make()
+        assert inst.mean_exec.tolist() == [1.5, 3.5, 5.5]
+        assert inst.min_exec.tolist() == [1.0, 3.0, 5.0]
+
+    def test_mean_edge_weight(self):
+        inst = self.make()
+        assert inst.mean_edge_weight(0, 1) == pytest.approx(5.0)  # 10 * 0.5
+
+    def test_comm_cost(self):
+        inst = self.make()
+        assert inst.comm_cost(0, 1, 0, 1) == 5.0
+        assert inst.comm_cost(0, 1, 1, 1) == 0.0
+
+    def test_exec_cost_read_only(self):
+        inst = self.make()
+        with pytest.raises(ValueError):
+            inst.exec_cost[0, 0] = 9.0
+
+    def test_rejects_wrong_shape(self):
+        graph = chain(3)
+        platform = Platform.homogeneous(2)
+        with pytest.raises(InvalidPlatformError, match="shape"):
+            ProblemInstance(graph, platform, np.ones((3, 3)))
+
+    def test_rejects_nonpositive_cost(self):
+        graph = chain(2)
+        platform = Platform.homogeneous(2)
+        with pytest.raises(InvalidPlatformError):
+            ProblemInstance(graph, platform, np.array([[1.0, 0.0], [1.0, 1.0]]))
+
+    def test_rejects_infinite_cost(self):
+        graph = chain(2)
+        platform = Platform.homogeneous(2)
+        E = np.array([[1.0, np.inf], [1.0, 1.0]])
+        with pytest.raises(InvalidPlatformError):
+            ProblemInstance(graph, platform, E)
+
+    def test_properties(self):
+        inst = self.make()
+        assert inst.num_tasks == 3
+        assert inst.num_procs == 2

@@ -1,0 +1,126 @@
+"""Tests for latency bounds, metrics and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.caft import caft
+from repro.dag.analysis import min_critical_path
+from repro.schedule.bounds import latency_lower_bound, latency_upper_bound
+from repro.schedule.gantt import render_gantt
+from repro.schedule.metrics import (
+    message_bound_ftsa,
+    message_bound_one_to_one,
+    normalized_latency,
+    overhead_percent,
+    summarize,
+)
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+from tests.conftest import make_instance
+
+
+class TestBounds:
+    def test_upper_ge_lower(self, epsilon):
+        inst = make_instance(num_tasks=25, num_procs=6)
+        for algo in (
+            lambda: ftsa(inst, epsilon, rng=1),
+            lambda: caft(inst, epsilon, rng=1),
+            lambda: caft(inst, epsilon, locking="paper", rng=1),
+        ):
+            sched = algo()
+            assert latency_upper_bound(sched) >= sched.latency() - 1e-9
+
+    def test_heft_bounds_coincide(self):
+        """Without replication, last copy == first copy: UB equals latency."""
+        inst = make_instance()
+        sched = heft(inst)
+        assert latency_upper_bound(sched) == pytest.approx(sched.latency())
+
+    def test_lower_bound_alias(self):
+        inst = make_instance()
+        sched = heft(inst)
+        assert latency_lower_bound(sched) == sched.latency()
+
+    def test_latency_vs_makespan(self):
+        inst = make_instance()
+        sched = ftsa(inst, epsilon=1, rng=0)
+        assert sched.latency() <= sched.makespan()
+
+    def test_upper_bound_reflects_worst_supply(self):
+        """The UB must exceed the latency when replicas wait on slow copies."""
+        inst = make_instance(num_tasks=30, num_procs=5, granularity=0.3)
+        sched = ftsa(inst, epsilon=2, rng=3)
+        assert latency_upper_bound(sched) > sched.latency()
+
+
+class TestMetrics:
+    def test_normalized_latency_ge_one(self):
+        inst = make_instance()
+        sched = heft(inst)
+        assert normalized_latency(sched) >= 1.0
+
+    def test_normalized_latency_definition(self):
+        inst = make_instance()
+        sched = heft(inst)
+        assert normalized_latency(sched) == pytest.approx(
+            sched.latency() / min_critical_path(inst)
+        )
+
+    def test_overhead_percent(self):
+        assert overhead_percent(150.0, 100.0) == pytest.approx(50.0)
+        assert overhead_percent(100.0, 100.0) == 0.0
+
+    def test_overhead_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            overhead_percent(1.0, 0.0)
+
+    def test_message_bounds(self):
+        inst = make_instance()
+        sched = ftsa(inst, epsilon=2, rng=0)
+        e = inst.graph.num_edges
+        assert message_bound_ftsa(sched) == e * 9
+        assert message_bound_one_to_one(sched) == e * 3
+        assert sched.message_count() <= message_bound_ftsa(sched)
+
+    def test_summarize_fields(self):
+        inst = make_instance()
+        sched = ftsa(inst, epsilon=1, rng=0)
+        rep = summarize(sched)
+        assert rep.scheduler == "ftsa"
+        assert rep.model == "oneport"
+        assert rep.epsilon == 1
+        assert rep.latency == pytest.approx(sched.latency())
+        assert rep.upper_bound >= rep.latency
+        assert rep.messages == sched.message_count()
+        assert rep.replication_factor == pytest.approx(2.0)
+
+    def test_comm_volume_and_busy(self):
+        inst = make_instance()
+        sched = ftsa(inst, epsilon=1, rng=0)
+        assert sched.comm_volume() > 0
+        assert sched.comm_busy_time() > 0
+
+
+class TestGantt:
+    def test_contains_processor_rows(self):
+        inst = make_instance(num_tasks=8, num_procs=3)
+        text = render_gantt(heft(inst))
+        for p in range(3):
+            assert f"P{p}" in text
+
+    def test_comm_rows_optional(self):
+        inst = make_instance(num_tasks=8, num_procs=3)
+        sched = heft(inst)
+        with_comms = render_gantt(sched, show_comms=True)
+        without = render_gantt(sched, show_comms=False)
+        assert len(with_comms.splitlines()) >= len(without.splitlines())
+
+    def test_header_mentions_scheduler(self):
+        inst = make_instance(num_tasks=8, num_procs=3)
+        assert "heft" in render_gantt(heft(inst))
+
+    def test_width_respected(self):
+        inst = make_instance(num_tasks=8, num_procs=3)
+        text = render_gantt(heft(inst), width=60)
+        for line in text.splitlines():
+            assert len(line) <= 60 + 20  # label margin

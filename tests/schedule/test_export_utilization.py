@@ -1,0 +1,162 @@
+"""Tests for schedule serialization and utilization analysis."""
+
+import json
+
+import pytest
+
+from repro.core.caft import caft
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import replay
+from repro.schedule.bounds import latency_upper_bound
+from repro.schedule.export import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.schedule.utilization import (
+    idle_fraction,
+    replication_traffic_share,
+    utilization,
+)
+from repro.schedule.validation import validate_schedule
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+from repro.utils.errors import ScheduleValidationError
+from tests.conftest import make_instance
+
+
+class TestExportRoundTrip:
+    @pytest.fixture
+    def pair(self):
+        inst = make_instance(num_tasks=20, num_procs=5, seed=8)
+        sched = caft(inst, 1, rng=1)
+        return inst, sched
+
+    def test_dict_fields(self, pair):
+        _inst, sched = pair
+        data = schedule_to_dict(sched)
+        assert data["format"] == "repro-schedule-v1"
+        assert data["scheduler"] == "caft"
+        assert len(data["replicas"]) == sum(len(r) for r in sched.replicas)
+        assert len(data["events"]) == len(sched.events)
+        assert data["metrics"]["latency"] == pytest.approx(sched.latency())
+
+    def test_json_text(self, pair):
+        _inst, sched = pair
+        text = schedule_to_json(sched)
+        json.loads(text)  # valid JSON
+
+    def test_json_file(self, pair, tmp_path):
+        _inst, sched = pair
+        path = tmp_path / "sched.json"
+        schedule_to_json(sched, path)
+        assert path.exists()
+
+    def test_roundtrip_preserves_everything(self, pair):
+        inst, sched = pair
+        rebuilt = schedule_from_json(schedule_to_json(sched), inst)
+        validate_schedule(rebuilt)
+        assert rebuilt.latency() == pytest.approx(sched.latency())
+        assert rebuilt.makespan() == pytest.approx(sched.makespan())
+        assert rebuilt.message_count() == sched.message_count()
+        assert latency_upper_bound(rebuilt) == pytest.approx(
+            latency_upper_bound(sched)
+        )
+        assert rebuilt.task_order == sched.task_order
+
+    def test_roundtrip_is_replayable(self, pair):
+        inst, sched = pair
+        rebuilt = schedule_from_dict(schedule_to_dict(sched), inst)
+        for victim in range(inst.num_procs):
+            scenario = FailureScenario.crash_at_start([victim])
+            a = replay(sched, scenario)
+            b = replay(rebuilt, scenario)
+            assert a.success == b.success
+            if a.success:
+                assert a.latency() == pytest.approx(b.latency())
+
+    def test_supports_preserved(self, pair):
+        inst, sched = pair
+        rebuilt = schedule_from_dict(schedule_to_dict(sched), inst)
+        for orig_reps, new_reps in zip(sched.replicas, rebuilt.replicas):
+            for a, b in zip(orig_reps, new_reps):
+                assert a.support == b.support
+                assert a.kind == b.kind
+
+    def test_rejects_unknown_format(self, pair):
+        inst, _sched = pair
+        with pytest.raises(ScheduleValidationError):
+            schedule_from_dict({"format": "v999"}, inst)
+
+    def test_rejects_shape_mismatch(self, pair):
+        _inst, sched = pair
+        other = make_instance(num_tasks=5, num_procs=3)
+        with pytest.raises(ScheduleValidationError, match="shape"):
+            schedule_from_dict(schedule_to_dict(sched), other)
+
+
+class TestUtilization:
+    def test_report_shapes(self):
+        inst = make_instance(num_tasks=20, num_procs=5)
+        sched = ftsa(inst, 1, rng=0)
+        rep = utilization(sched)
+        assert len(rep.proc_busy) == 5
+        assert rep.makespan == pytest.approx(sched.makespan())
+        assert 0.0 < rep.mean_proc_utilization <= 1.0
+        assert 0.0 <= rep.max_port_utilization <= 1.0
+
+    def test_busy_matches_metrics(self):
+        inst = make_instance(num_tasks=20, num_procs=5)
+        sched = ftsa(inst, 1, rng=0)
+        rep = utilization(sched)
+        assert sum(rep.send_busy) == pytest.approx(sched.comm_busy_time())
+        assert sum(rep.recv_busy) == pytest.approx(sched.comm_busy_time())
+        assert sum(rep.link_busy.values()) == pytest.approx(sched.comm_busy_time())
+
+    def test_busiest_link(self):
+        inst = make_instance(num_tasks=25, num_procs=5, granularity=0.3)
+        sched = ftsa(inst, 1, rng=0)
+        busiest = utilization(sched).busiest_link
+        assert busiest is not None
+        (a, b), t = busiest
+        assert a != b and t > 0
+
+    def test_no_comm_schedule(self):
+        """A single-processor platform produces no messages at all."""
+        import numpy as np
+
+        from repro.dag.generators import random_dag
+        from repro.platform.instance import ProblemInstance
+        from repro.platform.platform import Platform
+
+        graph = random_dag(10, rng=0)
+        inst = ProblemInstance(
+            graph, Platform.homogeneous(1), np.full((10, 1), 5.0)
+        )
+        sched = heft(inst, rng=0)
+        rep = utilization(sched)
+        assert rep.busiest_link is None
+        assert rep.mean_proc_utilization == pytest.approx(1.0)
+        assert idle_fraction(sched) == pytest.approx(0.0)
+
+    def test_idle_fraction_range(self):
+        inst = make_instance(num_tasks=20, num_procs=6)
+        sched = caft(inst, 1, rng=0)
+        assert 0.0 <= idle_fraction(sched) < 1.0
+
+    def test_replication_share_orders_algorithms(self):
+        """FTSA's fan-out carries more replication traffic than CAFT's
+        one-to-one channels on the same instance."""
+        inst = make_instance(num_tasks=40, num_procs=8, granularity=0.5, seed=4)
+        share_caft = replication_traffic_share(caft(inst, 1, rng=0))
+        share_ftsa = replication_traffic_share(ftsa(inst, 1, rng=0))
+        assert 0.0 <= share_caft <= 1.0
+        assert share_caft <= share_ftsa + 0.05
+
+    def test_replication_share_zero_without_replication(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = heft(inst, rng=0)
+        # with one replica per task every edge ships at most once... unless
+        # co-location removed the message entirely; share must be 0
+        assert replication_traffic_share(sched) == pytest.approx(0.0)

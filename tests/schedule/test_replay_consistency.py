@@ -1,0 +1,103 @@
+"""Property tests: builder/replayer consistency across the whole design space.
+
+The strongest internal invariant of the library: for ANY instance, ANY
+scheduler, ANY network model, replaying the committed schedule with zero
+failures reproduces every committed time exactly.  This pins the builder's
+resource algebra (eqs. (4)-(6)) and the replay engine to each other.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.caft import caft
+from repro.core.caft_batch import caft_batch
+from repro.fault.model import FailureScenario
+from repro.fault.simulator import replay
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+from tests.conftest import make_instance
+
+ALGOS = {
+    "heft": lambda inst, eps, model, seed: heft(inst, model=model, rng=seed),
+    "ftsa": lambda inst, eps, model, seed: ftsa(inst, eps, model=model, rng=seed),
+    "ftsa-re": lambda inst, eps, model, seed: ftsa(
+        inst, eps, model=model, reselect=True, rng=seed
+    ),
+    "ftbar": lambda inst, eps, model, seed: ftbar(inst, eps, model=model, rng=seed),
+    "caft": lambda inst, eps, model, seed: caft(inst, eps, model=model, rng=seed),
+    "caft-paper": lambda inst, eps, model, seed: caft(
+        inst, eps, model=model, locking="paper", rng=seed
+    ),
+    "caft-batch": lambda inst, eps, model, seed: caft_batch(
+        inst, eps, window=4, model=model, rng=seed
+    ),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    v=st.integers(5, 30),
+    m=st.integers(3, 7),
+    eps=st.integers(0, 2),
+    gran=st.sampled_from([0.2, 1.0, 5.0]),
+    algo=st.sampled_from(sorted(ALGOS)),
+    model=st.sampled_from(["oneport", "macro-dataflow", "uniport"]),
+)
+def test_zero_failure_replay_identity(seed, v, m, eps, gran, algo, model):
+    if eps + 1 > m:
+        eps = m - 1
+    if algo == "heft":
+        eps = 0
+    inst = make_instance(num_tasks=v, num_procs=m, granularity=gran, seed=seed)
+    sched = ALGOS[algo](inst, eps, model, seed)
+    result = replay(sched, FailureScenario.none())
+    assert result.success
+    for reps in sched.replicas:
+        for r in reps:
+            out = result.outcome_of(r)
+            assert out.start == pytest.approx(r.start, abs=1e-9)
+            assert out.finish == pytest.approx(r.finish, abs=1e-9)
+    for e in sched.events:
+        eo = result.event_outcomes[e.seq]
+        assert eo.delivered
+        assert eo.start == pytest.approx(e.start, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    v=st.integers(8, 25),
+    eps=st.integers(1, 2),
+    victim=st.integers(0, 4),
+)
+def test_crash_latency_vs_upper_bound(seed, v, eps, victim):
+    """Any single-crash latency of a robust CAFT schedule stays below the
+    schedule's worst-case upper bound."""
+    from repro.schedule.bounds import latency_upper_bound
+
+    inst = make_instance(num_tasks=v, num_procs=5, seed=seed)
+    sched = caft(inst, eps, rng=seed)
+    ub = latency_upper_bound(sched)
+    result = replay(sched, FailureScenario.crash_at_start([victim]))
+    assert result.success
+    assert result.latency() <= ub + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), v=st.integers(8, 25))
+def test_fewer_failures_never_hurt_coverage(seed, v):
+    """Monotonicity: removing a failure never shrinks the completed set."""
+    inst = make_instance(num_tasks=v, num_procs=5, seed=seed)
+    sched = caft(inst, 2, rng=seed)
+    two = replay(sched, FailureScenario.crash_at_start([0, 1]))
+    one = replay(sched, FailureScenario.crash_at_start([0]))
+    completed_two = {
+        s for s, out in two.replica_outcomes.items() if out.status.value == "completed"
+    }
+    completed_one = {
+        s for s, out in one.replica_outcomes.items() if out.status.value == "completed"
+    }
+    assert completed_two <= completed_one

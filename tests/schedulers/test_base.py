@@ -1,0 +1,172 @@
+"""Tests for shared list-scheduling machinery."""
+
+import numpy as np
+import pytest
+
+from repro.comm.macrodataflow import MacroDataflowNetwork
+from repro.comm.oneport import OnePortNetwork
+from repro.comm.routed import RoutedOnePortNetwork
+from repro.dag.generators import chain, fork
+from repro.platform.instance import ProblemInstance
+from repro.platform.platform import Platform
+from repro.platform.topology import Topology
+from repro.schedule.schedule import Trial
+from repro.schedulers.base import (
+    FreeTaskList,
+    argmin_trial,
+    eligible_procs,
+    full_fanin_sources,
+    make_builder,
+    resolve_network,
+)
+from repro.utils.errors import SchedulingError
+from tests.conftest import make_instance
+
+
+class TestResolveNetwork:
+    def test_by_name(self):
+        inst = make_instance()
+        net, factory = resolve_network("oneport", inst)
+        assert isinstance(net, OnePortNetwork)
+        fresh = factory()
+        assert isinstance(fresh, OnePortNetwork)
+        assert fresh is not net
+
+    def test_by_instance(self):
+        inst = make_instance()
+        net = MacroDataflowNetwork(inst.platform)
+        resolved, factory = resolve_network(net, inst)
+        assert resolved is net
+        assert isinstance(factory(), MacroDataflowNetwork)
+
+    def test_instance_is_reset(self):
+        inst = make_instance()
+        net = OnePortNetwork(inst.platform)
+        net.place_transfer(0, 1, 0.0, 10.0)
+        resolved, _ = resolve_network(net, inst)
+        assert resolved.send_free(0) == 0.0
+
+    def test_routed_factory_keeps_topology(self):
+        topo = Topology.ring(5)
+        inst = make_instance(num_procs=5)
+        net = RoutedOnePortNetwork(topo)
+        _resolved, factory = resolve_network(net, inst)
+        fresh = factory()
+        assert fresh.topology is topo
+
+    def test_insertion_policy_preserved(self):
+        inst = make_instance()
+        net = OnePortNetwork(inst.platform, policy="insertion")
+        _resolved, factory = resolve_network(net, inst)
+        assert factory().policy == "insertion"
+
+
+class TestFreeTaskList:
+    def instance(self):
+        graph = chain(3, volume=10.0)
+        platform = Platform.homogeneous(2, unit_delay=1.0)
+        E = np.full((3, 2), 5.0)
+        return ProblemInstance(graph, platform, E)
+
+    def test_initial_free_tasks_are_entries(self):
+        inst = make_instance()
+        free = FreeTaskList(inst, np.random.default_rng(0))
+        for t in free.free_tasks():
+            assert inst.graph.in_degree(t) == 0
+
+    def test_tasks_become_free_when_preds_done(self):
+        inst = self.instance()
+        free = FreeTaskList(inst, np.random.default_rng(0))
+        assert free.free_tasks() == [0]
+        freed = free.task_scheduled(0, best_finish=5.0)
+        assert freed == [1]
+
+    def test_dynamic_top_level_uses_actual_finish(self):
+        inst = self.instance()
+        free = FreeTaskList(inst, np.random.default_rng(0), dynamic=True)
+        free.task_scheduled(0, best_finish=42.0)
+        # tl(t1) = 42 + mean edge weight (10 * 1.0) = 52
+        assert free.tl[1] == pytest.approx(52.0)
+
+    def test_static_top_level_uses_mean_costs(self):
+        inst = self.instance()
+        free = FreeTaskList(inst, np.random.default_rng(0), dynamic=False)
+        free.task_scheduled(0, best_finish=42.0)
+        # tl(t1) = tl(t0) + mean exec (5) + mean edge (10) = 15
+        assert free.tl[1] == pytest.approx(15.0)
+
+    def test_bl_priority_matches_analysis(self):
+        from repro.dag.analysis import bottom_levels
+
+        inst = make_instance()
+        free = FreeTaskList(inst, np.random.default_rng(0), priority="bl")
+        assert np.allclose(free.bl, bottom_levels(inst))
+
+    def test_pop_specific(self):
+        inst = ProblemInstance(
+            fork(2, volume=1.0),
+            Platform.homogeneous(2),
+            np.full((3, 2), 1.0),
+        )
+        free = FreeTaskList(inst, np.random.default_rng(0))
+        free.task_scheduled(0, 1.0)
+        free.pop_specific(0 + 2)  # t2 is free now
+        assert 2 not in free.queue
+
+    def test_pop_specific_rejects_unfree(self):
+        inst = self.instance()
+        free = FreeTaskList(inst, np.random.default_rng(0))
+        with pytest.raises(SchedulingError):
+            free.pop_specific(2)
+
+    def test_unknown_priority(self):
+        inst = self.instance()
+        with pytest.raises(SchedulingError):
+            FreeTaskList(inst, np.random.default_rng(0), priority="alphabetical")
+
+    def test_exhaustion(self):
+        inst = self.instance()
+        free = FreeTaskList(inst, np.random.default_rng(0))
+        order = []
+        while free:
+            t = free.pop()
+            order.append(t)
+            free.task_scheduled(t, best_finish=1.0)
+        assert order == [0, 1, 2]
+
+
+class TestArgminTrial:
+    def trial(self, proc, finish):
+        return Trial(task=0, proc=proc, start=0.0, finish=finish, data_ready=0.0)
+
+    def test_picks_min_finish(self):
+        trials = [self.trial(0, 5.0), self.trial(1, 3.0), self.trial(2, 9.0)]
+        assert argmin_trial(trials, np.random.default_rng(0)).proc == 1
+
+    def test_tie_break_seeded(self):
+        trials = [self.trial(p, 3.0) for p in range(10)]
+        picks = {argmin_trial(trials, np.random.default_rng(s)).proc for s in range(20)}
+        assert len(picks) > 1  # ties genuinely randomized
+        a = argmin_trial(trials, np.random.default_rng(7)).proc
+        b = argmin_trial(trials, np.random.default_rng(7)).proc
+        assert a == b  # but reproducible
+
+    def test_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            argmin_trial([], np.random.default_rng(0))
+
+
+class TestHelpers:
+    def test_full_fanin_sources(self):
+        inst = make_instance()
+        builder = make_builder(inst, 1, "oneport", "test")
+        t = inst.graph.topological_order()[0]
+        assert full_fanin_sources(builder, t) == {}
+
+    def test_eligible_procs_shrink(self):
+        inst = make_instance(num_procs=4)
+        builder = make_builder(inst, 1, "oneport", "test")
+        entry = inst.graph.entry_tasks[0]
+        assert eligible_procs(builder, entry) == [0, 1, 2, 3]
+        builder.commit(entry, 2, {})
+        assert eligible_procs(builder, entry) == [0, 1, 3]

@@ -1,0 +1,66 @@
+"""Tests for FTBAR."""
+
+import pytest
+
+from repro.fault.scenarios import check_robustness
+from repro.schedule.metrics import message_bound_ftsa
+from repro.schedule.validation import validate_schedule
+from repro.schedulers.ftbar import ftbar
+from tests.conftest import make_instance
+
+
+class TestReplication:
+    def test_replica_count(self, epsilon):
+        inst = make_instance()
+        sched = ftbar(inst, epsilon, rng=0)
+        assert all(len(reps) == epsilon + 1 for reps in sched.replicas)
+        validate_schedule(sched)
+
+    def test_deterministic(self):
+        inst = make_instance()
+        assert (
+            ftbar(inst, 1, rng=7).latency() == ftbar(inst, 1, rng=7).latency()
+        )
+
+    def test_message_bound(self, epsilon):
+        inst = make_instance()
+        sched = ftbar(inst, epsilon, rng=0)
+        assert sched.message_count() <= message_bound_ftsa(sched)
+
+    def test_robust_to_any_epsilon_failures(self):
+        inst = make_instance(num_tasks=12, num_procs=5)
+        sched = ftbar(inst, 1, rng=1)
+        report = check_robustness(sched)
+        assert report.robust, report.violations[:3]
+
+    def test_eps0_single_replica(self):
+        inst = make_instance()
+        sched = ftbar(inst, 0, rng=0)
+        validate_schedule(sched, expected_replicas=1)
+
+    def test_all_tasks_scheduled_once(self):
+        inst = make_instance(num_tasks=25)
+        sched = ftbar(inst, 1, rng=0)
+        assert sched.task_order and sorted(sched.task_order) == list(range(25))
+
+    def test_too_few_processors_rejected(self):
+        from repro.utils.errors import SchedulingError
+
+        inst = make_instance(num_procs=3)
+        with pytest.raises(SchedulingError):
+            ftbar(inst, epsilon=4)
+
+    def test_macro_model(self):
+        inst = make_instance()
+        assert ftbar(inst, 1, model="macro-dataflow", rng=0).latency() > 0
+
+
+class TestSchedulePressure:
+    def test_pressure_prefers_urgent_tasks(self):
+        """FTBAR must schedule every free task eventually and in a valid
+        topological order (pressure selection cannot starve tasks)."""
+        inst = make_instance(num_tasks=30)
+        sched = ftbar(inst, 1, rng=2)
+        pos = {t: i for i, t in enumerate(sched.task_order)}
+        for u, v, _ in inst.graph.edges():
+            assert pos[u] < pos[v]

@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.errors import (
+    ExecutionFailedError,
+    InvalidGraphError,
+    InvalidPlatformError,
+    ReproError,
+    ScheduleValidationError,
+    SchedulingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidGraphError,
+            InvalidPlatformError,
+            SchedulingError,
+            ScheduleValidationError,
+            ExecutionFailedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catching_base_catches_all(self):
+        caught = 0
+        for exc in (InvalidGraphError, SchedulingError, ExecutionFailedError):
+            try:
+                raise exc("x")
+            except ReproError:
+                caught += 1
+        assert caught == 3
+
+    def test_library_errors_are_not_value_errors(self):
+        # genuine bugs (TypeError/ValueError) must escape ReproError handlers
+        assert not issubclass(ValueError, ReproError)
+        assert not issubclass(ReproError, ValueError)
+
+
+class TestExecutionFailedError:
+    def test_dead_tasks_attribute(self):
+        err = ExecutionFailedError("lost", dead_tasks=(3, 1, 7))
+        assert err.dead_tasks == (3, 1, 7)
+        assert "lost" in str(err)
+
+    def test_default_empty(self):
+        assert ExecutionFailedError("x").dead_tasks == ()

@@ -1,0 +1,119 @@
+"""Tests for the seeded max-priority queue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.priority_queue import StablePriorityQueue
+
+
+class TestBasics:
+    def test_pop_returns_max(self):
+        q = StablePriorityQueue()
+        q.push("a", 1.0)
+        q.push("b", 3.0)
+        q.push("c", 2.0)
+        assert q.pop() == "b"
+        assert q.pop() == "c"
+        assert q.pop() == "a"
+
+    def test_len_and_bool(self):
+        q = StablePriorityQueue()
+        assert not q and len(q) == 0
+        q.push(1, 0.5)
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+    def test_contains(self):
+        q = StablePriorityQueue()
+        q.push("x", 1.0)
+        assert "x" in q and "y" not in q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            StablePriorityQueue().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            StablePriorityQueue().peek()
+
+    def test_peek_does_not_remove(self):
+        q = StablePriorityQueue()
+        q.push("a", 1.0)
+        assert q.peek() == "a"
+        assert len(q) == 1
+
+    def test_priority_of(self):
+        q = StablePriorityQueue()
+        q.push("a", 2.5)
+        assert q.priority_of("a") == 2.5
+
+    def test_iteration_over_live_items(self):
+        q = StablePriorityQueue()
+        for i in range(5):
+            q.push(i, float(i))
+        q.pop()
+        assert sorted(q) == [0, 1, 2, 3]
+
+
+class TestUpdates:
+    def test_repush_updates_priority(self):
+        q = StablePriorityQueue()
+        q.push("a", 1.0)
+        q.push("b", 2.0)
+        q.push("a", 3.0)  # supersedes
+        assert q.pop() == "a"
+        assert q.pop() == "b"
+        assert not q
+
+    def test_repush_lower_priority(self):
+        q = StablePriorityQueue()
+        q.push("a", 5.0)
+        q.push("b", 3.0)
+        q.push("a", 1.0)
+        assert q.pop() == "b"
+        assert q.pop() == "a"
+
+    def test_stale_entries_skipped_by_peek(self):
+        q = StablePriorityQueue()
+        q.push("a", 5.0)
+        q.push("a", 1.0)
+        q.push("b", 3.0)
+        assert q.peek() == "b"
+
+
+class TestTieBreaking:
+    def test_seeded_ties_are_reproducible(self):
+        def run(seed):
+            q = StablePriorityQueue(np.random.default_rng(seed))
+            for i in range(20):
+                q.push(i, 1.0)
+            return [q.pop() for _ in range(20)]
+
+        assert run(3) == run(3)
+
+    def test_different_seeds_shuffle_ties(self):
+        def run(seed):
+            q = StablePriorityQueue(np.random.default_rng(seed))
+            for i in range(30):
+                q.push(i, 1.0)
+            return [q.pop() for _ in range(30)]
+
+        assert run(1) != run(2)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(-100, 100)), max_size=60))
+def test_pop_order_is_nonincreasing(items):
+    """Whatever the pushes, pops come out in non-increasing priority order."""
+    q = StablePriorityQueue(np.random.default_rng(0))
+    final: dict[int, float] = {}
+    for key, prio in items:
+        q.push(key, prio)
+        final[key] = prio
+    popped = []
+    while q:
+        item = q.pop()
+        popped.append(final[item])
+    assert popped == sorted(popped, reverse=True)
+    assert len(popped) == len(final)
