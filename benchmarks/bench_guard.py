@@ -1,0 +1,41 @@
+"""Perf-guard smoke target: tiny figure-1 campaign through the full fast
+path (kernel + 2 workers), timed and appended to ``BENCH_fastpath.json``.
+
+Cheap enough for every CI run (one graph per data point), so future PRs
+accumulate a timing series and regressions in the hot paths show up as a
+trend break::
+
+    PYTHONPATH=src REPRO_GRAPHS=1 python -m pytest benchmarks/bench_guard.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from datetime import datetime, timezone
+
+from benchmarks.bench_fastpath import append_bench_record
+from repro.experiments.figures import check_shape, run_figure
+
+GUARD_GRAPHS = max(1, int(os.environ.get("REPRO_GRAPHS", "1")))
+GUARD_WORKERS = 2
+
+
+def test_fastpath_guard():
+    t0 = time.perf_counter()
+    result = run_figure(1, num_graphs=GUARD_GRAPHS, workers=GUARD_WORKERS)
+    elapsed = time.perf_counter() - t0
+
+    shape = check_shape(result)
+    assert shape.ok, f"shape checks failed: {shape.failed()}"
+
+    record = {
+        "bench": "guard",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "graphs_per_point": GUARD_GRAPHS,
+        "workers": GUARD_WORKERS,
+        "cpus": os.cpu_count(),
+        "fast_s": round(elapsed, 3),
+    }
+    append_bench_record(record)
+    print(f"\nguard: figure1 x{GUARD_GRAPHS} graphs in {elapsed:.2f}s (workers=2)")

@@ -6,7 +6,9 @@ be compared against the paper, and asserts the §6 qualitative shape.
 
 Repetitions default to ``REPRO_GRAPHS`` (or 3) per data point for
 wall-clock sanity; export ``REPRO_GRAPHS=60`` to reproduce the paper's
-averaging (EXPERIMENTS.md records such runs).
+averaging (EXPERIMENTS.md records such runs).  ``REPRO_WORKERS=N`` fans
+each campaign out over ``N`` worker processes (identical results — see
+``repro.experiments.harness.ParallelHarness``).
 """
 
 from __future__ import annotations
@@ -24,13 +26,22 @@ def bench_graphs(default: int = 3) -> int:
     return max(1, int(os.environ.get("REPRO_GRAPHS", default)))
 
 
+def bench_workers(default: int = 1) -> int:
+    """Worker processes for benchmark campaigns (``REPRO_WORKERS``)."""
+    return max(1, int(os.environ.get("REPRO_WORKERS", default)))
+
+
 def run_figure_bench(benchmark, number: int) -> None:
     """Run figure ``number`` once under the benchmark timer, print panels,
     persist the CSV under results/, and assert the paper's shape."""
     graphs = bench_graphs()
 
     result = benchmark.pedantic(
-        run_figure, args=(number,), kwargs={"num_graphs": graphs}, rounds=1, iterations=1
+        run_figure,
+        args=(number,),
+        kwargs={"num_graphs": graphs, "workers": bench_workers()},
+        rounds=1,
+        iterations=1,
     )
     print()
     print(render_figure(result))

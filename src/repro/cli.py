@@ -52,7 +52,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if args.verbose:
             print(msg, file=sys.stderr)
 
-    result = run_figure(args.number, num_graphs=args.graphs, progress=progress)
+    result = run_figure(
+        args.number,
+        num_graphs=args.graphs,
+        progress=progress,
+        workers=args.workers,
+        fast=not args.slow,
+    )
     print(render_figure(result))
     shape = check_shape(result)
     print(f"shape checks: {'OK' if shape.ok else 'FAILED ' + str(shape.failed())}")
@@ -159,10 +165,14 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     curve = survival_curve(sched, args.max_failures, samples=args.samples,
                            rng=args.seed + 7)
     print("survival curve (crashes -> estimated survival):")
-    for k, rate in curve.items():
+    for k, report in curve.items():
+        rate = report.survival_rate
         bar = "#" * int(rate * 40)
-        print(f"  {k:>2}: {rate:6.1%} {bar}")
-    guaranteed = all(curve[k] == 1.0 for k in range(args.epsilon + 1))
+        print(f"  {k:>2}: {rate:6.1%} ({report.samples} samples) {bar}")
+    guaranteed = all(
+        curve[k].survival_rate == 1.0
+        for k in range(min(args.epsilon, args.max_failures) + 1)
+    )
     return 0 if guaranteed else 1
 
 
@@ -235,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--out", type=str, default=None, help="CSV output path")
     p_fig.add_argument("--html", type=str, default=None,
                        help="write an HTML report with SVG charts")
+    p_fig.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the campaign (default: serial)")
+    p_fig.add_argument("--slow", action="store_true",
+                       help="disable the vectorized placement kernel (baseline timing)")
     p_fig.add_argument("--verbose", action="store_true")
     p_fig.set_defaults(func=_cmd_figure)
 

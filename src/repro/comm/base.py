@@ -47,6 +47,25 @@ class NetworkModel(ABC):
         return volume * self.platform.delay(src, dst)
 
     # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+    def clone_args(self) -> tuple:
+        """Constructor arguments that rebuild an identical *empty* model.
+
+        Subclasses whose ``__init__`` takes more than the platform (a
+        policy, a topology, ...) override this so ``clone_factory`` —
+        and anything that replays schedules against a fresh network —
+        reconstructs them with their configuration intact.
+        """
+        return (self.platform,)
+
+    def clone_factory(self):
+        """A callable producing identical empty copies of this model."""
+        cls = type(self)
+        args = self.clone_args()
+        return lambda: cls(*args)
+
+    # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
     @abstractmethod

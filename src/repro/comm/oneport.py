@@ -80,6 +80,9 @@ class OnePortNetwork(NetworkModel):
         # Undo log: ("scalar", which, idx, old) or ("interval", which, idx, s, f)
         self._log: list[tuple] = []
 
+    def clone_args(self) -> tuple:
+        return (self.platform, self.policy)
+
     # ------------------------------------------------------------------
     def send_free(self, proc: int) -> float:
         """The paper's ``SF(P)``: when ``proc`` may start its next send."""
@@ -207,6 +210,9 @@ class UniPortNetwork(OnePortNetwork):
         # One engine per processor: make send/recv views of the same list.
         self._recv_free = self._send_free
 
+    def clone_args(self) -> tuple:
+        return (self.platform,)
+
     def reset(self) -> None:
         super().reset()
         self._recv_free = self._send_free
@@ -230,6 +236,9 @@ class NoOverlapOnePortNetwork(OnePortNetwork):
 
     def __init__(self, platform: Platform) -> None:
         super().__init__(platform, policy="append")
+
+    def clone_args(self) -> tuple:
+        return (self.platform,)
 
     def compute_floor(self, proc: int) -> float:
         return max(self._send_free[proc], self._recv_free[proc])

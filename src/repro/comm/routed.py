@@ -33,6 +33,9 @@ class RoutedOnePortNetwork(NetworkModel):
             self._link_free[(b, a)] = 0.0
         self._log: list[tuple] = []
 
+    def clone_args(self) -> tuple:
+        return (self.topology,)
+
     # ------------------------------------------------------------------
     def _route_hops(self, src: int, dst: int) -> list[tuple[int, int]]:
         path = self.topology.route(src, dst)

@@ -81,6 +81,7 @@ def caft(
     priority: str = "tl+bl",
     dynamic: bool = True,
     rng: RngLike = 0,
+    fast: bool = True,
 ) -> Schedule:
     """Schedule ``instance`` with CAFT, tolerating ``epsilon`` failures.
 
@@ -101,6 +102,9 @@ def caft(
         "update priority values of t's successors").
     rng:
         Seed or generator for the random tie-breaking.
+    fast:
+        Evaluate candidate placements through the vectorized placement
+        kernel (bit-identical schedules).
     """
     if locking not in LOCKING_MODES:
         raise SchedulingError(
@@ -114,6 +118,7 @@ def caft(
         model=model,
         scheduler=name,
         strict_local_suppression=(locking == "paper"),
+        fast=fast,
     )
     free = FreeTaskList(instance, gen, priority=priority, dynamic=dynamic)
 

@@ -40,6 +40,7 @@ def caft_batch(
     priority: str = "tl+bl",
     dynamic: bool = True,
     rng: RngLike = 0,
+    fast: bool = True,
 ) -> Schedule:
     """Schedule with the batched (window-based) CAFT extension.
 
@@ -51,7 +52,8 @@ def caft_batch(
         raise SchedulingError("window must be >= 1")
     gen = seeded(rng)
     builder = make_builder(
-        instance, epsilon=epsilon, model=model, scheduler=f"caft-batch{window}"
+        instance, epsilon=epsilon, model=model, scheduler=f"caft-batch{window}",
+        fast=fast,
     )
     free = FreeTaskList(instance, gen, priority=priority, dynamic=dynamic)
     graph = instance.graph

@@ -127,12 +127,15 @@ def one_to_one_round(
     earliest finish is committed.  Locking follows eq. (7).
     """
     m = builder.instance.num_procs
+    full = full_fanin_sources(builder, task)
     candidates: list[tuple[Trial, dict[int, Replica]]] = []
     for proc in range(m):
         if proc in state.locked:
             continue
         heads = _pick_heads(builder, task, proc, state.pools)
-        trial = builder.trial(task, proc, {p: [h] for p, h in heads.items()})
+        # every predecessor has a designated head here, so the full pools
+        # only serve as the shared (cached) kernel entry state
+        trial = builder.trial_with_heads(task, proc, full, heads)
         candidates.append((trial, heads))
 
     if not candidates:
@@ -205,10 +208,7 @@ def support_round(
             del heads[widest]
         if m - len(state.locked | support) < remaining_after:
             continue  # cannot even place the bare replica here
-        sources = {
-            p: ([heads[p]] if p in heads else all_replicas[p]) for p in preds
-        }
-        trial = builder.trial(task, proc, sources)
+        trial = builder.trial_with_heads(task, proc, all_replicas, heads)
         candidates.append((trial, heads, support))
 
     if not candidates:
@@ -257,7 +257,7 @@ def greedy_round(
                 f"(m={builder.instance.num_procs}, eps={builder.epsilon})"
             )
         state.degraded += 1
-    trials = [builder.trial(task, p, sources) for p in candidates]
+    trials = builder.trial_batch(task, candidates, sources)
     best = argmin_trial(trials, gen)
     replica = builder.commit(task, best.proc, sources, kind="greedy")
     state.locked.add(best.proc)

@@ -23,33 +23,84 @@ from repro.dag.graph import TaskGraph
 from repro.platform.instance import ProblemInstance
 
 
+def _level_segments(graph: TaskGraph, direction: str):
+    """Per-generation CSR gather plan for vectorized level propagation.
+
+    For each topological generation, returns ``(tasks, edge_idx, offsets)``
+    where ``tasks`` are the generation's tasks that have at least one
+    neighbour in ``direction`` (``"succ"`` or ``"pred"``), ``edge_idx``
+    gathers their CSR edge rows contiguously, and ``offsets`` marks each
+    task's segment start (ready for ``np.maximum.reduceat``).  Cached on
+    the graph — the plan only depends on the immutable structure.
+    """
+    key = ("levels", direction)
+    plan = graph._analysis_cache.get(key)
+    if plan is not None:
+        return plan
+    indptr, _indices, _volumes = (
+        graph.succ_csr if direction == "succ" else graph.pred_csr
+    )
+    plan = []
+    for tasks in graph.generations():
+        counts = indptr[tasks + 1] - indptr[tasks]
+        has = tasks[counts > 0]
+        if has.size == 0:
+            plan.append(None)
+            continue
+        cnt = counts[counts > 0]
+        offsets = np.zeros(cnt.size, dtype=np.int64)
+        np.cumsum(cnt[:-1], out=offsets[1:])
+        total = int(cnt.sum())
+        edge_idx = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, cnt)
+            + np.repeat(indptr[has], cnt)
+        )
+        plan.append((has, edge_idx, offsets))
+    graph._analysis_cache[key] = plan
+    return plan
+
+
 def bottom_levels(instance: ProblemInstance) -> np.ndarray:
-    """``bl(t)`` for every task, with mean execution/communication costs."""
+    """``bl(t)`` for every task, with mean execution/communication costs.
+
+    Vectorized over topological generations: each reverse pass reduces the
+    per-edge contributions ``w(t, s) + bl(s)`` with ``np.maximum.reduceat``
+    over the CSR successor segments, producing the exact same values as the
+    per-task recurrence.
+    """
     graph = instance.graph
     mean_exec = instance.mean_exec
-    bl = np.zeros(graph.num_tasks)
-    for t in reversed(graph.topological_order()):
-        succs = graph.succs(t)
-        if not succs:
-            bl[t] = mean_exec[t]
-        else:
-            bl[t] = mean_exec[t] + max(
-                instance.mean_edge_weight(t, s) + bl[s] for s in succs
-            )
+    _indptr, indices, volumes = graph.succ_csr
+    w = volumes * instance.platform.mean_delay()
+    bl = mean_exec.astype(np.float64, copy=True)
+    for plan in reversed(_level_segments(graph, "succ")):
+        if plan is None:
+            continue
+        has, edge_idx, offsets = plan
+        contrib = w[edge_idx] + bl[indices[edge_idx]]
+        bl[has] = mean_exec[has] + np.maximum.reduceat(contrib, offsets)
     return bl
 
 
 def top_levels(instance: ProblemInstance) -> np.ndarray:
-    """``tl(t)`` for every task, with mean execution/communication costs."""
+    """``tl(t)`` for every task, with mean execution/communication costs.
+
+    Forward counterpart of :func:`bottom_levels`, propagated one topological
+    generation at a time (entry tasks keep ``tl = 0``).
+    """
     graph = instance.graph
     mean_exec = instance.mean_exec
+    _indptr, indices, volumes = graph.pred_csr
+    w = volumes * instance.platform.mean_delay()
     tl = np.zeros(graph.num_tasks)
-    for t in graph.topological_order():
-        preds = graph.preds(t)
-        if preds:
-            tl[t] = max(
-                tl[p] + mean_exec[p] + instance.mean_edge_weight(p, t) for p in preds
-            )
+    for plan in _level_segments(graph, "pred"):
+        if plan is None:
+            continue
+        has, edge_idx, offsets = plan
+        pidx = indices[edge_idx]
+        contrib = tl[pidx] + mean_exec[pidx] + w[edge_idx]
+        tl[has] = np.maximum.reduceat(contrib, offsets)
     return tl
 
 
@@ -73,11 +124,14 @@ def min_critical_path(instance: ProblemInstance) -> float:
     """
     graph = instance.graph
     min_exec = instance.min_exec
-    cp = np.zeros(graph.num_tasks)
-    for t in reversed(graph.topological_order()):
-        succs = graph.succs(t)
-        tail = max((cp[s] for s in succs), default=0.0)
-        cp[t] = min_exec[t] + tail
+    _indptr, indices, _volumes = graph.succ_csr
+    cp = min_exec.astype(np.float64, copy=True)
+    for plan in reversed(_level_segments(graph, "succ")):
+        if plan is None:
+            continue
+        has, edge_idx, offsets = plan
+        tails = np.maximum.reduceat(cp[indices[edge_idx]], offsets)
+        cp[has] = min_exec[has] + tails
     return float(cp.max())
 
 
@@ -138,10 +192,8 @@ def width(graph: TaskGraph) -> int:
 def asap_levels(graph: TaskGraph) -> np.ndarray:
     """Unit-cost as-soon-as-possible depth of each task (0 for entries)."""
     depth = np.zeros(graph.num_tasks, dtype=int)
-    for t in graph.topological_order():
-        preds = graph.preds(t)
-        if preds:
-            depth[t] = 1 + max(depth[p] for p in preds)
+    for level, tasks in enumerate(graph.generations()):
+        depth[tasks] = level
     return depth
 
 

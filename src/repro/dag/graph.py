@@ -13,9 +13,14 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence
 
+import numpy as np
+
 from repro.utils.errors import InvalidGraphError
 
 Edge = tuple[int, int]
+
+#: CSR adjacency view: ``(indptr, indices, volumes)`` ndarrays.
+CsrView = tuple["np.ndarray", "np.ndarray", "np.ndarray"]
 
 
 class TaskGraph:
@@ -34,7 +39,18 @@ class TaskGraph:
         examples); defaults to ``"t0", "t1", ...``.
     """
 
-    __slots__ = ("_num_tasks", "_preds", "_succs", "_volume", "_names", "_topo")
+    __slots__ = (
+        "_num_tasks",
+        "_preds",
+        "_succs",
+        "_volume",
+        "_names",
+        "_topo",
+        "_succ_csr",
+        "_pred_csr",
+        "_generations",
+        "_analysis_cache",
+    )
 
     def __init__(
         self,
@@ -76,6 +92,12 @@ class TaskGraph:
             self._names = tuple(str(n) for n in names)
 
         self._topo = self._toposort()
+        # Lazily-built NumPy views (CSR adjacency, topological generations)
+        # shared by the vectorized analysis and the placement fast path.
+        self._succ_csr: Optional[CsrView] = None
+        self._pred_csr: Optional[CsrView] = None
+        self._generations: Optional[tuple] = None
+        self._analysis_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -159,6 +181,74 @@ class TaskGraph:
     def topological_order(self) -> tuple[int, ...]:
         """A deterministic topological order (smallest-id-first Kahn)."""
         return self._topo
+
+    # ------------------------------------------------------------------
+    # NumPy views (fast-path substrate)
+    # ------------------------------------------------------------------
+    def _build_csr(self, adjacency, volume_key) -> CsrView:
+        v = self._num_tasks
+        counts = np.fromiter((len(a) for a in adjacency), dtype=np.int64, count=v)
+        indptr = np.zeros(v + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        volumes = np.empty(total, dtype=np.float64)
+        pos = 0
+        vol = self._volume
+        for t in range(v):
+            for other in adjacency[t]:
+                indices[pos] = other
+                volumes[pos] = vol[volume_key(t, other)]
+                pos += 1
+        indices.setflags(write=False)
+        volumes.setflags(write=False)
+        indptr.setflags(write=False)
+        return indptr, indices, volumes
+
+    @property
+    def succ_csr(self) -> CsrView:
+        """CSR view of successors: ``(indptr, indices, volumes)``.
+
+        ``indices[indptr[t]:indptr[t+1]]`` are the successors of ``t`` in
+        edge-insertion order; ``volumes`` aligns with ``indices`` and holds
+        ``V(t, s)``.  Built once and cached (the graph is immutable).
+        """
+        if self._succ_csr is None:
+            self._succ_csr = self._build_csr(self._succs, lambda t, s: (t, s))
+        return self._succ_csr
+
+    @property
+    def pred_csr(self) -> CsrView:
+        """CSR view of predecessors: ``(indptr, indices, volumes)``.
+
+        ``indices[indptr[t]:indptr[t+1]]`` are the predecessors of ``t``;
+        ``volumes`` holds ``V(p, t)``.
+        """
+        if self._pred_csr is None:
+            self._pred_csr = self._build_csr(self._preds, lambda t, p: (p, t))
+        return self._pred_csr
+
+    def generations(self) -> tuple[np.ndarray, ...]:
+        """Tasks grouped by unit-cost ASAP depth (topological generations).
+
+        ``generations()[d]`` is the ascending array of tasks whose longest
+        incoming path has ``d`` edges.  Every task's predecessors live in
+        strictly earlier generations, which is what lets level propagation
+        run as one vectorized pass per generation instead of per task.
+        """
+        if self._generations is None:
+            depth = [0] * self._num_tasks
+            for t in self._topo:
+                preds = self._preds[t]
+                if preds:
+                    depth[t] = 1 + max(depth[p] for p in preds)
+            buckets: dict[int, list[int]] = {}
+            for t, d in enumerate(depth):
+                buckets.setdefault(d, []).append(t)
+            self._generations = tuple(
+                np.asarray(buckets[d], dtype=np.int64) for d in range(len(buckets))
+            )
+        return self._generations
 
     def is_out_forest(self) -> bool:
         """True iff every task has in-degree at most one (paper Prop. 5.1)."""

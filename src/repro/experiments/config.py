@@ -53,6 +53,9 @@ class ExperimentConfig:
     base_seed: int = 20080206  # the report's publication month
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
     model: str = "oneport"
+    #: route scheduler trials through the vectorized placement kernel
+    #: (bit-identical schedules; set False to time the slow path)
+    fast: bool = True
     description: str = ""
 
     def with_graphs(self, num_graphs: Optional[int]) -> "ExperimentConfig":
@@ -60,6 +63,12 @@ class ExperimentConfig:
         if num_graphs is None:
             return self
         return replace(self, num_graphs=num_graphs)
+
+    def with_fast(self, fast: Optional[bool]) -> "ExperimentConfig":
+        """A copy with the fast path toggled (None keeps the default)."""
+        if fast is None or fast == self.fast:
+            return self
+        return replace(self, fast=fast)
 
 
 FIGURES: dict[int, ExperimentConfig] = {

@@ -21,13 +21,21 @@ def run_figure(
     number: int,
     num_graphs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> CampaignResult:
-    """Run the campaign of figure ``number`` (1-6)."""
+    """Run the campaign of figure ``number`` (1-6).
+
+    ``workers`` distributes the campaign over a process pool (results are
+    identical for any worker count); ``fast=False`` forces the slow trial
+    path (the kernel-free baseline used by ``benchmarks/bench_fastpath``).
+    """
     try:
         config = FIGURES[number]
     except KeyError:
         raise ValueError(f"no figure {number}; the paper has figures 1-6") from None
-    return run_campaign(config.with_graphs(num_graphs), progress=progress)
+    config = config.with_graphs(num_graphs).with_fast(fast)
+    return run_campaign(config, progress=progress, workers=workers)
 
 
 def figure1(num_graphs: Optional[int] = None, **kw) -> CampaignResult:

@@ -7,12 +7,17 @@ under a shared random crash scenario, and the paper's metrics (normalized
 latency, upper bound, crash latency, overhead) are averaged.
 
 All randomness derives from ``config.base_seed`` via labelled child seeds,
-so any single instance of any campaign can be regenerated in isolation.
+so any single instance of any campaign can be regenerated in isolation —
+and, crucially, every ``(granularity, rep)`` work unit is independent of
+the others.  :class:`ParallelHarness` exploits that to fan a campaign out
+over a process pool: results are aggregated in job order, so the output is
+bit-identical regardless of worker count or completion order.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -38,25 +43,37 @@ from repro.schedulers.ftsa import ftsa
 from repro.utils.errors import ExecutionFailedError
 from repro.utils.rng import RngStream
 
-#: algorithm name -> callable(instance, epsilon, rng) -> Schedule
+#: algorithm name -> callable(instance, epsilon, rng, model, fast) -> Schedule
 ALGORITHM_RUNNERS: dict[str, Callable[..., Schedule]] = {
-    "caft": lambda inst, eps, rng, model: caft(inst, eps, model=model, rng=rng),
-    "caft-paper": lambda inst, eps, rng, model: caft(
-        inst, eps, model=model, locking="paper", rng=rng
+    "caft": lambda inst, eps, rng, model, fast=True: caft(
+        inst, eps, model=model, rng=rng, fast=fast
     ),
-    "ftsa": lambda inst, eps, rng, model: ftsa(inst, eps, model=model, rng=rng),
-    "ftbar": lambda inst, eps, rng, model: ftbar(inst, eps, model=model, rng=rng),
+    "caft-paper": lambda inst, eps, rng, model, fast=True: caft(
+        inst, eps, model=model, locking="paper", rng=rng, fast=fast
+    ),
+    "ftsa": lambda inst, eps, rng, model, fast=True: ftsa(
+        inst, eps, model=model, rng=rng, fast=fast
+    ),
+    "ftbar": lambda inst, eps, rng, model, fast=True: ftbar(
+        inst, eps, model=model, rng=rng, fast=fast
+    ),
 }
 
 #: fault-free reference of each algorithm (the paper plots FaultFree-CAFT
 #: and FaultFree-FTBAR; FTSA's fault-free run coincides with CAFT's).
 FAULTFREE_RUNNERS: dict[str, Callable[..., Schedule]] = {
-    "caft": lambda inst, rng, model: caft(inst, 0, model=model, rng=rng),
-    "caft-paper": lambda inst, rng, model: caft(
-        inst, 0, model=model, locking="paper", rng=rng
+    "caft": lambda inst, rng, model, fast=True: caft(
+        inst, 0, model=model, rng=rng, fast=fast
     ),
-    "ftsa": lambda inst, rng, model: ftsa(inst, 0, model=model, rng=rng),
-    "ftbar": lambda inst, rng, model: ftbar(inst, 0, model=model, rng=rng),
+    "caft-paper": lambda inst, rng, model, fast=True: caft(
+        inst, 0, model=model, locking="paper", rng=rng, fast=fast
+    ),
+    "ftsa": lambda inst, rng, model, fast=True: ftsa(
+        inst, 0, model=model, rng=rng, fast=fast
+    ),
+    "ftbar": lambda inst, rng, model, fast=True: ftbar(
+        inst, 0, model=model, rng=rng, fast=fast
+    ),
 }
 
 
@@ -130,65 +147,122 @@ class PointResult:
         return row
 
 
+@dataclass(frozen=True)
+class RepResult:
+    """Metrics of one ``(granularity, rep)`` work unit (picklable).
+
+    ``metrics[algo]`` holds ``norm_latency``, ``norm_upper``,
+    ``overhead_0crash``, ``messages`` and — when the crash replay
+    survived — ``norm_crash``/``overhead_crash`` (``None`` otherwise).
+    """
+
+    granularity: float
+    rep: int
+    faultfree_norm: dict[str, float]
+    metrics: dict[str, dict[str, Optional[float]]]
+
+
+def run_rep(config: ExperimentConfig, granularity: float, rep: int) -> RepResult:
+    """Run every algorithm on instance ``rep`` of one data point.
+
+    The unit of parallelism: all randomness comes from labelled child
+    seeds of ``config.base_seed``, so the result is a pure function of
+    ``(config, granularity, rep)`` — independent of which process runs it
+    and of every other rep.
+    """
+    stream = RngStream(config.base_seed)
+    inst = generate_instance(config, granularity, rep)
+    cp = min_critical_path(inst)
+    scenario = random_crash_scenario(
+        config.num_procs,
+        config.crashes,
+        rng=stream.rng("crash", config.name, granularity, rep),
+    )
+    algo_seed = stream.seed("algo", config.name, granularity, rep)
+    fast = config.fast
+
+    # Fault-free CAFT is the overhead reference CAFT* of the paper.
+    reference = FAULTFREE_RUNNERS["caft"](inst, algo_seed, config.model, fast)
+    ref_latency = reference.latency()
+    faultfree_norm: dict[str, float] = {}
+    for name in config.algorithms:
+        if name == "caft":
+            ff = reference
+        else:
+            ff = FAULTFREE_RUNNERS[name](inst, algo_seed, config.model, fast)
+        faultfree_norm[name] = ff.latency() / cp
+
+    metrics: dict[str, dict[str, Optional[float]]] = {}
+    for name in config.algorithms:
+        sched = ALGORITHM_RUNNERS[name](
+            inst, config.epsilon, algo_seed, config.model, fast
+        )
+        lat = sched.latency()
+        row: dict[str, Optional[float]] = {
+            "norm_latency": lat / cp,
+            "norm_upper": latency_upper_bound(sched) / cp,
+            "overhead_0crash": 100.0 * (lat - ref_latency) / ref_latency,
+            "messages": float(sched.message_count()),
+            "norm_crash": None,
+            "overhead_crash": None,
+        }
+        try:
+            crash_lat = replay(sched, scenario).latency()
+            row["norm_crash"] = crash_lat / cp
+            row["overhead_crash"] = 100.0 * (crash_lat - ref_latency) / ref_latency
+        except ExecutionFailedError:
+            # Only possible for non-robust variants (caft-paper).
+            pass
+        metrics[name] = row
+    return RepResult(
+        granularity=granularity,
+        rep=rep,
+        faultfree_norm=faultfree_norm,
+        metrics=metrics,
+    )
+
+
+def _aggregate_point(
+    config: ExperimentConfig, granularity: float, reps: list[RepResult]
+) -> PointResult:
+    """Fold per-rep results (in rep order) into one data point."""
+    per_algo = {name: AlgorithmPoint() for name in config.algorithms}
+    ff_norm_acc: dict[str, list[float]] = {name: [] for name in config.algorithms}
+    for rep_result in reps:
+        for name in config.algorithms:
+            ff_norm_acc[name].append(rep_result.faultfree_norm[name])
+            row = rep_result.metrics[name]
+            point = per_algo[name]
+            point.norm_latency.append(row["norm_latency"])
+            point.norm_upper.append(row["norm_upper"])
+            point.overhead_0crash.append(row["overhead_0crash"])
+            point.messages.append(row["messages"])
+            if row["norm_crash"] is None:
+                point.crash_failures += 1
+            else:
+                point.norm_crash.append(row["norm_crash"])
+                point.overhead_crash.append(row["overhead_crash"])
+    return PointResult(
+        granularity=granularity,
+        per_algorithm=per_algo,
+        faultfree_norm={k: float(np.mean(v)) for k, v in ff_norm_acc.items()},
+    )
+
+
 def run_point(
     config: ExperimentConfig,
     granularity: float,
     progress: Optional[Callable[[str], None]] = None,
 ) -> PointResult:
     """Run every algorithm over ``config.num_graphs`` instances at one point."""
-    stream = RngStream(config.base_seed)
-    per_algo = {name: AlgorithmPoint() for name in config.algorithms}
-    ff_norm_acc: dict[str, list[float]] = {name: [] for name in config.algorithms}
-
+    reps = []
     for rep in range(config.num_graphs):
-        inst = generate_instance(config, granularity, rep)
-        cp = min_critical_path(inst)
-        scenario = random_crash_scenario(
-            config.num_procs,
-            config.crashes,
-            rng=stream.rng("crash", config.name, granularity, rep),
-        )
-        algo_seed = stream.seed("algo", config.name, granularity, rep)
-
-        # Fault-free CAFT is the overhead reference CAFT* of the paper.
-        reference = FAULTFREE_RUNNERS["caft"](inst, algo_seed, config.model)
-        ref_latency = reference.latency()
-        for name in config.algorithms:
-            if name == "caft":
-                ff = reference
-            else:
-                ff = FAULTFREE_RUNNERS[name](inst, algo_seed, config.model)
-            ff_norm_acc[name].append(ff.latency() / cp)
-
-        for name in config.algorithms:
-            sched = ALGORITHM_RUNNERS[name](
-                inst, config.epsilon, algo_seed, config.model
-            )
-            point = per_algo[name]
-            lat = sched.latency()
-            point.norm_latency.append(lat / cp)
-            point.norm_upper.append(latency_upper_bound(sched) / cp)
-            point.overhead_0crash.append(100.0 * (lat - ref_latency) / ref_latency)
-            point.messages.append(sched.message_count())
-            try:
-                crash_lat = replay(sched, scenario).latency()
-                point.norm_crash.append(crash_lat / cp)
-                point.overhead_crash.append(
-                    100.0 * (crash_lat - ref_latency) / ref_latency
-                )
-            except ExecutionFailedError:
-                # Only possible for non-robust variants (caft-paper).
-                point.crash_failures += 1
+        reps.append(run_rep(config, granularity, rep))
         if progress is not None:
             progress(
                 f"[{config.name}] g={granularity:g} rep {rep + 1}/{config.num_graphs}"
             )
-
-    return PointResult(
-        granularity=granularity,
-        per_algorithm=per_algo,
-        faultfree_norm={k: float(np.mean(v)) for k, v in ff_norm_acc.items()},
-    )
+    return _aggregate_point(config, granularity, reps)
 
 
 @dataclass
@@ -206,12 +280,82 @@ class CampaignResult:
         return [row.get(column, math.nan) for row in self.rows()]
 
 
+class ParallelHarness:
+    """Deterministic multi-process campaign executor.
+
+    Fans every ``(granularity, rep)`` work unit of a campaign out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Because each unit
+    derives its randomness from labelled child seeds, the aggregated
+    result is bit-identical to the serial run regardless of ``workers``
+    or completion order — aggregation always folds rep results in job
+    order.  ``workers <= 1`` (or ``None``) runs inline with zero process
+    overhead.
+    """
+
+    def __init__(self, workers: Optional[int] = None, clamp: bool = True) -> None:
+        requested = int(workers) if workers else 0
+        if clamp and requested > 1:
+            # Oversubscribing cores buys nothing and pays pool overhead:
+            # results are worker-count independent, so clamping is safe.
+            import os
+
+            requested = min(requested, os.cpu_count() or 1)
+        self.workers = requested
+
+    def run_campaign(
+        self,
+        config: ExperimentConfig,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> CampaignResult:
+        if self.workers <= 1:
+            points = [
+                run_point(config, g, progress=progress)
+                for g in config.granularities
+            ]
+            return CampaignResult(config=config, points=points)
+
+        jobs = [
+            (g, rep)
+            for g in config.granularities
+            for rep in range(config.num_graphs)
+        ]
+        results: dict[tuple[float, int], RepResult] = {}
+        done_count = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {
+                pool.submit(run_rep, config, g, rep): (g, rep) for g, rep in jobs
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    g, rep = pending.pop(fut)
+                    results[(g, rep)] = fut.result()
+                    done_count += 1
+                    if progress is not None:
+                        progress(
+                            f"[{config.name}] g={g:g} rep {rep + 1}/"
+                            f"{config.num_graphs} ({done_count}/{len(jobs)})"
+                        )
+        points = [
+            _aggregate_point(
+                config,
+                g,
+                [results[(g, rep)] for rep in range(config.num_graphs)],
+            )
+            for g in config.granularities
+        ]
+        return CampaignResult(config=config, points=points)
+
+
 def run_campaign(
     config: ExperimentConfig,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
-    """Run the full granularity sweep of one figure."""
-    points = [
-        run_point(config, g, progress=progress) for g in config.granularities
-    ]
-    return CampaignResult(config=config, points=points)
+    """Run the full granularity sweep of one figure.
+
+    ``workers`` > 1 distributes the campaign's work units over that many
+    processes (see :class:`ParallelHarness`); the result is identical to
+    the serial run.
+    """
+    return ParallelHarness(workers).run_campaign(config, progress=progress)

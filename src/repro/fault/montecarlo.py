@@ -1,4 +1,4 @@
-"""Monte-Carlo fault analysis.
+"""Monte-Carlo fault analysis (batched).
 
 Exhaustive robustness checking (:func:`repro.fault.scenarios.check_robustness`)
 is exponential in ε; for larger platforms this module estimates the same
@@ -6,6 +6,18 @@ quantities by sampling failure scenarios: survival probability, expected
 crash latency, and the latency distribution's tail.  It also supports
 failure-*time* sampling (processors dying mid-execution), which the
 exhaustive checker does not explore.
+
+Two fast-path mechanisms keep large campaigns cheap:
+
+* **batched sampling** — all crash scenarios of a campaign are drawn in
+  one vectorized RNG call (a permutation matrix sliced per scenario)
+  instead of one ``Generator.choice`` per sample;
+* **replay short-circuiting** — a scenario whose every failure strikes a
+  processor strictly after its last scheduled activity cannot change any
+  outcome, so the replay collapses to the committed schedule (the
+  documented no-crash invariant).  In particular every crash subset that
+  misses the processors used by the schedule — and the whole ``k = 0``
+  row of a survival curve — costs O(1).
 """
 
 from __future__ import annotations
@@ -17,7 +29,6 @@ from typing import Optional
 import numpy as np
 
 from repro.fault.model import FailureScenario
-from repro.fault.scenarios import random_crash_scenario
 from repro.fault.simulator import replay
 from repro.schedule.schedule import Schedule
 from repro.utils.rng import RngLike, as_rng
@@ -25,11 +36,15 @@ from repro.utils.rng import RngLike, as_rng
 
 @dataclass
 class MonteCarloReport:
-    """Aggregated outcome of a sampled crash campaign."""
+    """Aggregated outcome of a sampled crash campaign.
+
+    ``latencies`` is an ndarray of the surviving replays' latencies (one
+    entry per survived sample, in sample order).
+    """
 
     samples: int
     survived: int
-    latencies: list[float] = field(default_factory=list)
+    latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
     failures: list[FailureScenario] = field(default_factory=list)
 
     @property
@@ -38,16 +53,80 @@ class MonteCarloReport:
 
     @property
     def mean_latency(self) -> float:
-        return float(np.mean(self.latencies)) if self.latencies else math.nan
+        return float(np.mean(self.latencies)) if self.latencies.size else math.nan
 
     @property
     def max_latency(self) -> float:
-        return float(np.max(self.latencies)) if self.latencies else math.nan
+        return float(np.max(self.latencies)) if self.latencies.size else math.nan
 
     def latency_quantile(self, q: float) -> float:
-        if not self.latencies:
+        if not self.latencies.size:
             return math.nan
         return float(np.quantile(self.latencies, q))
+
+
+def draw_crash_pool(
+    num_procs: int, samples: int, rng: RngLike = None
+) -> np.ndarray:
+    """``(samples, num_procs)`` matrix of independent processor permutations.
+
+    One vectorized RNG call covers a whole campaign: the scenario with
+    ``k`` crashes of sample ``i`` is ``pool[i, :k]`` — ``k`` distinct
+    processors chosen uniformly at random, and nested across ``k`` so a
+    survival curve reuses the same draws at every crash count.
+    """
+    gen = as_rng(rng)
+    pool = np.tile(np.arange(num_procs), (samples, 1))
+    return gen.permuted(pool, axis=1)
+
+
+def _last_busy_times(schedule: Schedule) -> np.ndarray:
+    """Per-processor time of the last scheduled activity (−inf if unused).
+
+    A processor failing strictly after this instant cannot affect the
+    execution: every replica and message endpoint on it finishes no later,
+    so all its work survives and the replay equals the committed schedule.
+    """
+    busy = np.full(schedule.instance.num_procs, -np.inf)
+    for reps in schedule.replicas:
+        for r in reps:
+            if r.finish > busy[r.proc]:
+                busy[r.proc] = r.finish
+    for e in schedule.events:
+        if e.finish > busy[e.src_proc]:
+            busy[e.src_proc] = e.finish
+        if e.finish > busy[e.dst_proc]:
+            busy[e.dst_proc] = e.finish
+    return busy
+
+
+class _Replayer:
+    """Shared per-schedule replay state with short-circuiting."""
+
+    def __init__(self, schedule: Schedule) -> None:
+        self.schedule = schedule
+        self.last_busy = _last_busy_times(schedule)
+        self._base_latency: Optional[float] = None
+
+    def harmless(self, scenario: FailureScenario) -> bool:
+        busy = self.last_busy
+        return all(
+            scenario.fail_time(p) > busy[p] for p in scenario.failed_procs
+        )
+
+    def base_latency(self) -> float:
+        if self._base_latency is None:
+            self._base_latency = self.schedule.latency()
+        return self._base_latency
+
+    def run(self, scenario: FailureScenario):
+        """Return ``(survived, latency_or_None)`` for one scenario."""
+        if self.harmless(scenario):
+            return True, self.base_latency()
+        result = replay(self.schedule, scenario)
+        if result.success:
+            return True, result.latency()
+        return False, None
 
 
 def monte_carlo_crashes(
@@ -59,26 +138,47 @@ def monte_carlo_crashes(
 ) -> MonteCarloReport:
     """Replay ``schedule`` under ``samples`` random crash scenarios.
 
-    ``num_failures`` processors are drawn uniformly per sample; with
-    ``time_range`` the failure instants are drawn uniformly from the range
-    (mid-execution crashes), otherwise processors are dead from time 0.
+    ``num_failures`` processors are drawn uniformly per sample — all
+    samples in one vectorized RNG call; with ``time_range`` the failure
+    instants are drawn uniformly from the range (mid-execution crashes),
+    otherwise processors are dead from time 0.
     """
     if samples < 1:
         raise ValueError("samples must be >= 1")
-    gen = as_rng(rng)
-    report = MonteCarloReport(samples=samples, survived=0)
     m = schedule.instance.num_procs
-    for _ in range(samples):
-        scenario = random_crash_scenario(
-            m, num_failures, rng=gen, time_range=time_range
-        )
-        result = replay(schedule, scenario)
-        if result.success:
-            report.survived += 1
-            report.latencies.append(result.latency())
+    if not (0 <= num_failures <= m):
+        raise ValueError(f"cannot fail {num_failures} of {m} processors")
+    gen = as_rng(rng)
+    pool = draw_crash_pool(m, samples, rng=gen)[:, :num_failures]
+    times = None
+    if time_range is not None:
+        lo, hi = time_range
+        times = gen.uniform(lo, hi, size=(samples, num_failures))
+
+    replayer = _Replayer(schedule)
+    survived = 0
+    latencies: list[float] = []
+    failures: list[FailureScenario] = []
+    for i in range(samples):
+        procs = pool[i]
+        if times is None:
+            scenario = FailureScenario.crash_at_start(int(p) for p in procs)
         else:
-            report.failures.append(scenario)
-    return report
+            scenario = FailureScenario(
+                {int(p): float(t) for p, t in zip(procs, times[i])}
+            )
+        ok, latency = replayer.run(scenario)
+        if ok:
+            survived += 1
+            latencies.append(latency)
+        else:
+            failures.append(scenario)
+    return MonteCarloReport(
+        samples=samples,
+        survived=survived,
+        latencies=np.asarray(latencies),
+        failures=failures,
+    )
 
 
 def survival_curve(
@@ -86,20 +186,53 @@ def survival_curve(
     max_failures: int,
     samples: int = 100,
     rng: RngLike = None,
-) -> dict[int, float]:
-    """Estimated survival probability as a function of the crash count.
+    samples_per_k: Optional[int] = None,
+) -> dict[int, MonteCarloReport]:
+    """Estimated survival as a function of the crash count.
 
-    For a correct ε-fault-tolerant schedule the curve is exactly 1.0 up to
-    ``ε`` and typically degrades beyond it (the schedule may still survive
-    more crashes by luck — replication placement often covers more than the
-    guaranteed budget).
+    One batched scenario pool is drawn up front and reused across every
+    crash count ``k`` (the ``k``-crash scenario of sample ``i`` is the
+    first ``k`` processors of pool row ``i``), so the curve is paired
+    across ``k`` instead of re-estimated from scratch.  ``samples_per_k``
+    caps how many pool rows each crash count replays (default: all
+    ``samples``).  Every row — including ``k = 0``, which earlier versions
+    hard-coded without sampling — is a full :class:`MonteCarloReport`
+    with its sample count; the ``k = 0`` replays short-circuit to the
+    committed schedule, so the row is exact and effectively free.
+
+    For a correct ε-fault-tolerant schedule ``survival_rate`` is exactly
+    1.0 up to ``ε`` and typically degrades beyond it (the schedule may
+    still survive more crashes by luck — replication placement often
+    covers more than the guaranteed budget).
     """
-    gen = as_rng(rng)
-    curve: dict[int, float] = {}
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    m = schedule.instance.num_procs
+    if max_failures > m:
+        raise ValueError(f"cannot fail {max_failures} of {m} processors")
+    n_k = samples if samples_per_k is None else max(1, min(samples_per_k, samples))
+    pool = draw_crash_pool(m, samples, rng=rng)
+    replayer = _Replayer(schedule)
+
+    curve: dict[int, MonteCarloReport] = {}
     for k in range(max_failures + 1):
-        if k == 0:
-            curve[0] = 1.0
-            continue
-        report = monte_carlo_crashes(schedule, k, samples=samples, rng=gen)
-        curve[k] = report.survival_rate
+        survived = 0
+        latencies: list[float] = []
+        failures: list[FailureScenario] = []
+        for i in range(n_k):
+            scenario = FailureScenario.crash_at_start(
+                int(p) for p in pool[i, :k]
+            )
+            ok, latency = replayer.run(scenario)
+            if ok:
+                survived += 1
+                latencies.append(latency)
+            else:
+                failures.append(scenario)
+        curve[k] = MonteCarloReport(
+            samples=n_k,
+            survived=survived,
+            latencies=np.asarray(latencies),
+            failures=failures,
+        )
     return curve

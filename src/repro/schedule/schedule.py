@@ -226,6 +226,7 @@ class ScheduleBuilder:
         scheduler: str,
         make_network: Optional[Callable[[], NetworkModel]] = None,
         strict_local_suppression: bool = False,
+        fast: bool = False,
     ) -> None:
         if epsilon < 0:
             raise SchedulingError("epsilon must be >= 0")
@@ -243,7 +244,7 @@ class ScheduleBuilder:
         self.strict_local_suppression = strict_local_suppression
         self.proc_ready = [0.0] * instance.num_procs
         if make_network is None:
-            make_network = lambda: type(network)(instance.platform)  # noqa: E731
+            make_network = network.clone_factory()
         self.schedule = Schedule(
             instance=instance,
             epsilon=epsilon,
@@ -252,6 +253,18 @@ class ScheduleBuilder:
             make_network=make_network,
         )
         self._seq = 0
+        #: fast-path placement kernel; ``None`` when the model is not
+        #: kernel-supported (trials then go through the exact slow path).
+        self._kernel = None
+        if fast:
+            from repro.schedule.kernel import TrialKernel
+
+            self._kernel = TrialKernel.create(self)
+
+    @property
+    def fast(self) -> bool:
+        """Whether the vectorized placement kernel is active."""
+        return self._kernel is not None
 
     # ------------------------------------------------------------------
     def _next_seq(self) -> int:
@@ -358,6 +371,64 @@ class ScheduleBuilder:
         """
         return self._place(task, proc, sources, record=False)
 
+    def trial_batch(
+        self,
+        task: int,
+        procs: Sequence[int],
+        sources: Mapping[int, Sequence[Replica]],
+    ) -> list[Trial]:
+        """Trials for every candidate in ``procs`` with shared ``sources``.
+
+        With the fast kernel active the whole sweep is evaluated in one
+        pass over shared per-task serialization state; otherwise this is
+        a plain loop over :meth:`trial`.  Results are bit-identical
+        either way.
+        """
+        if self._kernel is not None:
+            return self._kernel.batch_trials(task, procs, sources)
+        return [self._place(task, p, sources, record=False) for p in procs]
+
+    def sweep_trials(
+        self,
+        tasks: Sequence[int],
+        sources_map: Mapping[int, Mapping[int, Sequence[Replica]]],
+    ) -> dict[int, list[Trial]]:
+        """Trials for every ``(task, processor)`` pair of a free-task sweep.
+
+        Tasks must be unscheduled (every processor eligible).  With the
+        kernel active the whole sweep — FTBAR re-scores all free tasks
+        after every placement — is served from the epoch cache plus one
+        vectorized pass over the stale rows.
+        """
+        if self._kernel is not None:
+            return self._kernel.sweep_trials(tasks, sources_map)
+        m = self.instance.num_procs
+        return {
+            t: [self._place(t, p, sources_map[t], record=False) for p in range(m)]
+            for t in tasks
+        }
+
+    def trial_with_heads(
+        self,
+        task: int,
+        proc: int,
+        sources: Mapping[int, Sequence[Replica]],
+        heads: Mapping[int, Replica],
+    ) -> Trial:
+        """Trial where predecessors in ``heads`` supply via their designated
+        replica only; the others use the full ``sources`` pool.
+
+        Equivalent to :meth:`trial` with ``sources`` narrowed to
+        ``[heads[p]]`` per designated predecessor, but the kernel shares
+        one per-task entry state across a whole candidate sweep.
+        """
+        if self._kernel is not None:
+            return self._kernel.trial_with_heads(task, proc, sources, heads)
+        mixed = {
+            p: ([heads[p]] if p in heads else srcs) for p, srcs in sources.items()
+        }
+        return self._place(task, proc, mixed, record=False)
+
     def commit(
         self,
         task: int,
@@ -411,6 +482,8 @@ class ScheduleBuilder:
         self.proc_ready[proc] = finish
         self.network.note_compute(proc, start, finish)
         self.network.commit()
+        if self._kernel is not None:
+            self._kernel.note_commit(proc, placed)
         return replica
 
     def mark_task_done(self, task: int) -> None:

@@ -42,16 +42,11 @@ def resolve_network(
     """
     if isinstance(model, NetworkModel):
         network = model
-        if hasattr(network, "topology"):
-            topology = network.topology
-            factory = lambda: type(network)(topology)  # noqa: E731
-        else:
-            platform = network.platform
-            policy = getattr(network, "policy", None)
-            if policy is not None and type(network).__name__ == "OnePortNetwork":
-                factory = lambda: type(network)(platform, policy=policy)  # noqa: E731
-            else:
-                factory = lambda: type(network)(platform)  # noqa: E731
+        # Dispatch through the model's own clone protocol: every
+        # NetworkModel knows its constructor arguments (platform, policy,
+        # topology, ...), so subclassed networks rebuild with their
+        # configuration intact instead of being string-matched by name.
+        factory = network.clone_factory()
         network.reset()
         return network, factory
     name = str(model)
@@ -110,10 +105,7 @@ class FreeTaskList:
         """Remove ``task`` from the free list (it is about to be scheduled)."""
         if task not in self.queue:
             raise SchedulingError(f"t{task} is not free")
-        # Rebuild-free removal: push with +inf priority then pop the max.
-        self.queue.push(task, float("inf"))
-        popped = self.queue.pop()
-        assert popped == task
+        self.queue.remove(task)
 
     def task_scheduled(self, task: int, best_finish: float) -> list[int]:
         """Record completion of ``task``; return newly freed tasks (queued)."""
@@ -161,9 +153,14 @@ def make_builder(
     model: ModelSpec,
     scheduler: str,
     strict_local_suppression: bool = False,
+    fast: bool = False,
     **model_kwargs,
 ) -> ScheduleBuilder:
-    """Construct a :class:`ScheduleBuilder` over a fresh network."""
+    """Construct a :class:`ScheduleBuilder` over a fresh network.
+
+    ``fast=True`` activates the vectorized placement kernel when the
+    network model supports it (bit-identical results, no undo-log churn).
+    """
     network, factory = resolve_network(model, instance, **model_kwargs)
     return ScheduleBuilder(
         instance,
@@ -172,6 +169,7 @@ def make_builder(
         scheduler,
         make_network=factory,
         strict_local_suppression=strict_local_suppression,
+        fast=fast,
     )
 
 

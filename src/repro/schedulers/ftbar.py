@@ -32,7 +32,6 @@ from repro.schedulers.base import (
     FreeTaskList,
     ModelSpec,
     TIE_EPS,
-    eligible_procs,
     full_fanin_sources,
     make_builder,
     seeded,
@@ -46,18 +45,19 @@ def _best_pressure_set(
     task: int,
     bl: float,
     current_length: float,
+    trials: list[Trial],
 ) -> tuple[list[tuple[float, Trial]], float]:
     """The ``ε+1`` minimum-pressure (σ, trial) pairs for ``task``.
 
+    ``trials`` holds the candidate evaluation for processors ``0..m-1``
+    (free tasks have no replicas, so every processor is eligible).
     Returns the retained pairs sorted by σ and the task's urgency (the
     largest retained pressure — the pressure it will actually suffer).
     """
-    sources = full_fanin_sources(builder, task)
     scored: list[tuple[float, int, Trial]] = []
-    for p in eligible_procs(builder, task):
-        trial = builder.trial(task, p, sources)
+    for trial in trials:
         sigma = trial.start + bl - current_length
-        scored.append((sigma, p, trial))
+        scored.append((sigma, trial.proc, trial))
     scored.sort(key=lambda item: (item[0], item[1]))
     keep = scored[: builder.epsilon + 1]
     if len(keep) < builder.epsilon + 1:
@@ -74,10 +74,13 @@ def ftbar(
     epsilon: int,
     model: ModelSpec = "oneport",
     rng: RngLike = 0,
+    fast: bool = True,
 ) -> Schedule:
     """Schedule ``instance`` with FTBAR, tolerating ``epsilon`` failures."""
     gen = seeded(rng)
-    builder = make_builder(instance, epsilon=epsilon, model=model, scheduler="ftbar")
+    builder = make_builder(
+        instance, epsilon=epsilon, model=model, scheduler="ftbar", fast=fast
+    )
     # The free list is used purely for free-task bookkeeping here; FTBAR
     # re-ranks all free tasks by schedule pressure at every step.
     free = FreeTaskList(instance, gen, priority="tl+bl", dynamic=False)
@@ -86,12 +89,19 @@ def ftbar(
 
     while free:
         candidates = free.free_tasks()
+        # One sweep evaluates every (free task, processor) pair; with the
+        # fast kernel, untouched rows come from the epoch cache and the
+        # stale ones run as a single vectorized pass.
+        sources_map = {t: full_fanin_sources(builder, t) for t in candidates}
+        sweep = builder.sweep_trials(candidates, sources_map)
         best_task = None
         best_urgency = -float("inf")
         best_pairs: list[tuple[float, Trial]] = []
         ties: list[tuple[int, list[tuple[float, Trial]]]] = []
         for task in candidates:
-            pairs, urgency = _best_pressure_set(builder, task, float(bl[task]), current_length)
+            pairs, urgency = _best_pressure_set(
+                builder, task, float(bl[task]), current_length, sweep[task]
+            )
             if urgency > best_urgency + TIE_EPS:
                 best_urgency = urgency
                 ties = [(task, pairs)]

@@ -46,16 +46,13 @@ def place_task_ftsa(
     best_finish = float("inf")
     if reselect:
         for _ in range(builder.epsilon + 1):
-            trials = [
-                builder.trial(task, p, sources)
-                for p in eligible_procs(builder, task)
-            ]
+            trials = builder.trial_batch(task, eligible_procs(builder, task), sources)
             best = argmin_trial(trials, gen)
             replica = builder.commit(task, best.proc, sources, kind="greedy")
             best_finish = min(best_finish, replica.finish)
         return best_finish
 
-    trials = [builder.trial(task, p, sources) for p in eligible_procs(builder, task)]
+    trials = builder.trial_batch(task, eligible_procs(builder, task), sources)
     trials.sort(key=lambda t: (t.finish, t.proc))
     for trial in trials[: builder.epsilon + 1]:
         replica = builder.commit(task, trial.proc, sources, kind="greedy")
@@ -71,15 +68,20 @@ def ftsa(
     dynamic: bool = True,
     reselect: bool = False,
     rng: RngLike = 0,
+    fast: bool = True,
 ) -> Schedule:
     """Schedule ``instance`` with FTSA, tolerating ``epsilon`` failures.
 
     ``reselect=False`` (default) follows the paper's single-evaluation
     replica selection; ``reselect=True`` re-picks the best processor after
     each replica commit (a stronger variant, see the ablation bench).
+    ``fast`` routes candidate evaluation through the vectorized placement
+    kernel (bit-identical schedules).
     """
     gen = seeded(rng)
-    builder = make_builder(instance, epsilon=epsilon, model=model, scheduler="ftsa")
+    builder = make_builder(
+        instance, epsilon=epsilon, model=model, scheduler="ftsa", fast=fast
+    )
     free = FreeTaskList(instance, gen, priority=priority, dynamic=dynamic)
 
     while free:

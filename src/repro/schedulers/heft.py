@@ -33,6 +33,7 @@ def heft(
     priority: str = "bl",
     dynamic: bool = False,
     rng: RngLike = 0,
+    fast: bool = True,
 ) -> Schedule:
     """Schedule ``instance`` with HEFT (one replica per task).
 
@@ -49,15 +50,18 @@ def heft(
         Refresh top levels from actual finish times (paper §5 behaviour).
     rng:
         Seed or generator for random tie-breaking.
+    fast:
+        Evaluate candidate processors through the vectorized placement
+        kernel (bit-identical schedules; see ``repro.schedule.kernel``).
     """
     gen = seeded(rng)
-    builder = make_builder(instance, epsilon=0, model=model, scheduler="heft")
+    builder = make_builder(instance, epsilon=0, model=model, scheduler="heft", fast=fast)
     free = FreeTaskList(instance, gen, priority=priority, dynamic=dynamic)
 
     while free:
         task = free.pop()
         sources = full_fanin_sources(builder, task)
-        trials = [builder.trial(task, p, sources) for p in eligible_procs(builder, task)]
+        trials = builder.trial_batch(task, eligible_procs(builder, task), sources)
         best = argmin_trial(trials, gen)
         builder.commit(task, best.proc, sources, kind="primary")
         builder.mark_task_done(task)

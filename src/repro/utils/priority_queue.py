@@ -50,6 +50,19 @@ class StablePriorityQueue(Generic[T]):
         heapq.heappush(self._heap, (-float(priority), tie, self._counter, item))
         self._counter += 1
 
+    def remove(self, item: T) -> None:
+        """Remove a live item without disturbing the rest of the queue.
+
+        The removal is lazy: the heap entry stays behind as a stale record
+        that :meth:`pop`/:meth:`peek` skip, exactly like a superseded
+        priority.  Unlike the old push-``inf``-then-pop workaround this
+        draws no tie-break token and never reorders live entries.
+        """
+        try:
+            del self._current[item]
+        except KeyError:
+            raise KeyError(f"{item!r} is not in the queue") from None
+
     def pop(self) -> T:
         """Remove and return the item with the highest priority."""
         while self._heap:

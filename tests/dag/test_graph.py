@@ -130,6 +130,48 @@ class TestShapes:
         assert g.is_out_forest() and g.is_in_forest()
 
 
+class TestNumpyViews:
+    def test_succ_csr(self):
+        g = diamond()
+        indptr, indices, volumes = g.succ_csr
+        assert indptr.tolist() == [0, 2, 3, 4, 4]
+        assert indices.tolist() == [1, 2, 3, 3]
+        assert volumes.tolist() == [5.0, 6.0, 7.0, 8.0]
+
+    def test_pred_csr(self):
+        g = diamond()
+        indptr, indices, volumes = g.pred_csr
+        assert indptr.tolist() == [0, 0, 1, 2, 4]
+        assert indices.tolist() == [0, 0, 1, 2]
+        assert volumes.tolist() == [5.0, 6.0, 7.0, 8.0]
+
+    def test_csr_matches_adjacency(self):
+        g = diamond()
+        indptr, indices, _ = g.succ_csr
+        for t in range(g.num_tasks):
+            assert tuple(indices[indptr[t]:indptr[t + 1]]) == g.succs(t)
+
+    def test_csr_is_cached_and_readonly(self):
+        g = diamond()
+        a = g.succ_csr
+        assert g.succ_csr is a
+        with pytest.raises(ValueError):
+            a[1][0] = 99
+
+    def test_generations(self):
+        g = diamond()
+        gens = g.generations()
+        assert [gen.tolist() for gen in gens] == [[0], [1, 2], [3]]
+
+    def test_generations_cover_all_tasks(self):
+        g = TaskGraph(5, [(0, 2, 1.0), (1, 2, 1.0), (2, 4, 1.0)])
+        gens = g.generations()
+        seen = sorted(t for gen in gens for t in gen.tolist())
+        assert seen == list(range(5))
+        # 3 is isolated: generation 0 alongside the entries
+        assert 3 in gens[0].tolist()
+
+
 class TestInterop:
     def test_networkx_roundtrip(self):
         g = diamond()

@@ -15,9 +15,11 @@ from repro.experiments.config import (
 )
 from repro.experiments.harness import (
     ALGORITHM_RUNNERS,
+    ParallelHarness,
     generate_instance,
     run_campaign,
     run_point,
+    run_rep,
 )
 from repro.platform.heterogeneity import granularity
 
@@ -161,3 +163,50 @@ class TestCampaign:
         messages = []
         run_campaign(cfg, progress=messages.append)
         assert len(messages) == 2
+
+
+class TestParallelHarness:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return ExperimentConfig(
+            name="par",
+            granularities=(0.5, 1.5),
+            num_procs=6,
+            epsilon=1,
+            crashes=1,
+            num_graphs=2,
+            task_range=(12, 16),
+        )
+
+    def test_rep_is_pure_function_of_labels(self, cfg):
+        a = run_rep(cfg, 0.5, 0)
+        b = run_rep(cfg, 0.5, 0)
+        assert a == b
+
+    def test_workers_do_not_change_results(self, cfg):
+        serial = run_campaign(cfg)
+        parallel = ParallelHarness(2, clamp=False).run_campaign(cfg)
+        assert serial.rows() == parallel.rows()
+
+    def test_parallel_progress_covers_all_jobs(self, cfg):
+        messages = []
+        ParallelHarness(2, clamp=False).run_campaign(cfg, progress=messages.append)
+        assert len(messages) == len(cfg.granularities) * cfg.num_graphs
+
+    def test_workers_one_is_serial(self, cfg):
+        assert ParallelHarness(1).workers <= 1
+        assert ParallelHarness(None).workers == 0
+
+    def test_workers_clamped_to_cpus(self):
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert ParallelHarness(cpus + 7).workers <= cpus
+        assert ParallelHarness(cpus + 7, clamp=False).workers == cpus + 7
+
+    def test_fast_flag_does_not_change_results(self, cfg):
+        from dataclasses import replace
+
+        fast = run_campaign(replace(cfg, fast=True))
+        slow = run_campaign(replace(cfg, fast=False))
+        assert fast.rows() == slow.rows()

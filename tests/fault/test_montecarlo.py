@@ -1,9 +1,14 @@
 """Tests for Monte-Carlo fault analysis."""
 
+import numpy as np
 import pytest
 
 from repro.core.caft import caft
-from repro.fault.montecarlo import monte_carlo_crashes, survival_curve
+from repro.fault.montecarlo import (
+    draw_crash_pool,
+    monte_carlo_crashes,
+    survival_curve,
+)
 from repro.schedulers.ftsa import ftsa
 from tests.conftest import make_instance
 
@@ -47,7 +52,26 @@ class TestMonteCarloCrashes:
         sched = caft(inst, 1, rng=0)
         a = monte_carlo_crashes(sched, 1, samples=20, rng=9)
         b = monte_carlo_crashes(sched, 1, samples=20, rng=9)
-        assert a.latencies == b.latencies
+        assert np.array_equal(a.latencies, b.latencies)
+
+    def test_latencies_are_ndarray(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        report = monte_carlo_crashes(sched, 1, samples=10, rng=0)
+        assert isinstance(report.latencies, np.ndarray)
+
+    def test_zero_failures_short_circuits_to_schedule_latency(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        report = monte_carlo_crashes(sched, 0, samples=5, rng=0)
+        assert report.survival_rate == 1.0
+        assert np.all(report.latencies == sched.latency())
+
+    def test_rejects_too_many_failures(self):
+        inst = make_instance(num_tasks=10, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        with pytest.raises(ValueError):
+            monte_carlo_crashes(sched, 6, samples=5)
 
     def test_rejects_bad_samples(self):
         inst = make_instance(num_tasks=10, num_procs=5)
@@ -61,14 +85,46 @@ class TestSurvivalCurve:
         inst = make_instance(num_tasks=20, num_procs=6)
         sched = caft(inst, 2, rng=0)
         curve = survival_curve(sched, max_failures=4, samples=25, rng=0)
-        assert curve[0] == 1.0
-        assert curve[1] == 1.0
-        assert curve[2] == 1.0  # within the epsilon budget
-        assert 0.0 <= curve[4] <= 1.0
+        assert curve[0].survival_rate == 1.0
+        assert curve[1].survival_rate == 1.0
+        assert curve[2].survival_rate == 1.0  # within the epsilon budget
+        assert 0.0 <= curve[4].survival_rate <= 1.0
 
     def test_curve_roughly_monotone(self):
         inst = make_instance(num_tasks=20, num_procs=6)
         sched = ftsa(inst, 1, rng=0)
         curve = survival_curve(sched, max_failures=5, samples=30, rng=1)
         # sampled, so allow small inversions; the endpoints must order
-        assert curve[1] >= curve[5] - 0.2
+        assert curve[1].survival_rate >= curve[5].survival_rate - 0.2
+
+    def test_zero_row_reports_samples(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        curve = survival_curve(sched, max_failures=2, samples=20, rng=0)
+        assert curve[0].samples == 20
+        assert curve[0].survived == 20
+        assert np.all(curve[0].latencies == sched.latency())
+
+    def test_samples_per_k(self):
+        inst = make_instance(num_tasks=15, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        curve = survival_curve(
+            sched, max_failures=3, samples=30, rng=0, samples_per_k=10
+        )
+        assert all(report.samples == 10 for report in curve.values())
+
+    def test_shared_pool_nests_scenarios(self):
+        # the k-crash scenario of sample i is a prefix of the (k+1)-crash
+        # scenario: a schedule that dies under k crashes of row i cannot
+        # have survived... we check the weaker paired-pool property that
+        # the same seed yields identical pools across calls.
+        a = draw_crash_pool(8, 12, rng=5)
+        b = draw_crash_pool(8, 12, rng=5)
+        assert np.array_equal(a, b)
+        assert sorted(a[0].tolist()) == list(range(8))
+
+    def test_rejects_too_many_failures(self):
+        inst = make_instance(num_tasks=10, num_procs=5)
+        sched = caft(inst, 1, rng=0)
+        with pytest.raises(ValueError):
+            survival_curve(sched, max_failures=9, samples=5)

@@ -71,6 +71,17 @@ class TestNewSubcommands:
         assert "ROBUST" in out
         assert "survival curve" in out
 
+    def test_robustness_epsilon_beyond_max_failures(self, capsys):
+        # epsilon > max-failures must not KeyError: the guarantee check
+        # clamps to the sampled range
+        rc = main(
+            ["robustness", "--size", "4", "--procs", "6", "--epsilon", "3",
+             "--samples", "5", "--max-failures", "2", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert "survival curve" in out
+
     def test_robustness_literal_can_fail(self, capsys):
         # the literal variant has no guarantee; exit code reflects the curve
         rc = main(

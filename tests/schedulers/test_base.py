@@ -60,6 +60,20 @@ class TestResolveNetwork:
         _resolved, factory = resolve_network(net, inst)
         assert factory().policy == "insertion"
 
+    def test_subclass_keeps_policy(self):
+        """Clone dispatch goes through the class, not a name string: a
+        OnePortNetwork subclass rebuilds with its policy intact."""
+
+        class TracingOnePort(OnePortNetwork):
+            name = "tracing-oneport"
+
+        inst = make_instance()
+        net = TracingOnePort(inst.platform, policy="insertion")
+        _resolved, factory = resolve_network(net, inst)
+        fresh = factory()
+        assert type(fresh) is TracingOnePort
+        assert fresh.policy == "insertion"
+
 
 class TestFreeTaskList:
     def instance(self):

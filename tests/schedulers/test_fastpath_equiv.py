@@ -1,0 +1,187 @@
+"""Fast-path equivalence: the placement kernel must be bit-identical.
+
+``fast=True`` routes every candidate evaluation through
+:class:`repro.schedule.kernel.TrialKernel`; the contract is that the
+committed schedule — every replica, every message, every float — is
+indistinguishable from the slow reserve-and-rollback path.  This suite
+compares full commit logs for all four algorithms (plus the batched CAFT
+extension) across ε ∈ {0, 1, 2}, both network models and 10 seeded
+random instances, and exercises both kernel formulations (the scalar
+loop and the forced-NumPy batch pass).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.caft import caft
+from repro.core.caft_batch import caft_batch
+from repro.dag.generators import random_dag
+from repro.platform.heterogeneity import range_exec_matrix, uniform_delay_platform
+from repro.platform.instance import ProblemInstance
+from repro.schedule.kernel import TrialKernel
+from repro.schedule.schedule import Replica, Schedule
+from repro.schedulers.ftbar import ftbar
+from repro.schedulers.ftsa import ftsa
+from repro.schedulers.heft import heft
+
+SEEDS = list(range(10))
+MODELS = ("oneport", "macro-dataflow")
+EPSILONS = (0, 1, 2)
+
+ALGORITHMS = {
+    "heft": lambda inst, eps, model, fast: heft(
+        inst, model=model, rng=eps, fast=fast
+    ),
+    "ftsa": lambda inst, eps, model, fast: ftsa(
+        inst, eps, model=model, rng=eps, fast=fast
+    ),
+    "ftbar": lambda inst, eps, model, fast: ftbar(
+        inst, eps, model=model, rng=eps, fast=fast
+    ),
+    "caft": lambda inst, eps, model, fast: caft(
+        inst, eps, model=model, rng=eps, fast=fast
+    ),
+    "caft-batch": lambda inst, eps, model, fast: caft_batch(
+        inst, eps, window=3, model=model, rng=eps, fast=fast
+    ),
+}
+
+
+def make_instance(seed: int, num_tasks: int = 14, num_procs: int = 5):
+    rng = np.random.default_rng(seed)
+    graph = random_dag(num_tasks, degree_range=(1, 3), volume_range=(5.0, 20.0), rng=rng)
+    platform = uniform_delay_platform(num_procs, rng=rng)
+    base = rng.uniform(1.0, 3.0, size=num_tasks)
+    exec_cost = range_exec_matrix(base, num_procs, heterogeneity=0.5, rng=rng)
+    return ProblemInstance(graph, platform, exec_cost)
+
+
+def commit_signature(schedule: Schedule) -> list[tuple]:
+    """The full commit log as comparable tuples (exact floats)."""
+    out = []
+    for entry in schedule.commit_log:
+        if isinstance(entry, Replica):
+            out.append(
+                (
+                    "R",
+                    entry.task,
+                    entry.index,
+                    entry.proc,
+                    entry.start,
+                    entry.finish,
+                    entry.kind,
+                    tuple(sorted(entry.support)),
+                )
+            )
+        else:
+            out.append(
+                (
+                    "C",
+                    entry.src_task,
+                    entry.dst_task,
+                    entry.src_proc,
+                    entry.dst_proc,
+                    entry.volume,
+                    entry.start,
+                    entry.finish,
+                )
+            )
+    return out
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("epsilon", EPSILONS)
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+def test_fast_slow_identical_commit_logs(algo, epsilon, model):
+    if algo == "heft" and epsilon:
+        pytest.skip("HEFT has no replication parameter")
+    run = ALGORITHMS[algo]
+    for seed in SEEDS:
+        inst = make_instance(seed)
+        slow = run(inst, epsilon, model, False)
+        fast = run(inst, epsilon, model, True)
+        assert commit_signature(slow) == commit_signature(fast), (
+            f"{algo} eps={epsilon} model={model} seed={seed}"
+        )
+        assert slow.latency() == fast.latency()
+        assert slow.task_order == fast.task_order
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_numpy_batch_formulation_identical(model, monkeypatch):
+    """Force the NumPy batch pass (normally reserved for large sweeps)."""
+    monkeypatch.setattr(TrialKernel, "numpy_threshold", 0)
+    monkeypatch.setattr(TrialKernel, "sweep_numpy_threshold", 0)
+    for seed in SEEDS[:3]:
+        inst = make_instance(seed)
+        for algo in ("ftsa", "ftbar", "caft"):
+            slow = ALGORITHMS[algo](inst, 1, model, False)
+            fast = ALGORITHMS[algo](inst, 1, model, True)
+            assert commit_signature(slow) == commit_signature(fast), (
+                f"{algo} model={model} seed={seed} (numpy path)"
+            )
+
+
+@pytest.mark.parametrize("model", ("uniport", "oneport-nooverlap"))
+def test_oneport_variants_identical(model):
+    """The §2 model variants go through the kernel too.
+
+    FTBAR must be in this matrix: it is the only algorithm exercising
+    the kernel's epoch cache, whose invalidation rules are exactly where
+    the variants differ (uniport aliases the send/receive ports, so a
+    commit dirties both sides of every touched processor).
+    """
+    for seed in SEEDS[:6]:
+        for num_tasks, num_procs in ((14, 5), (18, 8)):
+            inst = make_instance(seed, num_tasks=num_tasks, num_procs=num_procs)
+            for algo in ("ftsa", "ftbar", "caft"):
+                for epsilon in (0, 1):
+                    slow = ALGORITHMS[algo](inst, epsilon, model, False)
+                    fast = ALGORITHMS[algo](inst, epsilon, model, True)
+                    assert commit_signature(slow) == commit_signature(fast), (
+                        f"{algo} model={model} seed={seed} eps={epsilon} "
+                        f"v={num_tasks} m={num_procs}"
+                    )
+
+
+def test_filtered_pools_do_not_alias_entry_cache():
+    """Same-length but different source pools must not hit a stale cache.
+
+    Only canonical full-fan-in pools (the live ``schedule.replicas``
+    lists) are cacheable; an arbitrary filtered pool of equal length is
+    evaluated fresh.
+    """
+    from repro.schedulers.base import make_builder
+
+    inst = make_instance(0)
+    graph = inst.graph
+    task = next(t for t in graph.topological_order() if len(graph.preds(t)) == 1)
+    pred = graph.preds(task)[0]
+
+    def run(fast):
+        builder = make_builder(inst, 1, "oneport", "t", fast=fast)
+        for t in graph.topological_order():
+            if t == task:
+                break
+            for proc in (0, 1):
+                builder.commit(
+                    t, proc, {p: builder.schedule.replicas[p] for p in graph.preds(t)}
+                )
+        reps = builder.schedule.replicas[pred]
+        first = builder.trial_batch(task, [2, 3], {pred: [reps[0]]})
+        second = builder.trial_batch(task, [2, 3], {pred: [reps[1]]})
+        return [(t.start, t.finish) for t in first + second]
+
+    assert run(True) == run(False)
+
+
+def test_unsupported_model_falls_back():
+    """Insertion policy is outside the kernel: fast=True must still work."""
+    from repro.comm.oneport import OnePortNetwork
+
+    inst = make_instance(0)
+    net = OnePortNetwork(inst.platform, policy="insertion")
+    sched = ftsa(inst, 1, model=net, rng=0, fast=True)
+    net2 = OnePortNetwork(inst.platform, policy="insertion")
+    ref = ftsa(inst, 1, model=net2, rng=0, fast=False)
+    assert commit_signature(sched) == commit_signature(ref)

@@ -83,6 +83,52 @@ class TestUpdates:
         assert q.peek() == "b"
 
 
+class TestRemove:
+    def test_remove_live_item(self):
+        q = StablePriorityQueue()
+        q.push("a", 1.0)
+        q.push("b", 2.0)
+        q.remove("a")
+        assert "a" not in q and len(q) == 1
+        assert q.pop() == "b"
+        assert not q
+
+    def test_remove_missing_raises(self):
+        q = StablePriorityQueue()
+        q.push("a", 1.0)
+        with pytest.raises(KeyError):
+            q.remove("b")
+
+    def test_remove_draws_no_rng(self):
+        """Unlike the old push-inf-then-pop hack, removal must not burn a
+        tie-break token or disturb the order of the remaining entries."""
+
+        def run(removals: bool):
+            rng = np.random.default_rng(42)
+            q = StablePriorityQueue(rng)
+            for i in range(12):
+                q.push(i, 1.0)  # all tied: order is tie-token driven
+            extras = []
+            if removals:
+                for i in (100, 101):
+                    q.push(i, 1.0)
+                    q.remove(i)
+            order = [q.pop() for _ in range(12)]
+            return order
+
+        baseline = run(removals=False)
+        # removing items consumes no *extra* randomness beyond their own
+        # insertions, so the relative order of survivors is unchanged
+        assert run(removals=True) == baseline
+
+    def test_remove_then_peek_skips_stale(self):
+        q = StablePriorityQueue()
+        q.push("a", 5.0)
+        q.push("b", 3.0)
+        q.remove("a")
+        assert q.peek() == "b"
+
+
 class TestTieBreaking:
     def test_seeded_ties_are_reproducible(self):
         def run(seed):
