@@ -1,27 +1,82 @@
 """Perf-guard smoke target: tiny figure-1 campaign through the full fast
-path (kernel + 2 workers), timed and appended to ``BENCH_fastpath.json``.
+path (kernel + 2 workers), timed, appended to ``BENCH_fastpath.json``
+and checked against a regression threshold derived from the recorded
+series — so a hot-path regression fails CI loudly instead of only
+drifting in the JSON numbers.
 
-Cheap enough for every CI run (one graph per data point), so future PRs
-accumulate a timing series and regressions in the hot paths show up as a
-trend break::
+Runs as its own pytest tier (marker registered in ``pytest.ini``)::
 
-    PYTHONPATH=src REPRO_GRAPHS=1 python -m pytest benchmarks/bench_guard.py -s
+    PYTHONPATH=src python -m pytest benchmarks -m guard -s
+
+The threshold is the **median** of the most recent comparable guard
+runs (same per-point graph count and CPU budget), times ``GUARD_SLACK``
+— generous enough for shared-box noise (a single anomalously fast run
+cannot ratchet the ceiling down for good), tight enough that an
+accidental return to reserve-and-rollback trials (historically a 2-5x
+hit) trips it.  The first run on a fresh series just records a
+baseline.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import statistics
 import time
 from datetime import datetime, timezone
 
-from benchmarks.bench_fastpath import append_bench_record
+import pytest
+
+from benchmarks.bench_fastpath import BENCH_LOG, append_bench_record
 from repro.experiments.figures import check_shape, run_figure
 
 GUARD_GRAPHS = max(1, int(os.environ.get("REPRO_GRAPHS", "1")))
 GUARD_WORKERS = 2
+#: fail when slower than GUARD_SLACK x the median recent comparable run
+GUARD_SLACK = 3.0
+#: how many of the most recent comparable runs feed the median
+GUARD_WINDOW = 5
 
 
+def guard_threshold(
+    path: str = BENCH_LOG, graphs: int = GUARD_GRAPHS, slack: float = GUARD_SLACK
+) -> float | None:
+    """Regression ceiling (seconds) from the recorded guard series.
+
+    Median over the last ``GUARD_WINDOW`` comparable records — the
+    series is append-only, so a min() would let one anomalously fast
+    run tighten the ceiling forever.  ``None`` when no comparable
+    record exists (first run, different graph count, or a different CPU
+    budget — wall clock is only comparable on a same-shaped box).
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            series = json.load(fh)
+    except json.JSONDecodeError:
+        return None
+    comparable = [
+        rec["fast_s"]
+        for rec in series
+        if rec.get("bench") == "guard"
+        and rec.get("graphs_per_point") == graphs
+        and rec.get("cpus") == os.cpu_count()
+        and isinstance(rec.get("fast_s"), (int, float))
+        # runs that tripped the guard must not feed the window, or a
+        # sustained regression would ratchet itself into the median and
+        # start passing after a few failing runs
+        and not rec.get("regression")
+    ]
+    if not comparable:
+        return None
+    return statistics.median(comparable[-GUARD_WINDOW:]) * slack
+
+
+@pytest.mark.guard
 def test_fastpath_guard():
+    threshold = guard_threshold()
+
     t0 = time.perf_counter()
     result = run_figure(1, num_graphs=GUARD_GRAPHS, workers=GUARD_WORKERS)
     elapsed = time.perf_counter() - t0
@@ -29,6 +84,7 @@ def test_fastpath_guard():
     shape = check_shape(result)
     assert shape.ok, f"shape checks failed: {shape.failed()}"
 
+    regressed = threshold is not None and elapsed > threshold
     record = {
         "bench": "guard",
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -37,5 +93,17 @@ def test_fastpath_guard():
         "cpus": os.cpu_count(),
         "fast_s": round(elapsed, 3),
     }
+    if regressed:
+        record["regression"] = True
     append_bench_record(record)
     print(f"\nguard: figure1 x{GUARD_GRAPHS} graphs in {elapsed:.2f}s (workers=2)")
+
+    # The record is appended *before* the assertion so a regression run
+    # still lands in the series (the trend break stays visible), flagged
+    # so it never feeds future thresholds.
+    if regressed:
+        raise AssertionError(
+            f"fast-path regression: guard campaign took {elapsed:.2f}s, "
+            f"threshold {threshold:.2f}s ({GUARD_SLACK}x median of the last "
+            f"{GUARD_WINDOW} comparable runs in {os.path.basename(BENCH_LOG)})"
+        )

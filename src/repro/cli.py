@@ -23,6 +23,7 @@ import time
 
 import numpy as np
 
+from repro.comm import NETWORK_NAMES
 from repro.core.caft import caft
 from repro.dag.generators import random_out_forest
 from repro.dag.workloads import ALL_WORKLOADS
@@ -38,6 +39,7 @@ from repro.platform.heterogeneity import (
     uniform_delay_platform,
 )
 from repro.platform.instance import ProblemInstance
+from repro.platform.topology import topology_names
 from repro.schedule.gantt import render_gantt
 from repro.schedule.metrics import summarize
 from repro.schedulers.ftbar import ftbar
@@ -46,6 +48,22 @@ from repro.schedulers.heft import heft
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.topology and args.network not in (None, "routed-oneport"):
+        print(
+            f"error: --topology {args.topology} requires --network routed-oneport "
+            f"(got --network {args.network})",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.policy == "insertion"
+        and (args.network not in (None, "oneport") or args.topology)
+    ):
+        print(
+            "error: --policy insertion only applies to --network oneport",
+            file=sys.stderr,
+        )
+        return 2
     t0 = time.perf_counter()
 
     def progress(msg: str) -> None:
@@ -58,6 +76,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         progress=progress,
         workers=args.workers,
         fast=not args.slow,
+        model=args.network,
+        topology=args.topology,
+        policy=args.policy,
     )
     print(render_figure(result))
     shape = check_shape(result)
@@ -247,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write an HTML report with SVG charts")
     p_fig.add_argument("--workers", type=int, default=None,
                        help="worker processes for the campaign (default: serial)")
+    p_fig.add_argument("--network", choices=list(NETWORK_NAMES), default=None,
+                       help="communication model (default: the figure's, oneport)")
+    p_fig.add_argument("--topology", choices=list(topology_names()), default=None,
+                       help="sparse interconnect shape for routed-oneport "
+                            "(implies --network routed-oneport)")
+    p_fig.add_argument("--policy", choices=["append", "insertion"], default=None,
+                       help="one-port reservation policy (insertion = gap reuse)")
     p_fig.add_argument("--slow", action="store_true",
                        help="disable the vectorized placement kernel (baseline timing)")
     p_fig.add_argument("--verbose", action="store_true")

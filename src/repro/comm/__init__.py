@@ -1,6 +1,8 @@
 """Communication models: one-port (paper), macro-dataflow, variants."""
 
-from repro.comm.base import NetworkModel
+from typing import Optional
+
+from repro.comm.base import FrontierView, KernelCaps, NetworkModel
 from repro.comm.oneport import (
     OnePortNetwork,
     UniPortNetwork,
@@ -10,6 +12,7 @@ from repro.comm.macrodataflow import MacroDataflowNetwork
 from repro.comm.routed import RoutedOnePortNetwork
 
 from repro.platform.platform import Platform
+from repro.platform.topology import Topology
 
 _MODELS = {
     "oneport": OnePortNetwork,
@@ -18,30 +21,58 @@ _MODELS = {
     "macro-dataflow": MacroDataflowNetwork,
 }
 
+#: registered model names (CLI/campaign ``--network``)
+NETWORK_NAMES: tuple[str, ...] = tuple(sorted([*_MODELS, "routed-oneport"]))
 
-def make_network(model: str, platform: Platform, **kwargs) -> NetworkModel:
-    """Instantiate a network model by name over ``platform``.
 
-    Valid names: ``"oneport"`` (the paper's model), ``"uniport"``,
-    ``"oneport-nooverlap"`` and ``"macro-dataflow"``.  Routed sparse models
-    are built directly from a :class:`~repro.platform.topology.Topology`
-    via :class:`RoutedOnePortNetwork`.
+def make_network(
+    model: str,
+    platform: Optional[Platform] = None,
+    topology: Optional[Topology] = None,
+    **kwargs,
+) -> NetworkModel:
+    """Instantiate a network model by name.
+
+    Valid names: ``"oneport"`` (the paper's model, optional
+    ``policy="insertion"``), ``"uniport"``, ``"oneport-nooverlap"``,
+    ``"macro-dataflow"`` — all built over ``platform`` — and
+    ``"routed-oneport"``, built over a sparse
+    :class:`~repro.platform.topology.Topology` passed as ``topology``
+    (its effective route delays define the platform).
     """
+    if model == "routed-oneport":
+        if topology is None:
+            raise ValueError("routed-oneport needs a topology= keyword")
+        if platform is not None and platform.num_procs != topology.num_procs:
+            # the topology defines the routed model's platform; a caller
+            # scheduling against a different-sized platform would get
+            # out-of-range processor indices (or silently wrong delays)
+            raise ValueError(
+                f"topology has {topology.num_procs} processors but the "
+                f"platform has {platform.num_procs} — a routed network "
+                "must be built over the topology it schedules on"
+            )
+        return RoutedOnePortNetwork(topology, **kwargs)
     try:
         cls = _MODELS[model]
     except KeyError:
         raise ValueError(
-            f"unknown network model {model!r}; choose from {sorted(_MODELS)}"
+            f"unknown network model {model!r}; choose from {list(NETWORK_NAMES)}"
         ) from None
+    if platform is None:
+        raise ValueError(f"network model {model!r} needs a platform")
     return cls(platform, **kwargs)
 
 
 __all__ = [
     "NetworkModel",
+    "KernelCaps",
+    "FrontierView",
     "OnePortNetwork",
     "UniPortNetwork",
     "NoOverlapOnePortNetwork",
     "MacroDataflowNetwork",
     "RoutedOnePortNetwork",
+    "NETWORK_NAMES",
     "make_network",
 ]

@@ -24,8 +24,147 @@ Concrete models:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.platform.platform import Platform
+
+
+@dataclass(frozen=True)
+class KernelCaps:
+    """A network model's declaration of its contended-resource algebra.
+
+    The fast placement kernel (:mod:`repro.schedule.kernel`) dispatches
+    purely on these flags — it never inspects concrete model types.  A
+    model that returns ``None`` from :meth:`NetworkModel.kernel_caps`
+    opts out and schedulers fall back to the exact reserve-and-rollback
+    path.
+
+    Flags describe *which* resources serialize a transfer:
+
+    * ``contention`` — send/receive ports and links exist at all
+      (``False`` = the contention-free macro-dataflow algebra: a
+      transfer starts the instant its data is ready).
+    * ``shared_port`` — one engine per processor: the send and receive
+      frontiers alias each other (the uni-directional §2 variant).
+    * ``compute_blocks`` — computation occupies the ports, so the
+      communication frontier feeds the compute floor (§2 no-overlap
+      variant).
+    * ``gap_timelines`` — reservations may be inserted into idle gaps;
+      trials must consult the per-resource busy-interval timelines, not
+      just the scalar frontiers (``OnePortNetwork(policy="insertion")``).
+    * ``routed`` — transfers hold *every* physical link along a static
+      route (§7 sparse topologies); serialization takes the max over the
+      per-hop frontiers instead of a single link scalar.
+    """
+
+    contention: bool = True
+    shared_port: bool = False
+    compute_blocks: bool = False
+    gap_timelines: bool = False
+    routed: bool = False
+
+
+def earliest_gap(intervals, ready: float, duration: float) -> float:
+    """First feasible start for ``duration`` in a sorted busy-interval list.
+
+    The single implementation of the gap scan: gap-timeline models run
+    it over their own reservations and the fast kernel runs it over
+    trial-local overlay copies — bit-identity between the two paths
+    depends on them sharing this function.
+    """
+    t = ready
+    for s, f in intervals:
+        if t + duration <= s:
+            return t
+        t = max(t, f)
+    return t
+
+
+def common_gap_start(interval_lists, ready: float, duration: float) -> float:
+    """Earliest start at which *every* resource has a common free gap.
+
+    Scans upward from ``ready`` until a fixed point: each resource's
+    ``earliest_gap`` from the current candidate leaves the candidate
+    unchanged.  Terminates because every step strictly increases the
+    candidate and intervals are finite.
+    """
+    start = ready
+    while True:
+        s2 = start
+        for iv in interval_lists:
+            e = earliest_gap(iv, start, duration)
+            if e > s2:
+                s2 = e
+        if s2 == start:
+            return start
+        start = s2
+
+
+class FrontierView:
+    """Live references into a model's *committed* resource frontiers.
+
+    The uniform read surface of the resource-frontier protocol: the fast
+    kernel simulates eq. (6) serialization against these structures
+    without touching the model's undo log.  All references are live —
+    they alias the model's own state, so committed reservations are
+    visible immediately and the view never needs rebuilding (models
+    invalidate their cached view on :meth:`NetworkModel.reset`, which
+    rebinds the underlying lists).
+
+    Fields (unused ones are ``None`` / empty for a given model):
+
+    * ``delay`` — the model platform's unit-delay matrix as nested
+      lists (for routed models these are the end-to-end route delays);
+      ``delay_np`` is the same matrix as the read-only ndarray.
+    * ``send_free`` / ``recv_free`` — per-processor scalar port
+      frontiers (aliased for shared-port models).
+    * ``link_free`` — directed-link scalar frontiers: a flat
+      ``m * m`` list indexed ``src * m + dst`` for clique models, or a
+      per-directed-physical-link list indexed by hop id for routed
+      models (``num_links`` entries, hop ids from ``route_hops``).
+    * ``route_hops`` — routed models only: ``route_hops[src][dst]`` is
+      the tuple of directed hop ids the transfer reserves.
+    * ``send_timelines`` / ``recv_timelines`` / ``link_timelines`` —
+      gap-timeline models only: per-resource sorted busy-interval lists
+      (each entry exposes ``.intervals``), indexed like the scalars.
+    """
+
+    __slots__ = (
+        "delay",
+        "delay_np",
+        "send_free",
+        "recv_free",
+        "link_free",
+        "route_hops",
+        "num_links",
+        "send_timelines",
+        "recv_timelines",
+        "link_timelines",
+    )
+
+    def __init__(
+        self,
+        delay_np,
+        send_free=None,
+        recv_free=None,
+        link_free=None,
+        route_hops=None,
+        num_links=0,
+        send_timelines=None,
+        recv_timelines=None,
+        link_timelines=None,
+    ) -> None:
+        self.delay_np = delay_np
+        self.delay = delay_np.tolist()
+        self.send_free = send_free
+        self.recv_free = recv_free
+        self.link_free = link_free
+        self.route_hops = route_hops
+        self.num_links = num_links
+        self.send_timelines = send_timelines
+        self.recv_timelines = recv_timelines
+        self.link_timelines = link_timelines
 
 
 class NetworkModel(ABC):
@@ -64,6 +203,49 @@ class NetworkModel(ABC):
         cls = type(self)
         args = self.clone_args()
         return lambda: cls(*args)
+
+    # ------------------------------------------------------------------
+    # Resource-frontier protocol (fast-kernel support)
+    # ------------------------------------------------------------------
+    def kernel_caps(self) -> Optional[KernelCaps]:
+        """Declare the contended-resource algebra for the fast kernel.
+
+        ``None`` (the default) means the model does not participate in
+        the protocol: schedulers with ``fast=True`` fall back to the
+        exact reserve-and-rollback path (with a one-time warning).
+        Subclasses whose resource algebra the kernel can mirror return a
+        :class:`KernelCaps` describing it.
+
+        The built-in implementations guard on their **exact** type: a
+        user subclass inherits ``None``, not the parent's capabilities,
+        because overriding any placement method would silently
+        desynchronize the kernel from the model.  A subclass that keeps
+        the parent's transfer semantics opts back in by overriding this
+        method itself.
+        """
+        return None
+
+    def frontier_view(self) -> Optional[FrontierView]:
+        """The live :class:`FrontierView` over this model's state.
+
+        Must be implemented (returning a non-``None`` view) by every
+        model whose :meth:`kernel_caps` is not ``None``.  Views alias
+        the committed state, so implementations cache them and
+        invalidate the cache whenever :meth:`reset` rebinds state.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def undo_depth(self) -> int:
+        """Number of pending undo-log entries (0 for log-less models).
+
+        Purely diagnostic: schedulers assert it returns to the
+        checkpoint token after a rollback, and monitoring can watch it
+        to catch reservation leaks.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     # Placement

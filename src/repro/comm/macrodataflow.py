@@ -9,13 +9,26 @@ running them under both models quantifies the impact of contention.
 
 from __future__ import annotations
 
-from repro.comm.base import NetworkModel
+from repro.comm.base import FrontierView, KernelCaps, NetworkModel
 
 
 class MacroDataflowNetwork(NetworkModel):
     """Contention-free network: transfers never wait for resources."""
 
     name = "macro-dataflow"
+
+    _view: FrontierView | None = None
+
+    def kernel_caps(self) -> KernelCaps | None:
+        if type(self) is not MacroDataflowNetwork:
+            return None  # subclasses must re-declare (see NetworkModel)
+        return KernelCaps(contention=False)
+
+    def frontier_view(self) -> FrontierView:
+        # Nothing is ever reserved: the view carries only the delays.
+        if self._view is None:
+            self._view = FrontierView(self.platform.delay_matrix)
+        return self._view
 
     def place_transfer(
         self, src: int, dst: int, ready: float, volume: float

@@ -19,7 +19,13 @@ from __future__ import annotations
 import bisect
 from typing import Literal
 
-from repro.comm.base import NetworkModel
+from repro.comm.base import (
+    FrontierView,
+    KernelCaps,
+    NetworkModel,
+    common_gap_start,
+    earliest_gap,
+)
 from repro.platform.platform import Platform
 from repro.utils.errors import InvalidPlatformError
 
@@ -39,12 +45,7 @@ class _GapTimeline:
         self.intervals: list[tuple[float, float]] = []
 
     def earliest(self, ready: float, duration: float) -> float:
-        t = ready
-        for s, f in self.intervals:
-            if t + duration <= s:
-                return t
-            t = max(t, f)
-        return t
+        return earliest_gap(self.intervals, ready, duration)
 
     def reserve(self, start: float, finish: float) -> None:
         bisect.insort(self.intervals, (start, finish))
@@ -79,9 +80,34 @@ class OnePortNetwork(NetworkModel):
         )
         # Undo log: ("scalar", which, idx, old) or ("interval", which, idx, s, f)
         self._log: list[tuple] = []
+        self._view: FrontierView | None = None
 
     def clone_args(self) -> tuple:
         return (self.platform, self.policy)
+
+    # ------------------------------------------------------------------
+    # Resource-frontier protocol
+    # ------------------------------------------------------------------
+    def kernel_caps(self) -> KernelCaps | None:
+        if type(self) is not OnePortNetwork:
+            return None  # subclasses must re-declare (see NetworkModel)
+        return KernelCaps(gap_timelines=(self.policy == "insertion"))
+
+    def frontier_view(self) -> FrontierView:
+        if self._view is None:
+            self._view = FrontierView(
+                self.platform.delay_matrix,
+                send_free=self._send_free,
+                recv_free=self._recv_free,
+                link_free=self._link_free,
+                send_timelines=self._send_tl or None,
+                recv_timelines=self._recv_tl or None,
+                link_timelines=self._link_tl or None,
+            )
+        return self._view
+
+    def undo_depth(self) -> int:
+        return len(self._log)
 
     # ------------------------------------------------------------------
     def send_free(self, proc: int) -> float:
@@ -116,20 +142,15 @@ class OnePortNetwork(NetworkModel):
             return ready, ready
         li = src * self._m + dst
         if self.policy == "insertion":
-            floor = max(ready,
-                        self._send_tl[src].earliest(ready, w),
-                        self._recv_tl[dst].earliest(ready, w),
-                        self._link_tl[li].earliest(ready, w))
-            # The three resources must share one interval: scan upward from
-            # the individually-feasible floor until a common gap is found.
-            start = floor
-            while True:
-                s = max(self._send_tl[src].earliest(start, w),
-                        self._recv_tl[dst].earliest(start, w),
-                        self._link_tl[li].earliest(start, w))
-                if s == start:
-                    break
-                start = s
+            start = common_gap_start(
+                (
+                    self._send_tl[src].intervals,
+                    self._recv_tl[dst].intervals,
+                    self._link_tl[li].intervals,
+                ),
+                ready,
+                w,
+            )
             finish = start + w
             for which, idx in (("send", src), ("recv", dst), ("link", li)):
                 tl = getattr(self, f"_{which}_tl")[idx]
@@ -186,6 +207,7 @@ class OnePortNetwork(NetworkModel):
             self._recv_tl = [_GapTimeline() for _ in range(m)]
             self._link_tl = [_GapTimeline() for _ in range(m * m)]
         self._log.clear()
+        self._view = None  # reset rebinds the state lists
 
     def _scalar_array(self, which: str) -> list[float]:
         if which == "send":
@@ -213,6 +235,11 @@ class UniPortNetwork(OnePortNetwork):
     def clone_args(self) -> tuple:
         return (self.platform,)
 
+    def kernel_caps(self) -> KernelCaps | None:
+        if type(self) is not UniPortNetwork:
+            return None  # subclasses must re-declare (see NetworkModel)
+        return KernelCaps(shared_port=True)
+
     def reset(self) -> None:
         super().reset()
         self._recv_free = self._send_free
@@ -239,6 +266,11 @@ class NoOverlapOnePortNetwork(OnePortNetwork):
 
     def clone_args(self) -> tuple:
         return (self.platform,)
+
+    def kernel_caps(self) -> KernelCaps | None:
+        if type(self) is not NoOverlapOnePortNetwork:
+            return None  # subclasses must re-declare (see NetworkModel)
+        return KernelCaps(compute_blocks=True)
 
     def compute_floor(self, proc: int) -> float:
         return max(self._send_free[proc], self._recv_free[proc])

@@ -7,11 +7,17 @@ follows the precomputed shortest-delay route and holds **every** physical
 link of the route (in its travel direction) for the whole transfer, plus
 the endpoints' send/receive ports — a circuit-switched reading of the
 paper's sentence that keeps the algebra identical to the clique case.
+
+Directed physical links are numbered once at construction (*hop ids*);
+all frontiers live in flat lists indexed by processor or hop id, and the
+per-pair hop tuples are precomputed — both this model's hot loop and the
+fast kernel's route-aware evaluator read the same structures through the
+resource-frontier protocol (:meth:`frontier_view`).
 """
 
 from __future__ import annotations
 
-from repro.comm.base import NetworkModel
+from repro.comm.base import FrontierView, KernelCaps, NetworkModel
 from repro.platform.topology import Topology
 
 
@@ -26,31 +32,53 @@ class RoutedOnePortNetwork(NetworkModel):
         m = topology.num_procs
         self._send_free = [0.0] * m
         self._recv_free = [0.0] * m
-        # Directed physical link occupancy (full duplex => per direction).
-        self._link_free: dict[tuple[int, int], float] = {}
-        for a, b in topology.links():
-            self._link_free[(a, b)] = 0.0
-            self._link_free[(b, a)] = 0.0
+        # Directed physical links (full duplex => one id per direction)
+        # and per-pair hop routes — cached on the immutable topology, so
+        # clones (one per crash-replay scenario) share the tables and
+        # only the frontier lists are fresh.
+        self._hop_id, self._route_hops = topology.directed_hop_tables()
+        self._link_free = [0.0] * len(self._hop_id)
         self._log: list[tuple] = []
+        self._view: FrontierView | None = None
 
     def clone_args(self) -> tuple:
         return (self.topology,)
 
     # ------------------------------------------------------------------
-    def _route_hops(self, src: int, dst: int) -> list[tuple[int, int]]:
-        path = self.topology.route(src, dst)
-        return [(a, b) for a, b in zip(path, path[1:])]
+    # Resource-frontier protocol
+    # ------------------------------------------------------------------
+    def kernel_caps(self) -> KernelCaps | None:
+        if type(self) is not RoutedOnePortNetwork:
+            return None  # subclasses must re-declare (see NetworkModel)
+        return KernelCaps(routed=True)
 
+    def frontier_view(self) -> FrontierView:
+        if self._view is None:
+            self._view = FrontierView(
+                self.platform.delay_matrix,
+                send_free=self._send_free,
+                recv_free=self._recv_free,
+                link_free=self._link_free,
+                route_hops=self._route_hops,
+                num_links=len(self._link_free),
+            )
+        return self._view
+
+    def undo_depth(self) -> int:
+        return len(self._log)
+
+    # ------------------------------------------------------------------
     def sender_bound(self, src: int, dst: int, ready: float, volume: float) -> float:
         if src == dst:
             return ready
         w = self.transfer_time(src, dst, volume)
         if w == 0.0:
             return ready
+        link_free = self._link_free
         start = max(
             ready,
             self._send_free[src],
-            max(self._link_free[h] for h in self._route_hops(src, dst)),
+            max(link_free[h] for h in self._route_hops[src][dst]),
         )
         return start + w
 
@@ -62,12 +90,13 @@ class RoutedOnePortNetwork(NetworkModel):
         w = self.transfer_time(src, dst, volume)
         if w == 0.0:
             return ready, ready
-        hops = self._route_hops(src, dst)
+        hops = self._route_hops[src][dst]
+        link_free = self._link_free
         start = max(
             ready,
             self._send_free[src],
             self._recv_free[dst],
-            max(self._link_free[h] for h in hops),
+            max(link_free[h] for h in hops),
         )
         finish = start + w
         self._log.append(("send", src, self._send_free[src]))
@@ -75,8 +104,8 @@ class RoutedOnePortNetwork(NetworkModel):
         self._log.append(("recv", dst, self._recv_free[dst]))
         self._recv_free[dst] = finish
         for h in hops:
-            self._log.append(("link", h, self._link_free[h]))
-            self._link_free[h] = finish
+            self._log.append(("link", h, link_free[h]))
+            link_free[h] = finish
         return start, finish
 
     # ------------------------------------------------------------------
@@ -100,6 +129,6 @@ class RoutedOnePortNetwork(NetworkModel):
         m = self.topology.num_procs
         self._send_free = [0.0] * m
         self._recv_free = [0.0] * m
-        for key in self._link_free:
-            self._link_free[key] = 0.0
+        self._link_free = [0.0] * len(self._hop_id)
         self._log.clear()
+        self._view = None  # reset rebinds the state lists

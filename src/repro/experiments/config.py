@@ -53,10 +53,31 @@ class ExperimentConfig:
     base_seed: int = 20080206  # the report's publication month
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
     model: str = "oneport"
+    #: sparse-interconnect shape (``"ring"``, ``"torus"``, ``"star"``, ...)
+    #: for ``model="routed-oneport"`` campaigns: per-link delays are drawn
+    #: from ``delay_range`` and the platform is the topology's effective
+    #: route-delay matrix (paper §7 scenario axis).  ``None`` = clique.
+    topology: Optional[str] = None
+    #: port-reservation policy for ``model="oneport"``: the paper's
+    #: append-only eqs. (4)/(6) or the gap-reusing ``"insertion"`` ablation
+    port_policy: str = "append"
     #: route scheduler trials through the vectorized placement kernel
     #: (bit-identical schedules; set False to time the slow path)
     fast: bool = True
     description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.topology is not None and self.model != "routed-oneport":
+            raise ValueError(
+                f"topology={self.topology!r} requires model='routed-oneport' "
+                f"(got {self.model!r})"
+            )
+        if self.model == "routed-oneport" and self.topology is None:
+            raise ValueError("model='routed-oneport' needs a topology shape")
+        if self.port_policy != "append" and self.model != "oneport":
+            raise ValueError(
+                f"port_policy={self.port_policy!r} only applies to model='oneport'"
+            )
 
     def with_graphs(self, num_graphs: Optional[int]) -> "ExperimentConfig":
         """A copy with a different repetition count (None keeps the default)."""
@@ -69,6 +90,32 @@ class ExperimentConfig:
         if fast is None or fast == self.fast:
             return self
         return replace(self, fast=fast)
+
+    def with_network(
+        self,
+        model: Optional[str] = None,
+        topology: Optional[str] = None,
+        policy: Optional[str] = None,
+    ) -> "ExperimentConfig":
+        """A copy over a different communication scenario (None = keep).
+
+        ``topology`` alone implies ``model="routed-oneport"``; naming the
+        routed model without a shape defaults to ``"ring"``.
+        """
+        if model is None and topology is None and policy is None:
+            return self
+        if model is None and topology is None:
+            model, topology = self.model, self.topology
+        elif model is None:
+            model = "routed-oneport"
+        elif model == "routed-oneport" and topology is None:
+            topology = self.topology or "ring"
+        return replace(
+            self,
+            model=model,
+            topology=topology,
+            port_policy=policy if policy is not None else self.port_policy,
+        )
 
 
 FIGURES: dict[int, ExperimentConfig] = {

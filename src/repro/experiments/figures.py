@@ -23,18 +23,29 @@ def run_figure(
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
     fast: Optional[bool] = None,
+    model: Optional[str] = None,
+    topology: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> CampaignResult:
     """Run the campaign of figure ``number`` (1-6).
 
     ``workers`` distributes the campaign over a process pool (results are
     identical for any worker count); ``fast=False`` forces the slow trial
     path (the kernel-free baseline used by ``benchmarks/bench_fastpath``).
+    ``model``/``topology``/``policy`` re-run the figure under a different
+    communication scenario — e.g. ``model="routed-oneport",
+    topology="torus"`` for the §7 sparse-interconnect axis, or
+    ``policy="insertion"`` for the gap-reuse ablation.
     """
     try:
         config = FIGURES[number]
     except KeyError:
         raise ValueError(f"no figure {number}; the paper has figures 1-6") from None
-    config = config.with_graphs(num_graphs).with_fast(fast)
+    config = (
+        config.with_graphs(num_graphs)
+        .with_fast(fast)
+        .with_network(model=model, topology=topology, policy=policy)
+    )
     return run_campaign(config, progress=progress, workers=workers)
 
 

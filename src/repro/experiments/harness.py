@@ -19,10 +19,13 @@ from __future__ import annotations
 import math
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.comm.base import NetworkModel
+from repro.comm.oneport import OnePortNetwork
+from repro.comm.routed import RoutedOnePortNetwork
 from repro.core.caft import caft
 from repro.dag.analysis import min_critical_path
 from repro.dag.generators import random_dag
@@ -36,6 +39,7 @@ from repro.platform.heterogeneity import (
     uniform_delay_platform,
 )
 from repro.platform.instance import ProblemInstance
+from repro.platform.topology import Topology, make_topology, randomize_link_delays
 from repro.schedule.bounds import latency_upper_bound
 from repro.schedule.schedule import Schedule
 from repro.schedulers.ftbar import ftbar
@@ -77,10 +81,58 @@ FAULTFREE_RUNNERS: dict[str, Callable[..., Schedule]] = {
 }
 
 
-def generate_instance(
+def generate_topology(
     config: ExperimentConfig, granularity: float, rep: int
+) -> Optional[Topology]:
+    """Interconnect of instance ``rep`` (``None`` for clique configs).
+
+    Routed campaigns draw per-link delays from ``config.delay_range``
+    with the same labelled seed the clique path feeds its platform
+    generator, so the topology is a pure function of
+    ``(config, granularity, rep)`` like everything else.
+    """
+    if config.topology is None:
+        return None
+    stream = RngStream(config.base_seed)
+    base = make_topology(config.topology, config.num_procs)
+    return randomize_link_delays(
+        base,
+        config.delay_range,
+        stream.rng("platform", config.name, granularity, rep),
+    )
+
+
+def campaign_network(
+    config: ExperimentConfig,
+    instance: ProblemInstance,
+    topology: Optional[Topology],
+) -> Union[str, NetworkModel]:
+    """The model spec every algorithm of one rep schedules against.
+
+    A plain model name for the default scenarios; a configured
+    :class:`NetworkModel` for the §7 routed topologies and the
+    insertion-policy ablation (``resolve_network`` resets it between
+    algorithms and clones it for crash replays).
+    """
+    if config.topology is not None:
+        return RoutedOnePortNetwork(topology)
+    if config.port_policy != "append":
+        return OnePortNetwork(instance.platform, policy=config.port_policy)
+    return config.model
+
+
+def generate_instance(
+    config: ExperimentConfig,
+    granularity: float,
+    rep: int,
+    topology: Optional[Topology] = None,
 ) -> ProblemInstance:
-    """Instance ``rep`` of the data point at ``granularity`` (deterministic)."""
+    """Instance ``rep`` of the data point at ``granularity`` (deterministic).
+
+    For routed configs the platform is the topology's effective
+    route-delay matrix; ``topology`` short-circuits the rebuild when the
+    caller already generated it.
+    """
     stream = RngStream(config.base_seed)
     g_rng = stream.rng("graph", config.name, granularity, rep)
     v = int(g_rng.integers(config.task_range[0], config.task_range[1] + 1))
@@ -90,11 +142,16 @@ def generate_instance(
         volume_range=config.volume_range,
         rng=g_rng,
     )
-    platform = uniform_delay_platform(
-        config.num_procs,
-        delay_range=config.delay_range,
-        rng=stream.rng("platform", config.name, granularity, rep),
-    )
+    if topology is None:
+        topology = generate_topology(config, granularity, rep)
+    if topology is not None:
+        platform = topology.to_platform()
+    else:
+        platform = uniform_delay_platform(
+            config.num_procs,
+            delay_range=config.delay_range,
+            rng=stream.rng("platform", config.name, granularity, rep),
+        )
     cost_rng = stream.rng("costs", config.name, granularity, rep)
     base = cost_rng.uniform(
         config.base_cost_range[0], config.base_cost_range[1], size=v
@@ -171,7 +228,9 @@ def run_rep(config: ExperimentConfig, granularity: float, rep: int) -> RepResult
     and of every other rep.
     """
     stream = RngStream(config.base_seed)
-    inst = generate_instance(config, granularity, rep)
+    topology = generate_topology(config, granularity, rep)
+    inst = generate_instance(config, granularity, rep, topology=topology)
+    model = campaign_network(config, inst, topology)
     cp = min_critical_path(inst)
     scenario = random_crash_scenario(
         config.num_procs,
@@ -182,20 +241,20 @@ def run_rep(config: ExperimentConfig, granularity: float, rep: int) -> RepResult
     fast = config.fast
 
     # Fault-free CAFT is the overhead reference CAFT* of the paper.
-    reference = FAULTFREE_RUNNERS["caft"](inst, algo_seed, config.model, fast)
+    reference = FAULTFREE_RUNNERS["caft"](inst, algo_seed, model, fast)
     ref_latency = reference.latency()
     faultfree_norm: dict[str, float] = {}
     for name in config.algorithms:
         if name == "caft":
             ff = reference
         else:
-            ff = FAULTFREE_RUNNERS[name](inst, algo_seed, config.model, fast)
+            ff = FAULTFREE_RUNNERS[name](inst, algo_seed, model, fast)
         faultfree_norm[name] = ff.latency() / cp
 
     metrics: dict[str, dict[str, Optional[float]]] = {}
     for name in config.algorithms:
         sched = ALGORITHM_RUNNERS[name](
-            inst, config.epsilon, algo_seed, config.model, fast
+            inst, config.epsilon, algo_seed, model, fast
         )
         lat = sched.latency()
         row: dict[str, Optional[float]] = {

@@ -11,7 +11,8 @@ model (:mod:`repro.comm.routed`) then reserves every link along a route.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Optional
+from functools import lru_cache
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -54,6 +55,8 @@ class Topology:
             self._adj[a].append((b, delay))
             self._adj[b].append((a, delay))
         self._routes = self._compute_routes()
+        self._platform: Optional[Platform] = None
+        self._hop_tables: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def _compute_routes(self) -> list[list[tuple[int, ...]]]:
@@ -127,8 +130,42 @@ class Topology:
         return d
 
     def to_platform(self) -> Platform:
-        """A :class:`Platform` whose delays are the end-to-end route delays."""
-        return Platform(self.effective_delay_matrix())
+        """A :class:`Platform` whose delays are the end-to-end route delays.
+
+        Cached: the topology is immutable and every clone of a routed
+        network (one per crash-replay scenario) asks for it again.
+        """
+        if self._platform is None:
+            self._platform = Platform(self.effective_delay_matrix())
+        return self._platform
+
+    def directed_hop_tables(self) -> tuple[dict[tuple[int, int], int], list]:
+        """Directed-hop ids and per-pair hop routes (cached).
+
+        Returns ``(hop_id, route_hops)`` where ``hop_id[(a, b)]`` numbers
+        each directed physical link and ``route_hops[src][dst]`` is the
+        tuple of hop ids the ``src -> dst`` route crosses.  Shared by
+        every routed network over this topology — clones only need fresh
+        frontier lists, not a rebuild of the routing tables.
+        """
+        if self._hop_tables is None:
+            hop_id: dict[tuple[int, int], int] = {}
+            for a, b in self.links():
+                hop_id[(a, b)] = len(hop_id)
+                hop_id[(b, a)] = len(hop_id)
+            m = self.num_procs
+            route_hops = [
+                [
+                    tuple(
+                        hop_id[(a, b)]
+                        for a, b in zip(self.route(s, d), self.route(s, d)[1:])
+                    )
+                    for d in range(m)
+                ]
+                for s in range(m)
+            ]
+            self._hop_tables = (hop_id, route_hops)
+        return self._hop_tables
 
     # ------------------------------------------------------------------
     # Standard shapes
@@ -169,5 +206,97 @@ class Topology:
                     links.append((node, node + cols, delay))
         return cls(rows * cols, links)
 
+    @classmethod
+    def torus(cls, rows: int, cols: int, delay: float = 1.0) -> "Topology":
+        """2D mesh with wraparound links in both dimensions.
+
+        A dimension of size 2 already connects its endpoints (the wrap
+        link would duplicate the mesh link) and a dimension of size 1
+        has no links at all, so wraps are added only for sizes ≥ 3 —
+        a ``1 × m`` torus degenerates to a ring, a ``2 × 2`` torus to
+        the square mesh.
+        """
+        if rows < 1 or cols < 1 or rows * cols < 3:
+            raise InvalidPlatformError("a torus needs at least 3 processors")
+        links = []
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    links.append((node, node + 1, delay))
+                if r + 1 < rows:
+                    links.append((node, node + cols, delay))
+            if cols >= 3:
+                links.append((r * cols + cols - 1, r * cols, delay))
+        if rows >= 3:
+            for c in range(cols):
+                links.append(((rows - 1) * cols + c, c, delay))
+        return cls(rows * cols, links)
+
     def __repr__(self) -> str:
         return f"Topology(m={self.num_procs}, links={len(self._link_delay)})"
+
+
+# ----------------------------------------------------------------------
+# Topology registry (campaign/CLI sweeps over standard shapes)
+# ----------------------------------------------------------------------
+def _grid_dims(m: int) -> tuple[int, int]:
+    """Most-square ``rows x cols`` factorization of ``m`` (rows <= cols)."""
+    rows = int(m**0.5)
+    while rows > 1 and m % rows:
+        rows -= 1
+    return rows, m // rows
+
+
+TOPOLOGY_BUILDERS: dict[str, Callable[[int, float], Topology]] = {
+    "clique": lambda m, delay: Topology.clique(m, delay),
+    "ring": lambda m, delay: Topology.ring(m, delay),
+    "line": lambda m, delay: Topology.line(m, delay),
+    "star": lambda m, delay: Topology.star(m, delay),
+    "mesh": lambda m, delay: Topology.mesh2d(*_grid_dims(m), delay),
+    "torus": lambda m, delay: Topology.torus(*_grid_dims(m), delay),
+}
+
+
+def topology_names() -> tuple[str, ...]:
+    """Registered topology shape names (CLI/campaign ``--topology``)."""
+    return tuple(sorted(TOPOLOGY_BUILDERS))
+
+
+@lru_cache(maxsize=64)
+def make_topology(name: str, num_procs: int, delay: float = 1.0) -> Topology:
+    """Instantiate a standard topology shape by name over ``num_procs``.
+
+    Grid shapes (``mesh``, ``torus``) use the most-square factorization
+    of ``num_procs``; a prime count degenerates to a line / ring.
+    Results are memoized — a :class:`Topology` is immutable after
+    construction and campaign reps re-request the same shape thousands
+    of times just to enumerate its links, so the all-pairs route
+    computation runs once per shape instead of once per rep.
+    """
+    try:
+        build = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise InvalidPlatformError(
+            f"unknown topology {name!r}; choose from {topology_names()}"
+        ) from None
+    return build(num_procs, delay)
+
+
+def randomize_link_delays(
+    topology: Topology,
+    delay_range: tuple[float, float],
+    rng: np.random.Generator,
+) -> Topology:
+    """A copy of ``topology`` with per-link delays drawn uniformly.
+
+    Campaign instances draw their unit delays from ``delay_range`` (the
+    paper's ``[0.5, 1]``); for routed platforms the draw happens per
+    physical link, in the deterministic ``links()`` order, so the result
+    is a pure function of the topology and the seeded generator.
+    """
+    lo, hi = delay_range
+    return Topology(
+        topology.num_procs,
+        [(a, b, float(rng.uniform(lo, hi))) for a, b in topology.links()],
+    )

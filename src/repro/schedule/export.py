@@ -14,10 +14,32 @@ import json
 from pathlib import Path
 from typing import Callable
 
-from repro.comm import make_network
+from repro.comm import OnePortNetwork, RoutedOnePortNetwork, make_network
 from repro.platform.instance import ProblemInstance
+from repro.platform.topology import Topology
 from repro.schedule.schedule import CommEvent, Replica, Schedule
 from repro.utils.errors import ScheduleValidationError
+
+
+def _network_config(schedule: Schedule) -> dict:
+    """Declarative network configuration for the export.
+
+    The model *name* alone cannot rebuild a replayable network for the
+    configured variants — the insertion policy and a routed topology
+    (links + per-link delays) must round-trip, or replays of imported
+    schedules silently fall back to append semantics / crash.
+    """
+    net = schedule.make_network()
+    config: dict = {"model": net.name}
+    if isinstance(net, RoutedOnePortNetwork):
+        topo = net.topology
+        config["topology"] = {
+            "num_procs": topo.num_procs,
+            "links": [[a, b, topo.link_delay(a, b)] for a, b in topo.links()],
+        }
+    elif type(net) is OnePortNetwork and net.policy != "append":
+        config["policy"] = net.policy
+    return config
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:
@@ -59,6 +81,7 @@ def schedule_to_dict(schedule: Schedule) -> dict:
         "format": "repro-schedule-v1",
         "scheduler": schedule.scheduler,
         "model": schedule.model,
+        "network": _network_config(schedule),
         "epsilon": schedule.epsilon,
         "num_tasks": schedule.instance.num_tasks,
         "num_procs": schedule.instance.num_procs,
@@ -102,7 +125,20 @@ def schedule_from_dict(data: dict, instance: ProblemInstance) -> Schedule:
             "instance shape does not match the serialized schedule"
         )
     model = data["model"]
-    factory: Callable = lambda: make_network(model, instance.platform)  # noqa: E731
+    # Rebuild the configured network, not just the named one (older
+    # exports without a "network" block fall back to the bare name).
+    net_cfg = data.get("network") or {"model": model}
+    if "topology" in net_cfg:
+        t = net_cfg["topology"]
+        topology = Topology(
+            int(t["num_procs"]), [(int(a), int(b), float(d)) for a, b, d in t["links"]]
+        )
+        factory: Callable = lambda: make_network(  # noqa: E731
+            model, instance.platform, topology=topology
+        )
+    else:
+        kwargs = {"policy": net_cfg["policy"]} if "policy" in net_cfg else {}
+        factory = lambda: make_network(model, instance.platform, **kwargs)  # noqa: E731
 
     schedule = Schedule(
         instance=instance,

@@ -2,14 +2,34 @@
 
 :class:`TrialKernel` mirrors the arithmetic of
 ``ScheduleBuilder._place(record=False)`` — eq. (6) message serialization
-under the bi-directional one-port model and its §2 variants — **without**
+under the bi-directional one-port model and its variants — **without**
 touching the network's undo log.  A slow-path ``trial()`` reserves every
 message on the real network and rolls the reservations back; profiling
 shows that reserve-and-rollback bookkeeping dominates scheduler wall
 clock (>80% on the figure campaigns).  The kernel instead reads the
-network's committed scalar frontiers (send/receive ports, links) and
-simulates the serialization locally, so evaluating a candidate has no
-side effects to undo.
+network's committed frontiers and simulates the serialization locally,
+so evaluating a candidate has no side effects to undo.
+
+Model support comes from the **resource-frontier protocol**
+(:mod:`repro.comm.base`): every network model declares its contended
+resources via ``kernel_caps()`` and exposes them through
+``frontier_view()``.  The kernel dispatches purely on the declared
+capabilities — it never inspects concrete model types — and covers:
+
+* scalar port/link frontiers (the paper's bi-directional one-port, the
+  §2 uni-port and no-overlap variants, and the contention-free
+  macro-dataflow model);
+* **routed** models (§7 sparse topologies): serialization takes the max
+  over the per-hop link frontiers of each message's static route, and
+  the epoch cache tracks per-directed-link versions so two routes
+  sharing a physical link invalidate each other;
+* **gap-timeline** models (``OnePortNetwork(policy="insertion")``):
+  trials replay the insertion scan against trial-local copies of the
+  busy-interval timelines.
+
+A model whose ``kernel_caps()`` is ``None`` (or declares a combination
+the kernel cannot mirror) falls back to the exact slow path with a
+one-time ``logging`` warning — ``fast=True`` never changes results.
 
 Three evaluation paths, all producing **bit-identical** :class:`Trial`
 results (same IEEE-754 operations in the same order — the equivalence
@@ -20,52 +40,97 @@ test suite asserts identical commit logs end to end):
   Small platforms use a tuned scalar loop; past ``numpy_threshold``
   work items the kernel switches to a NumPy formulation that lexsorts
   the eq. (6) keys for every candidate at once and advances the
-  serialization frontier matrices step by step.
-* ``single_trial`` — one candidate with per-processor sources (CAFT's
-  one-to-one rounds pick different designated suppliers per candidate).
+  serialization frontier matrices step by step (scalar-frontier models
+  only; routed and gap-timeline algebra always runs the scalar loop).
+* ``trial_with_heads`` — one candidate with designated per-predecessor
+  suppliers (CAFT's one-to-one rounds pick different heads per
+  candidate) over the shared per-task entry state.
 * an **epoch cache** — FTBAR re-scores every free task against every
   processor after every placement, but a placement only dirties the
-  processors it touched.  Each committed replica/message bumps a
-  per-processor epoch; a cached trial is reused verbatim when the
-  epochs of every processor it read are unchanged and the supplier
-  pools did not grow.
-
-Supported models: ``OnePortNetwork`` (append policy), ``UniPortNetwork``,
-``NoOverlapOnePortNetwork`` and ``MacroDataflowNetwork``.  Anything else
-(insertion policy, routed topologies, user subclasses) silently falls
-back to the exact slow path — ``fast=True`` never changes results.
+  processors (and, for routed models, directed links) it touched.  Each
+  committed replica/message bumps the epochs of the resources it
+  reserved; a cached trial is reused verbatim when the epochs of every
+  resource it read are unchanged and the supplier pools did not grow.
 """
 
 from __future__ import annotations
 
+import logging
+from bisect import insort
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.comm.macrodataflow import MacroDataflowNetwork
-from repro.comm.oneport import (
-    NoOverlapOnePortNetwork,
-    OnePortNetwork,
-    UniPortNetwork,
-)
+from repro.comm.base import KernelCaps, common_gap_start
 from repro.schedule.schedule import Replica, Trial
 from repro.utils.errors import SchedulingError
 
 _INF = float("inf")
 
+logger = logging.getLogger(__name__)
 
-def _detect_kind(network) -> Optional[str]:
-    """Classify a network model for the kernel; ``None`` = unsupported."""
-    t = type(network)
-    if t is MacroDataflowNetwork:
-        return "macro"
-    if t is OnePortNetwork:
-        return "oneport" if network.policy == "append" else None
-    if t is UniPortNetwork:
-        return "uniport"
-    if t is NoOverlapOnePortNetwork:
-        return "nooverlap"
+#: model signatures already warned about (one warning per model kind)
+_fallback_warned: set[str] = set()
+
+
+def _unsupported_reason(caps: Optional[KernelCaps]) -> Optional[str]:
+    """Why the kernel cannot serve a model; ``None`` = fully supported."""
+    if caps is None:
+        return "it declares no kernel capabilities (kernel_caps() is None)"
+    if caps.routed and (caps.gap_timelines or caps.shared_port or caps.compute_blocks):
+        return (
+            "the kernel has no evaluator for routed combined with "
+            "gap-timeline/shared-port/no-overlap capabilities"
+        )
+    if caps.gap_timelines and (caps.shared_port or caps.compute_blocks):
+        return (
+            "the kernel has no evaluator for gap timelines combined with "
+            "shared-port/no-overlap capabilities"
+        )
+    if caps.shared_port and caps.compute_blocks:
+        return (
+            "the kernel has no evaluator for a shared port combined with "
+            "compute-blocking communication"
+        )
+    if not caps.contention and (
+        caps.routed or caps.gap_timelines or caps.shared_port or caps.compute_blocks
+    ):
+        return "a contention-free model cannot declare contended-resource capabilities"
     return None
+
+
+def _warn_fallback(network, reason: str) -> None:
+    """One-time warning when ``fast=True`` degrades to the exact path."""
+    key = (
+        f"{type(network).__module__}.{type(network).__qualname__}"
+        f":{getattr(network, 'name', '')}"
+    )
+    if key in _fallback_warned:
+        return
+    _fallback_warned.add(key)
+    logger.warning(
+        "fast=True: network model %r (%s) is outside the placement kernel — %s; "
+        "falling back to the exact reserve-and-rollback path "
+        "(identical schedules, slower trials)",
+        getattr(network, "name", type(network).__name__),
+        type(network).__qualname__,
+        reason,
+    )
+
+
+def _caps_kind(caps: KernelCaps) -> str:
+    """Internal evaluator family for a supported capability set."""
+    if not caps.contention:
+        return "macro"
+    if caps.routed:
+        return "routed"
+    if caps.gap_timelines:
+        return "insertion"
+    if caps.shared_port:
+        return "uniport"
+    if caps.compute_blocks:
+        return "nooverlap"
+    return "oneport"
 
 
 class _TaskEntries:
@@ -220,7 +285,7 @@ class _TaskEntries:
 
 
 class TrialKernel:
-    """Exact, side-effect-free trial evaluation over scalar network state."""
+    """Exact, side-effect-free trial evaluation over frontier views."""
 
     #: switch to the NumPy batch formulation past this many work items
     #: (candidates × pool entries); below it the scalar loop wins.
@@ -236,25 +301,43 @@ class TrialKernel:
         "network",
         "instance",
         "graph",
+        "caps",
         "kind",
+        "_frontiers",
+        "_vector_ok",
         "_cost",
         "_delay",
         "_m",
         "_version",
         "_send_changed",
         "_recv_changed",
+        "_link_changed",
         "_entries",
         "_cache",
     )
 
-    def __init__(self, builder, kind: str) -> None:
+    def __init__(self, builder, caps: KernelCaps) -> None:
         self.builder = builder
         self.network = builder.network
         self.instance = builder.instance
         self.graph = builder.instance.graph
-        self.kind = kind
+        self.caps = caps
+        self.kind = _caps_kind(caps)
+        view = self.network.frontier_view()
+        if view is None:
+            raise SchedulingError(
+                f"network model {self.network.name!r} declares kernel_caps() "
+                "but frontier_view() returned None"
+            )
+        self._frontiers = view
+        #: the NumPy batch formulation covers the scalar-frontier algebra
+        #: only; routed hop maxima and gap-timeline scans stay scalar
+        self._vector_ok = not (caps.routed or caps.gap_timelines)
         self._cost = builder.instance.exec_cost.tolist()
-        self._delay = builder.instance.platform.delay_matrix.tolist()
+        #: unit delays come from the *network's* platform (for routed
+        #: models these are the end-to-end route delays), exactly what
+        #: the slow path's ``transfer_time`` uses
+        self._delay = view.delay
         self._m = builder.instance.num_procs
         #: monotone commit counter plus, per processor, the version at
         #: which its send side (port + outgoing links) and receive side
@@ -262,6 +345,9 @@ class TrialKernel:
         self._version = 0
         self._send_changed = [0] * self._m
         self._recv_changed = [0] * self._m
+        #: routed models: per-directed-physical-link versions — two
+        #: routes sharing a hop must invalidate each other's cache lines
+        self._link_changed = [0] * view.num_links if caps.routed else None
         #: task -> (pool signature, _TaskEntries)
         self._entries: dict[int, tuple[tuple, _TaskEntries]] = {}
         #: task -> (pool signature, {proc: (version, Trial)})
@@ -269,26 +355,32 @@ class TrialKernel:
 
     @classmethod
     def create(cls, builder) -> Optional["TrialKernel"]:
-        kind = _detect_kind(builder.network)
-        if kind is None:
+        """Kernel for ``builder``'s network, or ``None`` (with a one-time
+        warning) when the model's declared capabilities are unsupported."""
+        caps = builder.network.kernel_caps()
+        reason = _unsupported_reason(caps)
+        if reason is not None:
+            _warn_fallback(builder.network, reason)
             return None
-        return cls(builder, kind)
+        return cls(builder, caps)
 
     # ------------------------------------------------------------------
     # Cache invalidation
     # ------------------------------------------------------------------
     def note_commit(self, proc: int, placed) -> None:
-        """Record which processors a commit dirtied.
+        """Record which resources a commit dirtied.
 
         ``proc`` hosts the new replica: its ready time, receive port,
         incoming links and compute floor moved (receive side).  Every
         placed message with nonzero duration moved its sender's port and
-        the link toward ``proc`` (send side).  The contention-free macro
-        model reserves nothing, so only the host's ready time moves.
+        the link(s) toward ``proc`` (send side; for routed models every
+        directed hop of the message's route gets its epoch bumped).  The
+        contention-free macro model reserves nothing, so only the host's
+        ready time moves.
 
-        The uniport model shares one engine per processor — its send and
-        receive frontiers are the *same* array — so there every touched
-        processor moves on both sides at once.
+        The shared-port (uniport) model has one engine per processor —
+        its send and receive frontiers are the *same* array — so there
+        every touched processor moves on both sides at once.
         """
         self._version += 1
         v = self._version
@@ -298,6 +390,15 @@ class TrialKernel:
         if kind == "macro":
             return
         send_changed = self._send_changed
+        if kind == "routed":
+            link_changed = self._link_changed
+            hop_row = self._frontiers.route_hops
+            for _pred, r, start, finish in placed:
+                if finish > start:
+                    send_changed[r.proc] = v
+                    for h in hop_row[r.proc][proc]:
+                        link_changed[h] = v
+            return
         uni = kind == "uniport"
         if uni:
             # the host's receive activity occupies its shared port, which
@@ -348,12 +449,14 @@ class TrialKernel:
         """Latest version at which any supplier's send side moved.
 
         A trial of this task on candidate ``p`` reads ``send_free[src]``
-        and ``link_free[src -> p]`` for every supplier ``src`` — both move
-        only when ``src`` sends.  Shared by every candidate, so the cache
-        validity check per processor is O(1): a cached trial computed at
-        version ``v`` is exact iff ``v >= max(srcs_changed,
-        recv_changed[p])`` (plus ``send_changed[p]`` for the no-overlap
-        compute floor).
+        and the link frontier(s) toward ``p`` for every supplier ``src``
+        — both move only when ``src`` sends (routed link sharing is
+        covered separately by the per-hop epochs).  Shared by every
+        candidate, so the cache validity check per processor is O(1)
+        for clique models: a cached trial computed at version ``v`` is
+        exact iff ``v >= max(srcs_changed, recv_changed[p])`` (plus
+        ``send_changed[p]`` for the no-overlap compute floor, plus the
+        hop epochs of every supplier route for routed models).
         """
         if self.kind == "macro":
             return 0
@@ -363,6 +466,19 @@ class TrialKernel:
             c = send_changed[s]
             if c > latest:
                 latest = c
+        return latest
+
+    def _hops_changed_after(self, entries: _TaskEntries, proc: int) -> int:
+        """Latest version at which any supplier-route hop toward ``proc``
+        moved (routed models only — route sharing invalidation)."""
+        link_changed = self._link_changed
+        hop_row = self._frontiers.route_hops
+        latest = 0
+        for s in entries.srcs:
+            for h in hop_row[s][proc]:
+                c = link_changed[h]
+                if c > latest:
+                    latest = c
         return latest
 
     # ------------------------------------------------------------------
@@ -376,7 +492,10 @@ class TrialKernel:
     ) -> list[Trial]:
         """Candidate trials for every processor in ``procs`` (one pass)."""
         entries, _cacheable = self._entries_for(task, sources)
-        if len(procs) * max(1, sum(entries.sig)) >= self.numpy_threshold:
+        if (
+            self._vector_ok
+            and len(procs) * max(1, sum(entries.sig)) >= self.numpy_threshold
+        ):
             return self._batch_numpy(task, procs, entries)
         return [self._eval(task, p, entries) for p in procs]
 
@@ -414,6 +533,7 @@ class TrialKernel:
         recv_changed = self._recv_changed
         send_changed = self._send_changed
         nooverlap = self.kind == "nooverlap"
+        routed = self.kind == "routed"
 
         out: dict[int, list[Optional[Trial]]] = {}
         misses: list[tuple[_TaskEntries, int, int]] = []
@@ -441,6 +561,7 @@ class TrialKernel:
                         v >= srcs_changed
                         and v >= recv_changed[p]
                         and (not nooverlap or v >= send_changed[p])
+                        and (not routed or v >= self._hops_changed_after(entries, p))
                     ):
                         trials[p] = hit[1]
                         continue
@@ -449,7 +570,7 @@ class TrialKernel:
             out[task] = trials
 
         if misses:
-            if len(misses) >= self.sweep_numpy_threshold:
+            if self._vector_ok and len(misses) >= self.sweep_numpy_threshold:
                 fresh = self._eval_rows(misses)
             else:
                 fresh = [self._eval(t, p, e) for e, t, p in misses]
@@ -461,6 +582,37 @@ class TrialKernel:
     # ------------------------------------------------------------------
     # Scalar evaluation (exact mirror of ScheduleBuilder._place)
     # ------------------------------------------------------------------
+    def _finish_trial(
+        self,
+        task: int,
+        proc: int,
+        loc: list,
+        arrival: list,
+        floor: float,
+    ) -> Trial:
+        """Shared eq. (6) epilogue: merge local/remote supplies into the
+        data-ready time, apply the compute floor and processor ready
+        time, and materialize the :class:`Trial`.  Single-sourced so the
+        scalar, routed and insertion evaluators cannot drift apart."""
+        data_ready = 0.0
+        for slot in range(len(loc)):
+            supply = loc[slot]
+            if supply is None:
+                supply = _INF
+            a = arrival[slot]
+            if a < supply:
+                supply = a
+            if supply > data_ready:
+                data_ready = supply
+
+        start = self.builder.proc_ready[proc]
+        if floor > start:
+            start = floor
+        if data_ready > start:
+            start = data_ready
+        finish = start + self._cost[task][proc]
+        return Trial(task, proc, start, finish, data_ready)
+
     def _eval(
         self,
         task: int,
@@ -469,7 +621,11 @@ class TrialKernel:
         heads: Optional[Mapping[int, Replica]] = None,
     ) -> Trial:
         kind = self.kind
-        net = self.network
+        if kind == "routed":
+            return self._eval_routed(task, proc, entries, heads)
+        if kind == "insertion":
+            return self._eval_insertion(task, proc, entries, heads)
+        view = self._frontiers
         m = self._m
         delay = self._delay
         strict = self.builder.strict_local_suppression
@@ -481,8 +637,8 @@ class TrialKernel:
         nslots = len(preds)
         macro = kind == "macro"
         if not macro:
-            send0 = net._send_free
-            link0 = net._link_free
+            send0 = view.send_free
+            link0 = view.link_free
             lbase = proc  # link index of src -> proc is src * m + proc
 
         # eq. (6): collect remote messages with their sender-side keys.
@@ -549,10 +705,10 @@ class TrialKernel:
             floor = 0.0
         else:
             remote.sort()
-            # Uniport aliasing needs no special casing: ``_send_free`` IS
-            # ``_recv_free`` there, so ``send0`` reads the shared port and
+            # Uniport aliasing needs no special casing: ``send_free`` IS
+            # ``recv_free`` there, so ``send0`` reads the shared port and
             # the overlays below touch disjoint indices (src != proc).
-            rf = net._recv_free[proc]
+            rf = view.recv_free[proc]
             sf_sim: dict[int, float] = {}
             lf_sim: dict[int, float] = {}
             for _key, _pred, _index, src, slot, ready, w in remote:
@@ -585,24 +741,183 @@ class TrialKernel:
             else:
                 floor = 0.0
 
-        data_ready = 0.0
-        for slot in range(nslots):
-            supply = loc[slot]
-            if supply is None:
-                supply = _INF
-            a = arrival[slot]
-            if a < supply:
-                supply = a
-            if supply > data_ready:
-                data_ready = supply
+        return self._finish_trial(task, proc, loc, arrival, floor)
 
-        start = self.builder.proc_ready[proc]
-        if floor > start:
-            start = floor
-        if data_ready > start:
-            start = data_ready
-        finish = start + self._cost[task][proc]
-        return Trial(task, proc, start, finish, data_ready)
+    def _collect_messages(self, proc, entries, heads, key_of):
+        """eq. (6) prologue shared by the routed/insertion evaluators.
+
+        Splits each predecessor's supply into a co-located replica and
+        remote messages sorted by their sender-side keys (``key_of(src,
+        ready, w)``) — the same slot loop ``_eval`` inlines for the
+        scalar-frontier models, with the key computation abstracted.
+        """
+        delay = self._delay
+        strict = self.builder.strict_local_suppression
+        preds = entries.preds
+        vols = entries.vols
+        pools = entries.pools
+        locals_ = entries.local
+        selfsuff = entries.selfsuff
+        nslots = len(preds)
+        remote: list[tuple] = []
+        loc: list[Optional[float]] = [None] * nslots
+        for slot in range(nslots):
+            pred = preds[slot]
+            if heads is not None and pred in heads:
+                h = heads[pred]
+                src = h.proc
+                if src == proc:
+                    loc[slot] = h.finish
+                    continue
+                ready = h.finish
+                w = vols[slot] * delay[src][proc]
+                key = ready if w == 0.0 else key_of(src, ready, w)
+                remote.append((key, pred, h.index, src, slot, ready, w))
+                continue
+            local = locals_[slot]
+            lf_local = local.get(proc)
+            if lf_local is not None:
+                loc[slot] = lf_local
+                if strict or proc in selfsuff[slot]:
+                    continue
+            vol = vols[slot]
+            for index, src, ready in pools[slot]:
+                if src == proc:
+                    continue
+                w = vol * delay[src][proc]
+                key = ready if w == 0.0 else key_of(src, ready, w)
+                remote.append((key, pred, index, src, slot, ready, w))
+        remote.sort()
+        return loc, remote
+
+    def _eval_routed(
+        self,
+        task: int,
+        proc: int,
+        entries: _TaskEntries,
+        heads: Optional[Mapping[int, Replica]] = None,
+    ) -> Trial:
+        """Route-aware serialization (§7): a message's start clears its
+        sender port, the receiver port and **every** directed hop of its
+        static route — the max over the hop frontiers replaces the single
+        link scalar of the clique models."""
+        view = self._frontiers
+        send0 = view.send_free
+        link0 = view.link_free
+        hop_row = view.route_hops
+        nslots = len(entries.preds)
+
+        def key_of(src, ready, w):
+            key = ready
+            sf = send0[src]
+            if sf > key:
+                key = sf
+            for hp in hop_row[src][proc]:
+                lf = link0[hp]
+                if lf > key:
+                    key = lf
+            return key + w
+
+        loc, remote = self._collect_messages(proc, entries, heads, key_of)
+
+        arrival = [_INF] * nslots
+        rf = view.recv_free[proc]
+        sf_sim: dict[int, float] = {}
+        lf_sim: dict[int, float] = {}  # per directed hop id
+        for _key, _pred, _index, src, slot, ready, w in remote:
+            if w == 0.0:
+                f = ready
+            else:
+                start = ready
+                s = sf_sim.get(src)
+                if s is None:
+                    s = send0[src]
+                if s > start:
+                    start = s
+                if rf > start:
+                    start = rf
+                hops = hop_row[src][proc]
+                for hp in hops:
+                    l = lf_sim.get(hp)
+                    if l is None:
+                        l = link0[hp]
+                    if l > start:
+                        start = l
+                f = start + w
+                sf_sim[src] = f
+                rf = f
+                for hp in hops:
+                    lf_sim[hp] = f
+            if f < arrival[slot]:
+                arrival[slot] = f
+
+        return self._finish_trial(task, proc, loc, arrival, 0.0)
+
+    def _eval_insertion(
+        self,
+        task: int,
+        proc: int,
+        entries: _TaskEntries,
+        heads: Optional[Mapping[int, Replica]] = None,
+    ) -> Trial:
+        """Gap-aware serialization for the insertion policy: eq. (6)
+        ordering still comes from the scalar sender-side frontiers (that
+        is what ``sender_bound`` reads), but each message is then placed
+        by the same first-common-gap scan ``place_transfer`` runs — over
+        trial-local copies of the busy timelines, so nothing is
+        reserved."""
+        view = self._frontiers
+        m = self._m
+        send0 = view.send_free
+        link0 = view.link_free
+        nslots = len(entries.preds)
+
+        def key_of(src, ready, w):
+            key = ready
+            sf = send0[src]
+            if sf > key:
+                key = sf
+            lf = link0[src * m + proc]
+            if lf > key:
+                key = lf
+            return key + w
+
+        loc, remote = self._collect_messages(proc, entries, heads, key_of)
+
+        arrival = [_INF] * nslots
+        send_tl = view.send_timelines
+        recv_tl = view.recv_timelines
+        link_tl = view.link_timelines
+        #: trial-local overlays: committed intervals + this trial's
+        #: simulated reservations (copy-on-first-touch per resource;
+        #: the link toward ``proc`` is unique per sender, so both the
+        #: send and link overlays key on ``src``)
+        recv_iv = list(recv_tl[proc].intervals)
+        send_iv: dict[int, list] = {}
+        link_iv: dict[int, list] = {}
+        for _key, _pred, _index, src, slot, ready, w in remote:
+            if w == 0.0:
+                f = ready
+            else:
+                siv = send_iv.get(src)
+                if siv is None:
+                    siv = list(send_tl[src].intervals)
+                    send_iv[src] = siv
+                liv = link_iv.get(src)
+                if liv is None:
+                    liv = list(link_tl[src * m + proc].intervals)
+                    link_iv[src] = liv
+                # the same first-common-gap scan place_transfer runs,
+                # against the trial-local overlays
+                start = common_gap_start((siv, recv_iv, liv), ready, w)
+                f = start + w
+                insort(siv, (start, f))
+                insort(recv_iv, (start, f))
+                insort(liv, (start, f))
+            if f < arrival[slot]:
+                arrival[slot] = f
+
+        return self._finish_trial(task, proc, loc, arrival, 0.0)
 
     # ------------------------------------------------------------------
     # NumPy batch evaluation (one pass over arbitrary (task, proc) rows)
@@ -619,10 +934,10 @@ class TrialKernel:
         lockstep against its own frontier vectors, with per-row lexsorted
         message orders.  Operations mirror the scalar path exactly (same
         IEEE-754 maxima/additions in the same order), so results are
-        bit-identical.
+        bit-identical.  Scalar-frontier models only (``_vector_ok``).
         """
         kind = self.kind
-        net = self.network
+        view = self._frontiers
         m = self._m
         macro = kind == "macro"
         strict = self.builder.strict_local_suppression
@@ -643,15 +958,14 @@ class TrialKernel:
         tix = np.fromiter(
             (table_ix[id(j[0])] for j in jobs), dtype=np.int64, count=nrows
         )
-        T = len(uniq)
         flats = [e.arrays() for e in uniq]
         Rmax = max(f[0].size for f in flats)
         Smax = max(len(e.preds) for e in uniq)
 
         if not macro:
-            send0 = np.asarray(net._send_free, dtype=np.float64)
-            recv0 = np.asarray(net._recv_free, dtype=np.float64)
-            link0 = np.asarray(net._link_free, dtype=np.float64).reshape(m, m)
+            send0 = np.asarray(view.send_free, dtype=np.float64)
+            recv0 = np.asarray(view.recv_free, dtype=np.float64)
+            link0 = np.asarray(view.link_free, dtype=np.float64).reshape(m, m)
 
         if Rmax == 0:
             data_ready = np.zeros(nrows)
@@ -673,7 +987,7 @@ class TrialKernel:
             PRED = Tpred[tix]
             IDX = Tidx[tix]
             SLOT = Tslot[tix]
-            D = self.instance.platform.delay_matrix
+            D = view.delay_np
             W = Tvol[tix] * D[SRC, proc[:, None]]
             pcol = proc[:, None]
             valid = Tmask[tix] & (SRC != pcol)

@@ -253,8 +253,9 @@ class ScheduleBuilder:
             make_network=make_network,
         )
         self._seq = 0
-        #: fast-path placement kernel; ``None`` when the model is not
-        #: kernel-supported (trials then go through the exact slow path).
+        #: fast-path placement kernel; ``None`` when the network's
+        #: ``kernel_caps()`` declares no (or an unsupported) resource
+        #: algebra — trials then go through the exact slow path.
         self._kernel = None
         if fast:
             from repro.schedule.kernel import TrialKernel

@@ -159,7 +159,13 @@ def make_builder(
     """Construct a :class:`ScheduleBuilder` over a fresh network.
 
     ``fast=True`` activates the vectorized placement kernel when the
-    network model supports it (bit-identical results, no undo-log churn).
+    network model declares its contended resources through the
+    resource-frontier protocol (``kernel_caps()``/``frontier_view()`` on
+    :class:`~repro.comm.base.NetworkModel`) — bit-identical results, no
+    undo-log churn.  Models outside the protocol fall back to the exact
+    path with a one-time warning.  ``model_kwargs`` reach the network
+    factory (e.g. ``policy="insertion"`` for the one-port models, or
+    ``topology=...`` for ``model="routed-oneport"``).
     """
     network, factory = resolve_network(model, instance, **model_kwargs)
     return ScheduleBuilder(

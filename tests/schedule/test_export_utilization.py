@@ -84,6 +84,39 @@ class TestExportRoundTrip:
                 assert a.support == b.support
                 assert a.kind == b.kind
 
+    def test_roundtrip_preserves_network_config(self):
+        """The export must carry the configured network, not just its
+        name: an imported insertion-policy schedule replayed under
+        append semantics silently reports wrong crash latencies, and a
+        routed one crashes rebuilding its network without the topology."""
+        from repro.comm.oneport import OnePortNetwork
+        from repro.comm.routed import RoutedOnePortNetwork
+        from repro.platform.instance import ProblemInstance
+        from repro.platform.topology import Topology
+
+        inst = make_instance(num_tasks=12, num_procs=5, seed=3)
+        sched = ftsa(
+            inst, 1, model=OnePortNetwork(inst.platform, policy="insertion"), rng=0
+        )
+        rebuilt = schedule_from_dict(schedule_to_dict(sched), inst)
+        net = rebuilt.make_network()
+        assert net.policy == "insertion"
+        no_crash = FailureScenario.crash_at_start([])
+        assert replay(rebuilt, no_crash).latency() == pytest.approx(
+            replay(sched, no_crash).latency()
+        )
+
+        topo = Topology.ring(5, delay=0.7)
+        rinst = ProblemInstance(inst.graph, topo.to_platform(), inst.exec_cost)
+        rsched = ftsa(rinst, 1, model=RoutedOnePortNetwork(topo), rng=0)
+        rrebuilt = schedule_from_dict(schedule_to_dict(rsched), rinst)
+        rnet = rrebuilt.make_network()
+        assert rnet.name == "routed-oneport"
+        assert rnet.topology.links() == topo.links()
+        assert replay(rrebuilt, no_crash).latency() == pytest.approx(
+            replay(rsched, no_crash).latency()
+        )
+
     def test_rejects_unknown_format(self, pair):
         inst, _sched = pair
         with pytest.raises(ScheduleValidationError):

@@ -5,19 +5,24 @@
 committed schedule — every replica, every message, every float — is
 indistinguishable from the slow reserve-and-rollback path.  This suite
 compares full commit logs for all four algorithms (plus the batched CAFT
-extension) across ε ∈ {0, 1, 2}, both network models and 10 seeded
-random instances, and exercises both kernel formulations (the scalar
-loop and the forced-NumPy batch pass).
+extension) across ε ∈ {0, 1, 2} and 10 seeded random instances for
+every kernel-capable model — the paper's one-port, its §2 variants, the
+contention-free macro model, the insertion-policy ablation and routed
+sparse topologies (ring, torus, star) — and exercises both kernel
+formulations (the scalar loop and the forced-NumPy batch pass).
 """
 
 import numpy as np
 import pytest
 
+from repro.comm.oneport import OnePortNetwork
+from repro.comm.routed import RoutedOnePortNetwork
 from repro.core.caft import caft
 from repro.core.caft_batch import caft_batch
 from repro.dag.generators import random_dag
 from repro.platform.heterogeneity import range_exec_matrix, uniform_delay_platform
 from repro.platform.instance import ProblemInstance
+from repro.platform.topology import make_topology, randomize_link_delays
 from repro.schedule.kernel import TrialKernel
 from repro.schedule.schedule import Replica, Schedule
 from repro.schedulers.ftbar import ftbar
@@ -27,6 +32,8 @@ from repro.schedulers.heft import heft
 SEEDS = list(range(10))
 MODELS = ("oneport", "macro-dataflow")
 EPSILONS = (0, 1, 2)
+#: §7 sparse interconnect shapes pinned by the routed equivalence matrix
+TOPOLOGY_SHAPES = ("ring", "torus", "star")
 
 ALGORITHMS = {
     "heft": lambda inst, eps, model, fast: heft(
@@ -54,6 +61,19 @@ def make_instance(seed: int, num_tasks: int = 14, num_procs: int = 5):
     base = rng.uniform(1.0, 3.0, size=num_tasks)
     exec_cost = range_exec_matrix(base, num_procs, heterogeneity=0.5, rng=rng)
     return ProblemInstance(graph, platform, exec_cost)
+
+
+def make_routed_instance(seed: int, shape: str, num_tasks: int = 14, num_procs: int = 6):
+    """Instance over a sparse interconnect: the platform is the topology's
+    effective route-delay matrix, per-link delays drawn per seed."""
+    rng = np.random.default_rng(seed)
+    graph = random_dag(num_tasks, degree_range=(1, 3), volume_range=(5.0, 20.0), rng=rng)
+    topo = randomize_link_delays(
+        make_topology(shape, num_procs), (0.5, 1.0), rng
+    )
+    base = rng.uniform(1.0, 3.0, size=num_tasks)
+    exec_cost = range_exec_matrix(base, num_procs, heterogeneity=0.5, rng=rng)
+    return ProblemInstance(graph, topo.to_platform(), exec_cost), topo
 
 
 def commit_signature(schedule: Schedule) -> list[tuple]:
@@ -144,6 +164,54 @@ def test_oneport_variants_identical(model):
                     )
 
 
+@pytest.mark.parametrize("shape", TOPOLOGY_SHAPES)
+@pytest.mark.parametrize("epsilon", EPSILONS)
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+def test_routed_fast_slow_identical_commit_logs(algo, epsilon, shape):
+    """Routed sparse topologies go through the route-aware evaluator.
+
+    FTBAR matters most here: its epoch cache must notice that two
+    routes sharing a physical link dirty each other (ring and star force
+    heavy route sharing), which is exactly what the per-directed-hop
+    epochs exist for.
+    """
+    if algo == "heft" and epsilon:
+        pytest.skip("HEFT has no replication parameter")
+    run = ALGORITHMS[algo]
+    for seed in SEEDS:
+        inst, topo = make_routed_instance(seed, shape)
+        slow = run(inst, epsilon, RoutedOnePortNetwork(topo), False)
+        fast = run(inst, epsilon, RoutedOnePortNetwork(topo), True)
+        assert commit_signature(slow) == commit_signature(fast), (
+            f"{algo} eps={epsilon} topology={shape} seed={seed}"
+        )
+        assert slow.latency() == fast.latency()
+        assert slow.task_order == fast.task_order
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+def test_insertion_policy_fast_slow_identical_commit_logs(algo, epsilon):
+    """The gap-reusing insertion policy goes through the kernel too —
+    trials must replay the first-common-gap scan bit-identically."""
+    if algo == "heft" and epsilon:
+        pytest.skip("HEFT has no replication parameter")
+    run = ALGORITHMS[algo]
+    for seed in SEEDS:
+        inst = make_instance(seed)
+        slow = run(
+            inst, epsilon, OnePortNetwork(inst.platform, policy="insertion"), False
+        )
+        fast = run(
+            inst, epsilon, OnePortNetwork(inst.platform, policy="insertion"), True
+        )
+        assert commit_signature(slow) == commit_signature(fast), (
+            f"{algo} eps={epsilon} model=oneport/insertion seed={seed}"
+        )
+        assert slow.latency() == fast.latency()
+        assert slow.task_order == fast.task_order
+
+
 def test_filtered_pools_do_not_alias_entry_cache():
     """Same-length but different source pools must not hit a stale cache.
 
@@ -175,13 +243,94 @@ def test_filtered_pools_do_not_alias_entry_cache():
     assert run(True) == run(False)
 
 
-def test_unsupported_model_falls_back():
-    """Insertion policy is outside the kernel: fast=True must still work."""
-    from repro.comm.oneport import OnePortNetwork
+class _CapabilityLessNetwork(OnePortNetwork):
+    """A user subclass that opts out of the resource-frontier protocol."""
+
+    name = "oneport-custom"
+
+    def __init__(self, platform):
+        super().__init__(platform, policy="append")
+
+    def clone_args(self):
+        return (self.platform,)
+
+    def kernel_caps(self):
+        return None
+
+
+def test_unsupported_model_falls_back_with_warning(caplog):
+    """A model without kernel capabilities must still work under
+    ``fast=True`` — exact path, identical schedules — and the silent
+    degradation of old must now announce itself exactly once."""
+    import logging
+
+    from repro.schedule import kernel as kernel_mod
+
+    kernel_mod._fallback_warned.clear()
+    inst = make_instance(0)
+    with caplog.at_level(logging.WARNING, logger="repro.schedule.kernel"):
+        sched = ftsa(inst, 1, model=_CapabilityLessNetwork(inst.platform), rng=0, fast=True)
+        again = ftsa(inst, 1, model=_CapabilityLessNetwork(inst.platform), rng=0, fast=True)
+    ref = ftsa(inst, 1, model=_CapabilityLessNetwork(inst.platform), rng=0, fast=False)
+    assert commit_signature(sched) == commit_signature(ref)
+    assert commit_signature(again) == commit_signature(ref)
+    warnings = [r for r in caplog.records if "reserve-and-rollback" in r.message]
+    assert len(warnings) == 1, "fallback warning must fire exactly once per model"
+    assert "oneport-custom" in warnings[0].message
+    assert "kernel_caps" in warnings[0].message
+
+
+def test_subclass_with_overridden_semantics_falls_back():
+    """A subclass that changes transfer semantics must NOT inherit the
+    parent's kernel capabilities — the kernel would mirror the parent's
+    algebra and silently diverge.  The built-in ``kernel_caps()`` guard
+    on the exact type forces such subclasses onto the exact path."""
+    from repro.schedulers.base import make_builder
+
+    class DoubledOnePort(OnePortNetwork):
+        """Overrides the algebra but *not* kernel_caps()."""
+
+        def transfer_time(self, src, dst, volume):
+            return 2.0 * super().transfer_time(src, dst, volume)
+
+        def sender_bound(self, src, dst, ready, volume):
+            if src == dst:
+                return ready
+            w = 2.0 * volume * self._delay[src][dst]
+            if w == 0.0:
+                return ready
+            return max(ready, self._send_free[src], self._link_free[src * self._m + dst]) + w
+
+        def place_transfer(self, src, dst, ready, volume):
+            return super().place_transfer(src, dst, ready, 2.0 * volume)
 
     inst = make_instance(0)
-    net = OnePortNetwork(inst.platform, policy="insertion")
-    sched = ftsa(inst, 1, model=net, rng=0, fast=True)
-    net2 = OnePortNetwork(inst.platform, policy="insertion")
-    ref = ftsa(inst, 1, model=net2, rng=0, fast=False)
-    assert commit_signature(sched) == commit_signature(ref)
+    assert DoubledOnePort(inst.platform).kernel_caps() is None
+    builder = make_builder(inst, 1, DoubledOnePort(inst.platform), "t", fast=True)
+    assert not builder.fast, "subclass must not inherit the parent's kernel"
+    fast = ftsa(inst, 1, model=DoubledOnePort(inst.platform), rng=0, fast=True)
+    slow = ftsa(inst, 1, model=DoubledOnePort(inst.platform), rng=0, fast=False)
+    assert commit_signature(fast) == commit_signature(slow)
+
+
+def test_kernel_active_for_all_protocol_models():
+    """Every capability-declaring model gets a kernel — no type checks."""
+    from repro.schedulers.base import make_builder
+
+    inst = make_instance(0, num_procs=5)
+    for spec in (
+        "oneport",
+        "uniport",
+        "oneport-nooverlap",
+        "macro-dataflow",
+        OnePortNetwork(inst.platform, policy="insertion"),
+    ):
+        builder = make_builder(inst, 1, spec, "t", fast=True)
+        assert builder.fast, f"kernel inactive for {spec!r}"
+    rinst, topo = make_routed_instance(0, "ring")
+    builder = make_builder(rinst, 1, RoutedOnePortNetwork(topo), "t", fast=True)
+    assert builder.fast, "kernel inactive for routed-oneport"
+    builder = make_builder(
+        rinst, 1, "routed-oneport", "t", topology=topo
+    )
+    assert builder.network.name == "routed-oneport", "registry spec must resolve"
