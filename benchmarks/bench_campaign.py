@@ -1,0 +1,79 @@
+"""Executor-comparison benchmark: serial vs process pool vs TCP workers.
+
+Times the same small figure-1 campaign through all three executors,
+verifies the rows are bit-identical (the executor stack's core
+contract), and appends the timing triple to ``BENCH_fastpath.json`` so
+the overhead of each execution path is tracked across PRs.
+
+On a 1-CPU container the pool and socket paths pay pure overhead
+(process spawn, worker interpreter start-up, JSON framing) — the numbers
+quantify the fixed cost that multi-core boxes amortize into near-linear
+scaling.  Run directly::
+
+    PYTHONPATH=src REPRO_GRAPHS=2 python -m pytest benchmarks/bench_campaign.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from datetime import datetime, timezone
+
+import pytest
+
+from benchmarks.bench_fastpath import append_bench_record
+from benchmarks.conftest import bench_graphs, bench_workers
+from repro.experiments import SocketExecutor, run_figure
+
+
+def _sockets_available() -> bool:
+    try:
+        probe = socket.create_server(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+def _timed(executor) -> tuple[float, object]:
+    graphs = bench_graphs(default=1)
+    t0 = time.perf_counter()
+    result = run_figure(1, num_graphs=graphs, executor=executor)
+    return time.perf_counter() - t0, result
+
+
+def test_campaign_executors():
+    graphs = bench_graphs(default=1)
+    workers = bench_workers(default=2)
+
+    serial_s, serial = _timed("serial")
+    process_s, process = _timed(f"process:{workers}")
+    assert process.rows() == serial.rows(), "process executor changed rows"
+
+    socket_s = None
+    if _sockets_available():
+        socket_s, socketed = _timed(
+            SocketExecutor(spawn_workers=workers, timeout=600.0)
+        )
+        assert socketed.rows() == serial.rows(), "socket executor changed rows"
+
+    record = {
+        "bench": "campaign-executors",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "graphs_per_point": graphs,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "process_s": round(process_s, 3),
+        "socket_s": round(socket_s, 3) if socket_s is not None else None,
+    }
+    append_bench_record(record)
+
+    print(f"\ncampaign executors: figure1 x{graphs} graphs, {workers} workers")
+    print(f"  serial   {serial_s:7.2f}s")
+    print(f"  process  {process_s:7.2f}s ({serial_s / process_s:.2f}x vs serial)")
+    if socket_s is not None:
+        print(f"  socket   {socket_s:7.2f}s ({serial_s / socket_s:.2f}x vs serial)")
+    else:
+        print("  socket   skipped (sockets unavailable)")

@@ -6,6 +6,12 @@ their static shortest-delay route, so sparse wiring means more contention:
 the script quantifies how much latency each topology costs relative to
 the clique, for both the fault-free and the fault-tolerant schedule.
 
+The second half asks the same question over *random* workloads: one
+:class:`ScenarioGrid` expands a base campaign along the topology axis
+(clique / ring / torus) — no per-topology campaign loops — and, because
+scenario expansion keeps the instance seeds, every topology schedules
+the *same* random DAGs, so the comparison table is paired.
+
 Run:  python examples/sparse_cluster.py
 """
 
@@ -20,6 +26,12 @@ from repro import (
     range_exec_matrix,
     scale_to_granularity,
 )
+from repro.experiments import (
+    ExperimentConfig,
+    ScenarioGrid,
+    campaign_comparison_table,
+    run_grid,
+)
 
 PROCS = 9
 
@@ -31,6 +43,26 @@ def topologies() -> dict[str, Topology]:
         "ring": Topology.ring(PROCS),
         "star": Topology.star(PROCS),
     }
+
+
+def topology_campaign() -> None:
+    """One grid, three interconnects, paired random instances."""
+    base = ExperimentConfig(
+        name="sparse-demo",
+        granularities=(1.0,),
+        num_procs=PROCS,
+        epsilon=1,
+        crashes=1,
+        num_graphs=3,
+        task_range=(18, 24),
+    )
+    grid = ScenarioGrid.from_scenarios(base, topologies=("ring", "torus"))
+    print(f"\ncampaign grid: {len(grid.configs)} scenarios x "
+          f"{base.num_graphs} shared random graphs "
+          f"({grid.total_units} work units)")
+    results = run_grid(grid)  # executor="process"/"socket" scales this out
+    rows = [row for result in results for row in result.rep_rows()]
+    print(campaign_comparison_table(rows, baseline="caft"))
 
 
 def main() -> None:
@@ -54,6 +86,8 @@ def main() -> None:
                 f"{name:9s} {len(topo.links()):>6} {eps:>4} {lat:>9.1f} "
                 f"{sched.message_count():>6} {rel:>9.2f}x"
             )
+
+    topology_campaign()
 
 
 if __name__ == "__main__":

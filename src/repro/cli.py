@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Optional
 
 import numpy as np
 
@@ -48,21 +49,9 @@ from repro.schedulers.heft import heft
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    if args.topology and args.network not in (None, "routed-oneport"):
-        print(
-            f"error: --topology {args.topology} requires --network routed-oneport "
-            f"(got --network {args.network})",
-            file=sys.stderr,
-        )
-        return 2
-    if (
-        args.policy == "insertion"
-        and (args.network not in (None, "oneport") or args.topology)
-    ):
-        print(
-            "error: --policy insertion only applies to --network oneport",
-            file=sys.stderr,
-        )
+    error = _network_flag_errors(args)
+    if error:
+        print(error, file=sys.stderr)
         return 2
     t0 = time.perf_counter()
 
@@ -80,19 +69,163 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         topology=args.topology,
         policy=args.policy,
     )
-    print(render_figure(result))
-    shape = check_shape(result)
-    print(f"shape checks: {'OK' if shape.ok else 'FAILED ' + str(shape.failed())}")
-    if args.out:
-        path = write_csv(result, args.out)
-        print(f"wrote {path}")
+    rc = _report_campaign(result, args)
     if args.html:
         from repro.experiments.svg import write_html_report
 
         path = write_html_report(result, args.html)
         print(f"wrote {path}")
     print(f"elapsed: {time.perf_counter() - t0:.1f}s")
+    return rc
+
+
+def _network_flag_errors(args: argparse.Namespace) -> Optional[str]:
+    """Shared validation for the figure/campaign scenario flags."""
+    if args.topology and args.network not in (None, "routed-oneport"):
+        return (
+            f"error: --topology {args.topology} requires --network routed-oneport "
+            f"(got --network {args.network})"
+        )
+    if (
+        args.policy == "insertion"
+        and (args.network not in (None, "oneport") or args.topology)
+    ):
+        return "error: --policy insertion only applies to --network oneport"
+    return None
+
+
+def _parse_address(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {spec!r}"
+        )
+    return host, int(port)
+
+
+def _campaign_executor(args: argparse.Namespace):
+    """Build the executor a ``campaign run``/``resume`` asked for."""
+    from repro.experiments.executors import SocketExecutor
+
+    if args.executor == "socket":
+        host, port = args.bind if args.bind else ("127.0.0.1", 0)
+        spawn = args.spawn_workers or args.workers or 0
+        if not spawn and args.bind is None:
+            # An ephemeral port nobody was told about would wait forever:
+            # without an explicit bind the master hosts its own workers.
+            spawn = 2
+        return SocketExecutor(
+            host=host,
+            port=port,
+            spawn_workers=spawn,
+            timeout=args.timeout,
+        )
+    return args.executor  # spec string; make_executor resolves it
+
+
+def _report_campaign(result, args: argparse.Namespace, out=None) -> int:
+    print(render_figure(result))
+    shape = check_shape(result)
+    print(f"shape checks: {'OK' if shape.ok else 'FAILED ' + str(shape.failed())}")
+    if out is None:
+        out = args.out
+    if out:
+        path = write_csv(result, out)
+        print(f"wrote {path}")
     return 0 if shape.ok else 1
+
+
+def _scenario_csv_path(base: str, result, multi: bool) -> str:
+    """Per-scenario CSV path: one scenario keeps ``base`` untouched, a
+    multi-scenario store gets a scenario-tagged file each so no
+    scenario's rows overwrite another's."""
+    if not multi:
+        return base
+    from pathlib import Path
+
+    _, model, topology, policy = result.config.scenario_key()
+    tag = "-".join((model, topology, policy))
+    path = Path(base)
+    return str(path.with_name(f"{path.stem}.{tag}{path.suffix}"))
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    error = _network_flag_errors(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.resume and not args.store:
+        print(
+            "error: --resume needs --store DIR (an in-memory campaign has "
+            "nothing to resume from)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.experiments.figures import run_figure
+
+    t0 = time.perf_counter()
+
+    def progress(msg: str) -> None:
+        if args.verbose:
+            print(msg, file=sys.stderr)
+
+    executor = _campaign_executor(args)
+    if getattr(executor, "name", None) == "socket" and args.bind:
+        print(f"master listening on {args.bind[0]}:{args.bind[1]} — connect "
+              f"workers with: repro-ftsched campaign worker "
+              f"{args.bind[0]}:{args.bind[1]}", file=sys.stderr)
+    result = run_figure(
+        args.number,
+        num_graphs=args.graphs,
+        progress=progress,
+        workers=args.workers,
+        fast=not args.slow,
+        model=args.network,
+        topology=args.topology,
+        policy=args.policy,
+        executor=executor,
+        store=args.store,
+        resume=args.resume,
+    )
+    rc = _report_campaign(result, args)
+    print(f"elapsed: {time.perf_counter() - t0:.1f}s")
+    return rc
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import resume_campaign
+
+    def progress(msg: str) -> None:
+        if args.verbose:
+            print(msg, file=sys.stderr)
+
+    t0 = time.perf_counter()
+    results = resume_campaign(
+        args.store,
+        executor=_campaign_executor(args),
+        progress=progress,
+        workers=args.workers,
+    )
+    rc = 0
+    multi = len(results) > 1
+    for result in results:
+        out = _scenario_csv_path(args.out, result, multi) if args.out else None
+        rc = max(rc, _report_campaign(result, args, out=out))
+    print(f"elapsed: {time.perf_counter() - t0:.1f}s")
+    return rc
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.executors import run_worker
+
+    host, port = args.master
+    return run_worker(
+        host,
+        port,
+        max_units=args.max_units,
+        heartbeat=args.heartbeat,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -279,6 +412,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the vectorized placement kernel (baseline timing)")
     p_fig.add_argument("--verbose", action="store_true")
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="distributed / resumable campaigns (grid -> executor -> store)",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def add_executor_args(p):
+        p.add_argument("--executor", choices=["serial", "process", "socket"],
+                       default=None,
+                       help="where work units run (default: serial, or a "
+                            "process pool when --workers > 1)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size, or sockets to auto-spawn for "
+                            "--executor socket")
+        p.add_argument("--bind", type=_parse_address, default=None,
+                       metavar="HOST:PORT",
+                       help="socket master bind address (default: an "
+                            "ephemeral localhost port)")
+        p.add_argument("--spawn-workers", type=int, default=0,
+                       help="local worker processes the socket master "
+                            "launches itself")
+        p.add_argument("--timeout", type=float, default=3600.0,
+                       help="socket campaign deadline in seconds")
+        p.add_argument("--out", type=str, default=None, help="CSV output path")
+        p.add_argument("--verbose", action="store_true")
+
+    p_crun = camp_sub.add_parser(
+        "run", help="run one figure's campaign through the executor stack")
+    p_crun.add_argument("number", type=int, choices=sorted(FIGURES))
+    p_crun.add_argument("--graphs", type=int, default=None,
+                        help="random graphs per data point (default: paper's 60)")
+    p_crun.add_argument("--network", choices=list(NETWORK_NAMES), default=None,
+                        help="communication model (default: the figure's)")
+    p_crun.add_argument("--topology", choices=list(topology_names()), default=None,
+                        help="sparse interconnect shape (implies routed-oneport)")
+    p_crun.add_argument("--policy", choices=["append", "insertion"], default=None,
+                        help="one-port reservation policy")
+    p_crun.add_argument("--slow", action="store_true",
+                        help="disable the vectorized placement kernel")
+    p_crun.add_argument("--store", type=str, default=None,
+                        help="directory for the append-only results store "
+                             "(JSONL rows + manifest; enables --resume)")
+    p_crun.add_argument("--resume", action="store_true",
+                        help="skip units already completed in --store")
+    add_executor_args(p_crun)
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_cres = camp_sub.add_parser(
+        "resume", help="finish a killed campaign from its store directory")
+    p_cres.add_argument("store", type=str,
+                        help="store directory of the interrupted campaign")
+    add_executor_args(p_cres)
+    p_cres.set_defaults(func=_cmd_campaign_resume)
+
+    p_cwork = camp_sub.add_parser(
+        "worker", help="compute units for a campaign master over TCP")
+    p_cwork.add_argument("master", type=_parse_address, metavar="HOST:PORT",
+                         help="address of the campaign master")
+    p_cwork.add_argument("--heartbeat", type=float, default=0.5,
+                         help="seconds between liveness heartbeats")
+    p_cwork.add_argument("--max-units", type=int, default=None,
+                         help="drop the connection after N units "
+                              "(fault-injection for requeue tests)")
+    p_cwork.add_argument("--verbose", action="store_true")
+    p_cwork.set_defaults(func=_cmd_campaign_worker)
 
     p_demo = sub.add_parser("demo", help="schedule a workload and show a Gantt chart")
     p_demo.add_argument("--workload", choices=sorted(ALL_WORKLOADS), default="gaussian_elimination")

@@ -1,4 +1,14 @@
-"""Experiment campaigns reproducing the paper's §6 evaluation."""
+"""Experiment campaigns reproducing the paper's §6 evaluation.
+
+Structured as three independent layers — description
+(:class:`ScenarioGrid` expanding figure × scenario × granularity × rep
+axes into :class:`WorkUnit`\\ s), execution (the :class:`Executor`
+implementations: inline, process pool, TCP master/worker), and results
+(the append-only :class:`RunStore` every executor writes scenario-tagged
+rows into, from which :class:`CampaignResult` views are rebuilt).
+Campaigns are therefore distributable across machines and resumable
+after a crash, with bit-identical rows whichever path ran them.
+"""
 
 from repro.experiments.config import (
     ExperimentConfig,
@@ -7,14 +17,40 @@ from repro.experiments.config import (
     GRANULARITY_SWEEP_B,
     default_num_graphs,
 )
+from repro.experiments.grid import (
+    ScenarioGrid,
+    WorkUnit,
+)
 from repro.experiments.harness import (
     generate_instance,
+    run_rep,
     run_point,
     run_campaign,
     CampaignResult,
     PointResult,
+    RepResult,
+    ParallelHarness,
     ALGORITHM_RUNNERS,
     FAULTFREE_RUNNERS,
+)
+from repro.experiments.store import (
+    RunStore,
+    StoreError,
+    result_to_dict,
+    result_from_dict,
+)
+from repro.experiments.executors import (
+    Executor,
+    SerialExecutor,
+    ProcessExecutor,
+    SocketExecutor,
+    make_executor,
+    run_worker,
+    EXECUTOR_NAMES,
+)
+from repro.experiments.campaign import (
+    run_grid,
+    resume_campaign,
 )
 from repro.experiments.figures import (
     run_figure,
@@ -34,6 +70,10 @@ from repro.experiments.stats import (
     dominates,
     win_rate,
     geometric_mean_ratio,
+    rep_series,
+    paired_rep_series,
+    compare_reps,
+    PairedComparison,
 )
 from repro.experiments.svg import (
     SvgLineChart,
@@ -49,6 +89,9 @@ from repro.experiments.compare import (
     ComparisonRow,
     compare_algorithms,
     comparison_table,
+    campaign_comparison,
+    campaign_comparison_table,
+    CampaignComparisonRow,
     COMPARABLE,
 )
 from repro.experiments.report import (
@@ -57,6 +100,7 @@ from repro.experiments.report import (
     panel_b,
     panel_c,
     messages_table,
+    scenario_label,
     write_csv,
 )
 
@@ -66,13 +110,31 @@ __all__ = [
     "GRANULARITY_SWEEP_A",
     "GRANULARITY_SWEEP_B",
     "default_num_graphs",
+    "ScenarioGrid",
+    "WorkUnit",
     "generate_instance",
+    "run_rep",
     "run_point",
     "run_campaign",
+    "run_grid",
+    "resume_campaign",
     "CampaignResult",
     "PointResult",
+    "RepResult",
+    "ParallelHarness",
     "ALGORITHM_RUNNERS",
     "FAULTFREE_RUNNERS",
+    "RunStore",
+    "StoreError",
+    "result_to_dict",
+    "result_from_dict",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "SocketExecutor",
+    "make_executor",
+    "run_worker",
+    "EXECUTOR_NAMES",
     "run_figure",
     "figure1",
     "figure2",
@@ -87,6 +149,7 @@ __all__ = [
     "panel_b",
     "panel_c",
     "messages_table",
+    "scenario_label",
     "write_csv",
     "SeriesStats",
     "summarize_series",
@@ -94,6 +157,10 @@ __all__ = [
     "dominates",
     "win_rate",
     "geometric_mean_ratio",
+    "rep_series",
+    "paired_rep_series",
+    "compare_reps",
+    "PairedComparison",
     "SvgLineChart",
     "campaign_to_charts",
     "write_html_report",
@@ -103,5 +170,8 @@ __all__ = [
     "ComparisonRow",
     "compare_algorithms",
     "comparison_table",
+    "campaign_comparison",
+    "campaign_comparison_table",
+    "CampaignComparisonRow",
     "COMPARABLE",
 ]

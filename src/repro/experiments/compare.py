@@ -1,15 +1,25 @@
-"""Side-by-side algorithm comparison on a single instance.
+"""Side-by-side algorithm comparisons.
 
-The quickest way to answer "which scheduler should I use for *this*
-application on *this* cluster": run every algorithm, collect the full
-metric set (latency, bounds, messages, utilization, crash behaviour) and
-print one table.  Backs the ``repro-ftsched compare`` subcommand.
+Two granularities of the same question:
+
+* :func:`compare_algorithms` — "which scheduler should I use for *this*
+  application on *this* cluster": run every algorithm on one instance,
+  collect the full metric set (latency, bounds, messages, utilization,
+  crash behaviour) and print one table.  Backs the
+  ``repro-ftsched compare`` subcommand.
+* :func:`campaign_comparison` — the same verdict over a whole stored
+  campaign: reads the scenario-tagged per-rep rows a
+  :class:`~repro.experiments.store.RunStore` (or
+  :class:`~repro.experiments.harness.CampaignResult`) holds and reports
+  paired statistics per scenario, so multi-scenario sweeps produce one
+  honest table instead of eyeballed averages.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.core.caft import caft
 from repro.core.caft_batch import caft_batch
@@ -93,6 +103,109 @@ def compare_algorithms(
             )
         )
     return rows
+
+
+def _rep_rows(source) -> list[dict]:
+    """Normalize a rows source: a store, a campaign result, or raw rows."""
+    if hasattr(source, "rep_rows"):
+        return source.rep_rows()
+    return list(source)
+
+
+@dataclass(frozen=True)
+class CampaignComparisonRow:
+    """One algorithm × scenario line of a campaign comparison."""
+
+    scenario: str
+    algorithm: str
+    n: int
+    mean: float
+    win_rate_vs_baseline: float  # NaN for the baseline row itself
+    geomean_ratio_vs_baseline: float
+    significant: bool
+
+
+def campaign_comparison(
+    source: Union[Sequence[Mapping], object],
+    baseline: str = "caft",
+    metric: str = "norm_latency",
+) -> list[CampaignComparisonRow]:
+    """Per-scenario paired comparison of every algorithm against ``baseline``.
+
+    ``source`` is anything with ``rep_rows()`` (a ``RunStore``, a
+    ``CampaignResult``) or the rows themselves.  Rows are paired on the
+    shared random instances, so the win rates and ratios are the
+    trustworthy kind even at small repetition counts.
+    """
+    from repro.experiments.stats import compare_reps, rep_series, summarize_series
+
+    rows = _rep_rows(source)
+    scenarios: dict[str, dict] = {}
+    algorithms: list[str] = []
+    for row in rows:
+        key = "/".join(
+            (row["config"], row["network"], row["topology"], row["policy"])
+        )
+        scenarios.setdefault(key, {k: row[k] for k in
+                                   ("config", "network", "topology", "policy")})
+        if row["algorithm"] not in algorithms:
+            algorithms.append(row["algorithm"])
+    out: list[CampaignComparisonRow] = []
+    for key, where in sorted(scenarios.items()):
+        for algo in algorithms:
+            series = [
+                v for v in rep_series(rows, algo, metric, where=where)
+                if not math.isnan(v)
+            ]
+            stats = summarize_series(series)
+            if algo == baseline:
+                out.append(
+                    CampaignComparisonRow(
+                        key, algo, stats.n, stats.mean, math.nan, math.nan, False
+                    )
+                )
+                continue
+            paired = compare_reps(rows, algo, baseline, metric, where=where)
+            out.append(
+                CampaignComparisonRow(
+                    scenario=key,
+                    algorithm=algo,
+                    n=stats.n,
+                    mean=stats.mean,
+                    win_rate_vs_baseline=paired.win_rate,
+                    geomean_ratio_vs_baseline=paired.geomean_ratio,
+                    significant=paired.significant,
+                )
+            )
+    return out
+
+
+def campaign_comparison_table(
+    source: Union[Sequence[Mapping], object],
+    baseline: str = "caft",
+    metric: str = "norm_latency",
+) -> str:
+    """Render :func:`campaign_comparison` as an aligned ASCII table."""
+    lines_rows = campaign_comparison(source, baseline=baseline, metric=metric)
+    header = (
+        f"{'scenario':38s} {'algorithm':12s} {'n':>4} {metric:>14} "
+        f"{'win%':>6} {'ratio':>6} {'sig':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in lines_rows:
+        win = "  -  " if math.isnan(r.win_rate_vs_baseline) else (
+            f"{100 * r.win_rate_vs_baseline:4.0f}%"
+        )
+        ratio = "  -  " if math.isnan(r.geomean_ratio_vs_baseline) else (
+            f"{r.geomean_ratio_vs_baseline:6.3f}"
+        )
+        sig = "  * " if r.significant else "    "
+        lines.append(
+            f"{r.scenario:38s} {r.algorithm:12s} {r.n:>4d} {r.mean:>14.3f} "
+            f"{win:>6} {ratio:>6} {sig}"
+        )
+    lines.append(f"(win%/ratio vs {baseline}; * = 95% CI excludes zero)")
+    return "\n".join(lines)
 
 
 def comparison_table(rows: Sequence[ComparisonRow]) -> str:

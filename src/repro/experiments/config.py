@@ -12,7 +12,7 @@ processors (ε = 5).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional, Sequence
 
 GRANULARITY_SWEEP_A: tuple[float, ...] = tuple(round(0.2 * i, 1) for i in range(1, 11))
@@ -116,6 +116,42 @@ class ExperimentConfig:
             topology=topology,
             port_policy=policy if policy is not None else self.port_policy,
         )
+
+    def scenario_key(self) -> tuple[str, str, str, str]:
+        """The identity of this config's communication scenario.
+
+        ``(name, model, topology, policy)`` — what distinguishes two
+        campaigns over the same figure, and what tags every stored row.
+        """
+        return (self.name, self.model, self.topology or "clique", self.port_policy)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (tuples become lists; see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (JSON round-trip safe).
+
+        Unknown keys are ignored so stores written by newer versions stay
+        readable; list-valued fields are coerced back to tuples.
+        """
+        tuple_fields = {
+            "granularities",
+            "task_range",
+            "degree_range",
+            "volume_range",
+            "delay_range",
+            "base_cost_range",
+            "algorithms",
+        }
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key not in known:
+                continue
+            kwargs[key] = tuple(value) if key in tuple_fields else value
+        return cls(**kwargs)
 
 
 FIGURES: dict[int, ExperimentConfig] = {

@@ -1,0 +1,77 @@
+"""Campaign executors: where the work units of a grid actually run.
+
+Three implementations of the same :class:`Executor` protocol — inline
+(:class:`SerialExecutor`), process-pool (:class:`ProcessExecutor`) and
+distributed TCP master/worker (:class:`SocketExecutor`).  Work units are
+pure functions of their fields, so all three produce bit-identical
+stores.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.experiments.executors.base import (
+    Executor,
+    ProgressFn,
+    SerialExecutor,
+    unit_progress_line,
+)
+from repro.experiments.executors.process import ProcessExecutor, effective_workers
+from repro.experiments.executors.socket import SocketExecutor, run_worker
+
+#: the specs `make_executor` accepts by name
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process", "socket")
+
+
+def make_executor(
+    spec: Union[Executor, str, None] = None,
+    workers: Optional[int] = None,
+    clamp: bool = True,
+) -> Executor:
+    """Resolve an executor from a spec string, instance, or worker count.
+
+    ``None`` picks :class:`ProcessExecutor` when ``workers`` asks for
+    parallelism and :class:`SerialExecutor` otherwise — the historical
+    ``run_campaign(workers=N)`` behaviour.  A string names the executor
+    (``"serial"``, ``"process"``, ``"process:4"``, ``"socket"`` — the
+    latter binds an ephemeral localhost port and spawns ``workers``
+    local worker processes, which is the zero-config way to try the
+    distributed path).  An :class:`Executor` instance passes through,
+    which is how configured :class:`SocketExecutor` masters arrive.
+    """
+    if spec is None:
+        if workers is not None and int(workers) > 1:
+            return ProcessExecutor(workers, clamp=clamp)
+        return SerialExecutor()
+    if isinstance(spec, str):
+        name, _, arg = spec.partition(":")
+        if name == "serial":
+            return SerialExecutor()
+        if name == "process":
+            # Asking for the process executor without a count means "use
+            # the machine", not "run serially".
+            count = int(arg) if arg else (workers or os.cpu_count() or 1)
+            return ProcessExecutor(count, clamp=clamp)
+        if name == "socket":
+            spawn = int(arg) if arg else (workers if workers else 2)
+            return SocketExecutor(spawn_workers=spawn)
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    return spec
+
+
+__all__ = [
+    "Executor",
+    "ProgressFn",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "SocketExecutor",
+    "effective_workers",
+    "make_executor",
+    "run_worker",
+    "unit_progress_line",
+    "EXECUTOR_NAMES",
+]

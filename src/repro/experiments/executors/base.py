@@ -1,0 +1,64 @@
+"""The executor protocol and the inline (serial) executor.
+
+An executor takes a list of :class:`~repro.experiments.grid.WorkUnit`\\ s
+and a :class:`~repro.experiments.store.RunStore` and guarantees that on a
+successful return every unit's result has been appended to the store.
+*Where* the units run is the executor's business — inline, on a process
+pool, or on remote workers — and because every unit is a pure function of
+its fields, the store contents are bit-identical whichever executor ran
+the campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.experiments.grid import WorkUnit
+from repro.experiments.store import RunStore
+
+#: progress callbacks receive short human-readable lines
+ProgressFn = Callable[[str], None]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can drain a list of work units into a store."""
+
+    name: str
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        store: RunStore,
+        progress: Optional[ProgressFn] = None,
+    ) -> None: ...
+
+
+def unit_progress_line(
+    unit: WorkUnit, done: Optional[int] = None, total: Optional[int] = None
+) -> str:
+    """The one-line progress message all executors emit per finished unit."""
+    line = (
+        f"[{unit.config.name}] g={unit.granularity:g} "
+        f"rep {unit.rep + 1}/{unit.config.num_graphs}"
+    )
+    if done is not None and total is not None:
+        line += f" ({done}/{total})"
+    return line
+
+
+class SerialExecutor:
+    """Run every unit inline, in canonical grid order."""
+
+    name = "serial"
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        store: RunStore,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        for done, unit in enumerate(units, start=1):
+            store.append(unit, unit.run())
+            if progress is not None:
+                progress(unit_progress_line(unit, done, len(units)))

@@ -1,0 +1,66 @@
+"""Single-machine multi-process executor (the former ``ParallelHarness``).
+
+Fans work units out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Units complete in arbitrary order; the store records them as they finish
+and aggregation sorts canonically, so results are identical to the serial
+executor for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Optional, Sequence
+
+from repro.experiments.executors.base import ProgressFn, unit_progress_line
+from repro.experiments.grid import WorkUnit
+from repro.experiments.harness import RepResult
+from repro.experiments.store import RunStore
+
+
+def effective_workers(workers: Optional[int], clamp: bool = True) -> int:
+    """Requested worker count, clamped to the CPU budget by default.
+
+    Oversubscribing cores buys nothing and pays pool overhead: results
+    are worker-count independent, so clamping is safe.
+    """
+    requested = int(workers) if workers else 0
+    if clamp and requested > 1:
+        requested = min(requested, os.cpu_count() or 1)
+    return requested
+
+
+def _run_unit(unit: WorkUnit) -> RepResult:
+    return unit.run()
+
+
+class ProcessExecutor:
+    """Deterministic process-pool executor; ``workers <= 1`` runs inline."""
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, clamp: bool = True) -> None:
+        self.workers = effective_workers(workers, clamp)
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        store: RunStore,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if self.workers <= 1:
+            from repro.experiments.executors.base import SerialExecutor
+
+            SerialExecutor().run(units, store, progress=progress)
+            return
+        done = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {pool.submit(_run_unit, unit): unit for unit in units}
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    unit = pending.pop(fut)
+                    store.append(unit, fut.result())
+                    done += 1
+                    if progress is not None:
+                        progress(unit_progress_line(unit, done, len(units)))

@@ -1,0 +1,445 @@
+"""Distributed campaign execution over TCP (master + remote workers).
+
+The :class:`SocketExecutor` is a master in the mappy mould: it binds a
+TCP port, streams :class:`~repro.experiments.grid.WorkUnit`\\ s to any
+``repro-ftsched campaign worker`` process that connects — from this
+machine or another — and appends results to the store as they arrive.
+Workers heartbeat while computing; a worker that goes silent (crash,
+kill, network partition) has its in-flight unit *requeued* for the next
+live worker, so a campaign survives any worker failure as long as one
+worker remains.  Fitting machinery for a paper about tolerating crashes.
+
+Wire protocol: newline-delimited JSON, one message per line.
+
+======================  ======================================  =========
+message                 fields                                  direction
+======================  ======================================  =========
+``hello``               ``worker`` (label), ``heartbeat`` (s)   w -> m
+``unit``                ``unit`` (WorkUnit dict)                m -> w
+``heartbeat``           —                                       w -> m
+``result``              ``unit_id``, ``result`` (RepResult)     w -> m
+``shutdown``            —                                       m -> w
+======================  ======================================  =========
+
+Units carry their full config, so workers need no shared filesystem and
+no campaign-specific state: connect, compute, reply.  Results round-trip
+through JSON exactly (float ``repr``), keeping distributed rows
+bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Optional, Sequence, Union
+
+from repro.experiments.executors.base import ProgressFn, unit_progress_line
+from repro.experiments.grid import WorkUnit
+from repro.experiments.store import RunStore, result_from_dict, result_to_dict
+
+#: how often a worker emits a heartbeat while connected
+DEFAULT_HEARTBEAT = 0.5
+#: master declares a worker dead after this many silent heartbeat periods
+DEAD_AFTER_BEATS = 8
+
+
+class _LineConn:
+    """Newline-delimited JSON over one TCP socket, write-locked.
+
+    Workers write from two threads (results from the main loop,
+    heartbeats from a daemon); the lock keeps lines atomic.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wlock = threading.Lock()
+
+    def send(self, message: dict) -> None:
+        data = (json.dumps(message, separators=(",", ":")) + "\n").encode()
+        with self._wlock:
+            self.sock.sendall(data)
+
+    def recv(self, timeout: Optional[float] = None) -> dict:
+        """Next message; raises ``ConnectionError`` on EOF, ``TimeoutError``
+        (``socket.timeout``) when the peer stays silent too long."""
+        self.sock.settimeout(timeout)
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("peer closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class SocketExecutor:
+    """TCP master that streams units to worker processes and requeues
+    units from dead workers.
+
+    ``spawn_workers`` launches that many local ``campaign worker``
+    subprocesses against the bound port (an int, or a sequence of
+    extra-argv lists for per-worker options — fault-injection tests pass
+    ``["--max-units", "1"]`` to make a worker die mid-campaign).
+    External workers connect with
+    ``repro-ftsched campaign worker HOST:PORT`` at any time, including
+    mid-campaign.  ``timeout`` bounds the whole run: if units remain
+    incomplete past it (e.g. every worker died), the run raises instead
+    of hanging.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: Union[int, Sequence[Sequence[str]]] = 0,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.heartbeat = heartbeat
+        self.timeout = timeout
+        if isinstance(spawn_workers, int):
+            self._worker_specs: list[list[str]] = [[] for _ in range(spawn_workers)]
+        else:
+            self._worker_specs = [list(extra) for extra in spawn_workers]
+        self.address: Optional[tuple[str, int]] = None
+        self._dead_after = max(heartbeat * DEAD_AFTER_BEATS, 5.0)
+
+    # ------------------------------------------------------------- master
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        store: RunStore,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        state = _MasterState(units, store, progress)
+        server = socket.create_server((self.host, self.port))
+        self.address = server.getsockname()[:2]
+        stop = threading.Event()
+        acceptor = threading.Thread(
+            target=self._accept_loop,
+            args=(server, state, stop),
+            name="campaign-master-accept",
+            daemon=True,
+        )
+        acceptor.start()
+        workers = [self._spawn_worker(extra) for extra in self._worker_specs]
+        try:
+            deadline = (
+                None if self.timeout is None
+                else time.monotonic() + self.timeout
+            )
+            while not state.wait_done(0.2):
+                if deadline is not None and time.monotonic() >= deadline:
+                    missing = state.remaining()
+                    raise TimeoutError(
+                        f"socket campaign incomplete after "
+                        f"{self.timeout:.0f}s: {len(missing)} unit(s) still "
+                        f"pending "
+                        f"(first: {missing[0].unit_id if missing else '-'}); "
+                        "are any workers connected?"
+                    )
+                # Every worker this master spawned has exited and no
+                # connection is serving units: the campaign can no longer
+                # make progress (e.g. a unit crashes each worker in
+                # turn) — fail now instead of sitting out the timeout.
+                if (
+                    workers
+                    and all(p.poll() is not None for p in workers)
+                    and state.active_connections() == 0
+                ):
+                    missing = state.remaining()
+                    raise RuntimeError(
+                        f"all {len(workers)} spawned worker(s) exited with "
+                        f"{len(missing)} unit(s) incomplete "
+                        f"(first: {missing[0].unit_id if missing else '-'}); "
+                        "check the worker logs — a crashing work unit kills "
+                        "every worker it is requeued to"
+                    )
+        finally:
+            stop.set()
+            state.finish()
+            try:
+                server.close()
+            except OSError:
+                pass
+            for proc in workers:
+                self._reap_worker(proc)
+
+    def _accept_loop(
+        self, server: socket.socket, state: "_MasterState", stop: threading.Event
+    ) -> None:
+        server.settimeout(0.2)
+        while not stop.is_set():
+            try:
+                conn, _addr = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_worker,
+                args=(conn, state),
+                name="campaign-master-worker",
+                daemon=True,
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket, state: "_MasterState") -> None:
+        lc = _LineConn(conn)
+        unit: Optional[WorkUnit] = None
+        serving = False
+        try:
+            hello = lc.recv(timeout=self._dead_after)
+            if hello.get("type") != "hello":
+                return
+            state.connection_opened()
+            serving = True
+            # Honor the worker's own heartbeat cadence (it may have been
+            # started with --heartbeat much larger than the master's):
+            # the deadness deadline is per-connection, from the hello.
+            worker_beat = float(hello.get("heartbeat", self.heartbeat))
+            dead_after = max(
+                self._dead_after, worker_beat * DEAD_AFTER_BEATS
+            )
+            while True:
+                unit = state.next_unit()
+                if unit is None:
+                    lc.send({"type": "shutdown"})
+                    return
+                lc.send({"type": "unit", "unit": unit.to_dict()})
+                while True:
+                    message = lc.recv(timeout=dead_after)
+                    if message.get("type") == "heartbeat":
+                        continue
+                    if message.get("type") == "result":
+                        break
+                    raise ConnectionError(
+                        f"unexpected message type {message.get('type')!r}"
+                    )
+                if message.get("unit_id") != unit.unit_id:
+                    # A version-skewed or buggy worker answering for the
+                    # wrong unit must not corrupt the store: drop the
+                    # worker, requeue the dispatched unit.
+                    raise ConnectionError(
+                        f"result for {message.get('unit_id')!r} while "
+                        f"awaiting {unit.unit_id!r}"
+                    )
+                result = result_from_dict(
+                    message["result"], unit.granularity, unit.rep
+                )
+                state.complete(unit, result)
+                unit = None
+        except (ConnectionError, OSError, socket.timeout, json.JSONDecodeError):
+            # Worker died or went silent: put its in-flight unit back on
+            # the queue for the next live worker (mappy-style requeue).
+            if unit is not None:
+                state.requeue(unit)
+        finally:
+            if serving:
+                state.connection_closed()
+            lc.close()
+
+    # ------------------------------------------------------- local workers
+
+    def _spawn_worker(self, extra_args: Sequence[str]) -> subprocess.Popen:
+        host, port = self.address
+        env = os.environ.copy()
+        # Workers must resolve `repro` exactly like the master process.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "campaign",
+            "worker",
+            f"{host}:{port}",
+            "--heartbeat",
+            str(self.heartbeat),
+            *extra_args,
+        ]
+        return subprocess.Popen(
+            cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+
+    @staticmethod
+    def _reap_worker(proc: subprocess.Popen) -> None:
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5.0)
+
+
+class _MasterState:
+    """Shared queue/accounting between the master's handler threads."""
+
+    def __init__(
+        self,
+        units: Sequence[WorkUnit],
+        store: RunStore,
+        progress: Optional[ProgressFn],
+    ) -> None:
+        self._cond = threading.Condition()
+        self._pending: deque[WorkUnit] = deque(units)
+        self._in_flight: dict[str, WorkUnit] = {}
+        self._done: set[str] = set()
+        self._total = len(units)
+        self._store = store
+        self._progress = progress
+        self._finished = False
+        self._active = 0
+
+    def next_unit(self) -> Optional[WorkUnit]:
+        """Claim the next pending unit; blocks while others are in flight
+        (a requeue may refill the queue); ``None`` once the campaign is
+        complete (or aborted)."""
+        with self._cond:
+            while True:
+                if self._finished or len(self._done) >= self._total:
+                    return None
+                if self._pending:
+                    unit = self._pending.popleft()
+                    self._in_flight[unit.unit_id] = unit
+                    return unit
+                self._cond.wait(timeout=0.1)
+
+    def complete(self, unit: WorkUnit, result) -> None:
+        with self._cond:
+            self._in_flight.pop(unit.unit_id, None)
+            if unit.unit_id in self._done:
+                return  # duplicate from a requeue race; store dedups too
+            self._done.add(unit.unit_id)
+            self._store.append(unit, result)
+            if self._progress is not None:
+                self._progress(
+                    unit_progress_line(unit, len(self._done), self._total)
+                )
+            self._cond.notify_all()
+
+    def requeue(self, unit: WorkUnit) -> None:
+        with self._cond:
+            self._in_flight.pop(unit.unit_id, None)
+            if unit.unit_id not in self._done:
+                self._pending.appendleft(unit)
+                self._cond.notify_all()
+
+    def connection_opened(self) -> None:
+        with self._cond:
+            self._active += 1
+
+    def connection_closed(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify_all()
+
+    def active_connections(self) -> int:
+        with self._cond:
+            return self._active
+
+    def remaining(self) -> list[WorkUnit]:
+        with self._cond:
+            return list(self._pending) + list(self._in_flight.values())
+
+    def wait_done(self, timeout: Optional[float]) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while len(self._done) < self._total:
+                wait_for = 0.2
+                if deadline is not None:
+                    wait_for = min(wait_for, deadline - time.monotonic())
+                    if wait_for <= 0:
+                        return False
+                self._cond.wait(timeout=wait_for)
+            return True
+
+    def finish(self) -> None:
+        with self._cond:
+            self._finished = True
+            self._cond.notify_all()
+
+
+# ---------------------------------------------------------------- worker
+
+
+def run_worker(
+    host: str,
+    port: int,
+    max_units: Optional[int] = None,
+    heartbeat: float = DEFAULT_HEARTBEAT,
+    verbose: bool = False,
+) -> int:
+    """Connect to a campaign master and compute units until shutdown.
+
+    The body of ``repro-ftsched campaign worker HOST:PORT``.  A daemon
+    thread heartbeats for the life of the connection so the master can
+    tell "still computing" from "dead".  ``max_units`` makes the worker
+    drop the connection after that many results — fault injection for
+    the requeue path (quokka-style), never used in production.
+    Returns a process exit code.
+    """
+    sock = socket.create_connection((host, port), timeout=10.0)
+    sock.settimeout(None)
+    lc = _LineConn(sock)
+    label = f"{socket.gethostname()}:{os.getpid()}"
+    lc.send({"type": "hello", "worker": label, "heartbeat": heartbeat})
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat):
+            try:
+                lc.send({"type": "heartbeat"})
+            except OSError:
+                return
+
+    threading.Thread(target=_beat, name="campaign-heartbeat", daemon=True).start()
+    done = 0
+    try:
+        while True:
+            message = lc.recv(timeout=None)
+            kind = message.get("type")
+            if kind == "shutdown":
+                if verbose:
+                    print(f"worker {label}: shutdown after {done} unit(s)",
+                          file=sys.stderr)
+                return 0
+            if kind != "unit":
+                continue
+            unit = WorkUnit.from_dict(message["unit"])
+            if verbose:
+                print(f"worker {label}: {unit.unit_id}", file=sys.stderr)
+            result = unit.run()
+            lc.send(
+                {
+                    "type": "result",
+                    "unit_id": unit.unit_id,
+                    "result": result_to_dict(result),
+                }
+            )
+            done += 1
+            if max_units is not None and done >= max_units:
+                # Simulated crash: vanish without a goodbye so the master
+                # exercises its dead-worker detection.
+                return 1
+    except (ConnectionError, OSError):
+        return 0 if done else 1
+    finally:
+        stop.set()
+        lc.close()

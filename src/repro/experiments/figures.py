@@ -13,8 +13,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.experiments.config import FIGURES, ExperimentConfig
-from repro.experiments.harness import CampaignResult, run_campaign
+from repro.experiments.grid import ScenarioGrid
+from repro.experiments.harness import CampaignResult
 
 
 def run_figure(
@@ -26,6 +26,9 @@ def run_figure(
     model: Optional[str] = None,
     topology: Optional[str] = None,
     policy: Optional[str] = None,
+    executor=None,
+    store=None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run the campaign of figure ``number`` (1-6).
 
@@ -35,48 +38,77 @@ def run_figure(
     ``model``/``topology``/``policy`` re-run the figure under a different
     communication scenario — e.g. ``model="routed-oneport",
     topology="torus"`` for the §7 sparse-interconnect axis, or
-    ``policy="insertion"`` for the gap-reuse ablation.
+    ``policy="insertion"`` for the gap-reuse ablation.  ``executor``
+    picks where units run (``"serial"``/``"process"``/``"socket"`` or an
+    :class:`~repro.experiments.executors.Executor` instance — e.g. a
+    configured :class:`~repro.experiments.executors.SocketExecutor`
+    master for multi-machine campaigns); ``store`` persists rows to a
+    directory as they complete, and ``resume=True`` skips units already
+    in that store.  Results are bit-identical across all of them.
     """
-    try:
-        config = FIGURES[number]
-    except KeyError:
-        raise ValueError(f"no figure {number}; the paper has figures 1-6") from None
-    config = (
-        config.with_graphs(num_graphs)
-        .with_fast(fast)
-        .with_network(model=model, topology=topology, policy=policy)
+    from repro.experiments.campaign import run_grid
+
+    grid = ScenarioGrid.from_figure(
+        number,
+        num_graphs=num_graphs,
+        fast=fast,
+        model=model,
+        topology=topology,
+        policy=policy,
     )
-    return run_campaign(config, progress=progress, workers=workers)
+    return run_grid(
+        grid,
+        store=store,
+        executor=executor,
+        progress=progress,
+        workers=workers,
+        resume=resume,
+    )[0]
 
 
-def figure1(num_graphs: Optional[int] = None, **kw) -> CampaignResult:
-    """Sweep A, m=10, ε=1, 1 crash (paper Figure 1)."""
-    return run_figure(1, num_graphs, **kw)
+def _figure_entry(number: int, docstring: str) -> Callable[..., CampaignResult]:
+    """One paper-figure entry point, with every campaign option threaded
+    through explicitly (same signature for all six figures — no ``**kw``
+    passthrough, so typos fail loudly and help() tells the truth)."""
+
+    def entry(
+        num_graphs: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        workers: Optional[int] = None,
+        fast: Optional[bool] = None,
+        model: Optional[str] = None,
+        topology: Optional[str] = None,
+        policy: Optional[str] = None,
+        executor=None,
+        store=None,
+        resume: bool = False,
+    ) -> CampaignResult:
+        return run_figure(
+            number,
+            num_graphs=num_graphs,
+            progress=progress,
+            workers=workers,
+            fast=fast,
+            model=model,
+            topology=topology,
+            policy=policy,
+            executor=executor,
+            store=store,
+            resume=resume,
+        )
+
+    entry.__name__ = f"figure{number}"
+    entry.__qualname__ = entry.__name__
+    entry.__doc__ = docstring + "\n\n    Accepts every :func:`run_figure` option."
+    return entry
 
 
-def figure2(num_graphs: Optional[int] = None, **kw) -> CampaignResult:
-    """Sweep A, m=10, ε=3, 2 crashes (paper Figure 2)."""
-    return run_figure(2, num_graphs, **kw)
-
-
-def figure3(num_graphs: Optional[int] = None, **kw) -> CampaignResult:
-    """Sweep A, m=20, ε=5, 3 crashes (paper Figure 3)."""
-    return run_figure(3, num_graphs, **kw)
-
-
-def figure4(num_graphs: Optional[int] = None, **kw) -> CampaignResult:
-    """Sweep B, m=10, ε=1, 1 crash (paper Figure 4)."""
-    return run_figure(4, num_graphs, **kw)
-
-
-def figure5(num_graphs: Optional[int] = None, **kw) -> CampaignResult:
-    """Sweep B, m=10, ε=3, 2 crashes (paper Figure 5)."""
-    return run_figure(5, num_graphs, **kw)
-
-
-def figure6(num_graphs: Optional[int] = None, **kw) -> CampaignResult:
-    """Sweep B, m=20, ε=5, 3 crashes (paper Figure 6)."""
-    return run_figure(6, num_graphs, **kw)
+figure1 = _figure_entry(1, """Sweep A, m=10, ε=1, 1 crash (paper Figure 1).""")
+figure2 = _figure_entry(2, """Sweep A, m=10, ε=3, 2 crashes (paper Figure 2).""")
+figure3 = _figure_entry(3, """Sweep A, m=20, ε=5, 3 crashes (paper Figure 3).""")
+figure4 = _figure_entry(4, """Sweep B, m=10, ε=1, 1 crash (paper Figure 4).""")
+figure5 = _figure_entry(5, """Sweep B, m=10, ε=3, 2 crashes (paper Figure 5).""")
+figure6 = _figure_entry(6, """Sweep B, m=20, ε=5, 3 crashes (paper Figure 6).""")
 
 
 @dataclass

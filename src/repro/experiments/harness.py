@@ -1,4 +1,4 @@
-"""Campaign driver: generate instances, run every algorithm, aggregate.
+"""Instance generation, per-rep evaluation, and campaign aggregation.
 
 One *data point* of a figure is ``num_graphs`` random instances at a fixed
 granularity; for each instance every algorithm produces a fault-tolerant
@@ -9,15 +9,21 @@ latency, upper bound, crash latency, overhead) are averaged.
 All randomness derives from ``config.base_seed`` via labelled child seeds,
 so any single instance of any campaign can be regenerated in isolation —
 and, crucially, every ``(granularity, rep)`` work unit is independent of
-the others.  :class:`ParallelHarness` exploits that to fan a campaign out
-over a process pool: results are aggregated in job order, so the output is
-bit-identical regardless of worker count or completion order.
+the others.  That purity is what the campaign stack builds on: a
+:class:`~repro.experiments.grid.ScenarioGrid` describes the units, any
+:class:`~repro.experiments.executors.Executor` runs them (inline, process
+pool, or TCP workers on other machines), and a
+:class:`~repro.experiments.store.RunStore` records the
+:class:`RepResult` rows — :class:`CampaignResult` is the aggregated view
+over those rows, bit-identical whichever executor produced them.
+
+This module owns the science (generation, :func:`run_rep`, aggregation);
+``repro.experiments.campaign`` owns the orchestration.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
@@ -219,13 +225,36 @@ class RepResult:
     metrics: dict[str, dict[str, Optional[float]]]
 
 
+def flatten_rep_result(
+    tags: dict[str, str], result: RepResult
+) -> list[dict[str, object]]:
+    """One scenario-tagged row per algorithm of one rep result.
+
+    The single definition of the per-rep row schema — both
+    ``RunStore.rep_rows()`` and ``CampaignResult.rep_rows()`` flatten
+    through here, so stats/compare see identical rows whichever side fed
+    them.
+    """
+    return [
+        {
+            **tags,
+            "granularity": result.granularity,
+            "rep": result.rep,
+            "algorithm": algo,
+            "faultfree_norm": result.faultfree_norm[algo],
+            **metrics,
+        }
+        for algo, metrics in result.metrics.items()
+    ]
+
+
 def run_rep(config: ExperimentConfig, granularity: float, rep: int) -> RepResult:
     """Run every algorithm on instance ``rep`` of one data point.
 
-    The unit of parallelism: all randomness comes from labelled child
-    seeds of ``config.base_seed``, so the result is a pure function of
-    ``(config, granularity, rep)`` — independent of which process runs it
-    and of every other rep.
+    The unit of parallelism *and* of distribution: all randomness comes
+    from labelled child seeds of ``config.base_seed``, so the result is a
+    pure function of ``(config, granularity, rep)`` — independent of
+    which process (or machine) runs it and of every other rep.
     """
     stream = RngStream(config.base_seed)
     topology = generate_topology(config, granularity, rep)
@@ -313,7 +342,12 @@ def run_point(
     granularity: float,
     progress: Optional[Callable[[str], None]] = None,
 ) -> PointResult:
-    """Run every algorithm over ``config.num_graphs`` instances at one point."""
+    """Run every algorithm over ``config.num_graphs`` instances at one point.
+
+    Seeds are labelled per ``(config.name, granularity, rep)``, never by
+    the sweep tuple, so a single-point campaign reproduces exactly the
+    rows the full sweep would produce at that granularity.
+    """
     reps = []
     for rep in range(config.num_graphs):
         reps.append(run_rep(config, granularity, rep))
@@ -326,95 +360,158 @@ def run_point(
 
 @dataclass
 class CampaignResult:
-    """All data points of one figure."""
+    """The aggregated view over one scenario's stored rep results.
+
+    Holds the full per-rep resolution (``reps``, canonical granularity
+    then rep order) and aggregates data points lazily — the same object
+    whether the campaign ran inline, on a process pool, on TCP workers,
+    or was stitched back together from a resumed store.  ``rows()``
+    carries the scenario columns (``network``/``topology``/``policy``)
+    so multi-scenario sweeps stay distinguishable in one CSV.
+    """
 
     config: ExperimentConfig
-    points: list[PointResult]
+    reps: list[RepResult]
+    _points: Optional[list[PointResult]] = field(
+        default=None, repr=False, compare=False
+    )
 
-    def rows(self) -> list[dict[str, float]]:
-        return [p.row() for p in self.points]
+    @property
+    def points(self) -> list[PointResult]:
+        """Aggregated data points, one per granularity of the sweep."""
+        if self._points is None:
+            by_g: dict[float, list[RepResult]] = {
+                g: [] for g in self.config.granularities
+            }
+            for rep in self.reps:
+                by_g[rep.granularity].append(rep)
+            for g, reps in by_g.items():
+                reps.sort(key=lambda r: r.rep)
+            self._points = [
+                _aggregate_point(self.config, g, by_g[g])
+                for g in self.config.granularities
+                if by_g[g]
+            ]
+        return self._points
+
+    def scenario_columns(self) -> dict[str, str]:
+        """The tags distinguishing this scenario in merged reports."""
+        _, model, topology, policy = self.config.scenario_key()
+        return {"network": model, "topology": topology, "policy": policy}
+
+    def rows(self) -> list[dict[str, object]]:
+        """CSV-ready aggregated rows, scenario-tagged."""
+        tags = self.scenario_columns()
+        out: list[dict[str, object]] = []
+        for point in self.points:
+            row = point.row()
+            merged: dict[str, object] = {"granularity": row.pop("granularity")}
+            merged.update(tags)
+            merged.update(row)
+            out.append(merged)
+        return out
+
+    def rep_rows(self) -> list[dict[str, object]]:
+        """Per-rep scenario-tagged rows (one per unit × algorithm).
+
+        The full-resolution data the aggregated panels are computed
+        from; what the paired statistics in ``experiments.stats`` and
+        the campaign comparisons in ``experiments.compare`` consume.
+        """
+        name, model, topology, policy = self.config.scenario_key()
+        tags = {
+            "config": name,
+            "network": model,
+            "topology": topology,
+            "policy": policy,
+        }
+        rows: list[dict[str, object]] = []
+        for rep in self.reps:
+            rows.extend(flatten_rep_result(tags, rep))
+        return rows
 
     def series(self, column: str) -> list[float]:
         """One named column across granularities (e.g. ``"caft_latency0"``)."""
         return [row.get(column, math.nan) for row in self.rows()]
 
+    @classmethod
+    def from_store(
+        cls, store, config: Optional[ExperimentConfig] = None
+    ) -> "CampaignResult":
+        """Rebuild the result of one scenario from a (possibly resumed)
+        store.  ``config`` defaults to the store manifest's single
+        scenario; multi-scenario stores must name which one.
+        """
+        from repro.experiments.grid import ScenarioGrid, WorkUnit
+
+        if config is None:
+            grid = store.read_manifest_grid()
+            if len(grid.configs) != 1:
+                raise ValueError(
+                    f"store holds {len(grid.configs)} scenarios; pass config="
+                )
+            config = grid.configs[0]
+        results = store.results()
+        reps = []
+        for g in config.granularities:
+            for rep in range(config.num_graphs):
+                unit = WorkUnit(config, g, rep)
+                if unit.unit_id in results:
+                    reps.append(results[unit.unit_id])
+        return cls(config=config, reps=reps)
+
 
 class ParallelHarness:
-    """Deterministic multi-process campaign executor.
+    """Deterministic multi-process campaign runner (compatibility shim).
 
-    Fans every ``(granularity, rep)`` work unit of a campaign out over a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  Because each unit
-    derives its randomness from labelled child seeds, the aggregated
-    result is bit-identical to the serial run regardless of ``workers``
-    or completion order — aggregation always folds rep results in job
-    order.  ``workers <= 1`` (or ``None``) runs inline with zero process
-    overhead.
+    The historical front end of the process-pool path; the pool itself
+    now lives in :class:`repro.experiments.executors.ProcessExecutor`
+    and this class simply delegates, keeping the clamp semantics and the
+    ``run_campaign`` method callers rely on.
     """
 
     def __init__(self, workers: Optional[int] = None, clamp: bool = True) -> None:
-        requested = int(workers) if workers else 0
-        if clamp and requested > 1:
-            # Oversubscribing cores buys nothing and pays pool overhead:
-            # results are worker-count independent, so clamping is safe.
-            import os
+        from repro.experiments.executors.process import effective_workers
 
-            requested = min(requested, os.cpu_count() or 1)
-        self.workers = requested
+        self.workers = effective_workers(workers, clamp)
 
     def run_campaign(
         self,
         config: ExperimentConfig,
         progress: Optional[Callable[[str], None]] = None,
     ) -> CampaignResult:
-        if self.workers <= 1:
-            points = [
-                run_point(config, g, progress=progress)
-                for g in config.granularities
-            ]
-            return CampaignResult(config=config, points=points)
+        from repro.experiments.campaign import run_campaign
+        from repro.experiments.executors.process import ProcessExecutor
 
-        jobs = [
-            (g, rep)
-            for g in config.granularities
-            for rep in range(config.num_graphs)
-        ]
-        results: dict[tuple[float, int], RepResult] = {}
-        done_count = 0
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            pending = {
-                pool.submit(run_rep, config, g, rep): (g, rep) for g, rep in jobs
-            }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    g, rep = pending.pop(fut)
-                    results[(g, rep)] = fut.result()
-                    done_count += 1
-                    if progress is not None:
-                        progress(
-                            f"[{config.name}] g={g:g} rep {rep + 1}/"
-                            f"{config.num_graphs} ({done_count}/{len(jobs)})"
-                        )
-        points = [
-            _aggregate_point(
-                config,
-                g,
-                [results[(g, rep)] for rep in range(config.num_graphs)],
-            )
-            for g in config.granularities
-        ]
-        return CampaignResult(config=config, points=points)
+        # self.workers is already clamped per this instance's settings.
+        executor = ProcessExecutor(self.workers, clamp=False)
+        return run_campaign(config, progress=progress, executor=executor)
 
 
 def run_campaign(
     config: ExperimentConfig,
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
+    executor=None,
+    store=None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run the full granularity sweep of one figure.
 
+    Delegates to :func:`repro.experiments.campaign.run_campaign` (kept
+    here because the harness has always been the import site).
     ``workers`` > 1 distributes the campaign's work units over that many
-    processes (see :class:`ParallelHarness`); the result is identical to
-    the serial run.
+    processes; ``executor=``/``store=``/``resume=`` expose the
+    distributed and resumable paths.  The result is identical whichever
+    way the units ran.
     """
-    return ParallelHarness(workers).run_campaign(config, progress=progress)
+    from repro.experiments.campaign import run_campaign as _run_campaign
+
+    return _run_campaign(
+        config,
+        progress=progress,
+        workers=workers,
+        executor=executor,
+        store=store,
+        resume=resume,
+    )

@@ -42,6 +42,24 @@ def _fmt(v: object) -> str:
     return str(v)
 
 
+def scenario_label(result: CampaignResult) -> str:
+    """Panel-title suffix naming the communication scenario.
+
+    Empty for the paper's default (one-port clique, append policy), so
+    the historical titles are unchanged; multi-scenario sweeps get
+    distinguishable panels, e.g. ``" [routed-oneport/ring]"`` or
+    ``" [oneport/insertion]"``.
+    """
+    config = result.config
+    if config.topology is not None:
+        return f" [{config.model}/{config.topology}]"
+    if config.port_policy != "append":
+        return f" [{config.model}/{config.port_policy}]"
+    if config.model != "oneport":
+        return f" [{config.model}]"
+    return ""
+
+
 def panel_a(result: CampaignResult) -> str:
     """Normalized latency (0 crash) + upper bounds + fault-free references."""
     algos = result.config.algorithms
@@ -58,8 +76,8 @@ def panel_a(result: CampaignResult) -> str:
         row += [point.faultfree_norm[a] for a in algos]
         rows.append(row)
     return _table(
-        f"{result.config.name} (a): normalized latency, bounds "
-        f"(m={result.config.num_procs}, eps={result.config.epsilon})",
+        f"{result.config.name}{scenario_label(result)} (a): normalized latency, "
+        f"bounds (m={result.config.num_procs}, eps={result.config.epsilon})",
         header,
         rows,
     )
@@ -80,7 +98,8 @@ def panel_b(result: CampaignResult) -> str:
                     point.per_algorithm[a].mean("norm_crash")]
         rows.append(row)
     return _table(
-        f"{result.config.name} (b): normalized latency, 0 vs {c} crash(es)",
+        f"{result.config.name}{scenario_label(result)} (b): "
+        f"normalized latency, 0 vs {c} crash(es)",
         header,
         rows,
     )
@@ -101,7 +120,7 @@ def panel_c(result: CampaignResult) -> str:
                     point.per_algorithm[a].mean("overhead_crash")]
         rows.append(row)
     return _table(
-        f"{result.config.name} (c): average overhead (%)",
+        f"{result.config.name}{scenario_label(result)} (c): average overhead (%)",
         header,
         rows,
     )
@@ -117,7 +136,11 @@ def messages_table(result: CampaignResult) -> str:
             [point.granularity]
             + [point.per_algorithm[a].mean("messages") for a in algos]
         )
-    return _table(f"{result.config.name}: mean message counts", header, rows)
+    return _table(
+        f"{result.config.name}{scenario_label(result)}: mean message counts",
+        header,
+        rows,
+    )
 
 
 def render_figure(result: CampaignResult) -> str:

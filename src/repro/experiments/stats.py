@@ -3,13 +3,20 @@
 The paper reports plain means over 60 random graphs; for a production
 harness we also want dispersion and simple significance so that "A beats
 B" claims can be checked honestly at smaller repetition counts.
+
+The rep-level helpers at the bottom read the scenario-tagged per-rep
+rows the campaign store keeps (``RunStore.rep_rows()`` /
+``CampaignResult.rep_rows()``): every row names its scenario
+(config/network/topology/policy), granularity, rep and algorithm, so
+paired comparisons align the *same random instance* across algorithms —
+and across scenarios, since scenario expansion keeps the instance seeds.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -91,3 +98,131 @@ def geometric_mean_ratio(a: Sequence[float], b: Sequence[float]) -> float:
     if not logs:
         return math.nan
     return math.exp(sum(logs) / len(logs))
+
+
+# --------------------------------------------------------------------------
+# rep-level helpers over scenario-tagged store rows
+
+
+def _instance_key(row: Mapping) -> tuple:
+    """What identifies one scheduled random instance across algorithms."""
+    return (
+        row["config"],
+        row["network"],
+        row["topology"],
+        row["policy"],
+        row["granularity"],
+        row["rep"],
+    )
+
+
+def _matches(row: Mapping, where: Optional[Mapping]) -> bool:
+    return where is None or all(row.get(k) == v for k, v in where.items())
+
+
+def rep_series(
+    rows: Sequence[Mapping],
+    algorithm: str,
+    metric: str = "norm_latency",
+    where: Optional[Mapping] = None,
+) -> list[float]:
+    """One algorithm's per-rep metric values, in canonical instance order.
+
+    ``rows`` is the output of ``rep_rows()``; ``where`` filters on any
+    tag column (e.g. ``{"topology": "ring"}`` or ``{"granularity": 1.0}``).
+    ``None`` metric values (failed crash replays) come back as NaN so the
+    series stays aligned with the instance grid.
+    """
+    picked = [
+        row
+        for row in rows
+        if row["algorithm"] == algorithm and _matches(row, where)
+    ]
+    picked.sort(key=_instance_key)
+    return [
+        math.nan if row[metric] is None else float(row[metric]) for row in picked
+    ]
+
+
+def paired_rep_series(
+    rows: Sequence[Mapping],
+    algo_a: str,
+    algo_b: str,
+    metric: str = "norm_latency",
+    where: Optional[Mapping] = None,
+) -> tuple[list[float], list[float]]:
+    """Two algorithms' metric series over exactly the shared instances.
+
+    Instances where either side is missing or ``None`` are dropped from
+    *both* series, so the result feeds :func:`paired_mean_difference`,
+    :func:`dominates`, :func:`win_rate` and
+    :func:`geometric_mean_ratio` directly.
+    """
+    by_key: dict[tuple, dict[str, float]] = {}
+    for row in rows:
+        if row["algorithm"] not in (algo_a, algo_b) or not _matches(row, where):
+            continue
+        value = row[metric]
+        if value is None:
+            continue
+        by_key.setdefault(_instance_key(row), {})[row["algorithm"]] = float(value)
+    a: list[float] = []
+    b: list[float] = []
+    for key in sorted(by_key):
+        pair = by_key[key]
+        if algo_a in pair and algo_b in pair:
+            a.append(pair[algo_a])
+            b.append(pair[algo_b])
+    return a, b
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Headline paired statistics of ``a`` vs ``b`` on one metric."""
+
+    algo_a: str
+    algo_b: str
+    metric: str
+    n: int
+    mean_diff: float  # mean of a - b (negative: a is better on cost metrics)
+    ci95_half_width: float
+    win_rate: float  # fraction of instances where a < b
+    geomean_ratio: float  # geometric mean of a / b
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of the paired difference excludes zero."""
+        return (
+            self.n > 1
+            and math.isfinite(self.ci95_half_width)
+            and abs(self.mean_diff) > self.ci95_half_width
+        )
+
+
+def compare_reps(
+    rows: Sequence[Mapping],
+    algo_a: str,
+    algo_b: str,
+    metric: str = "norm_latency",
+    where: Optional[Mapping] = None,
+) -> PairedComparison:
+    """Paired comparison of two algorithms over stored campaign rows."""
+    a, b = paired_rep_series(rows, algo_a, algo_b, metric, where=where)
+    if a:
+        mean_diff, half = paired_mean_difference(a, b)
+        ratio = geometric_mean_ratio(a, b) if all(
+            x > 0 for x in a + b
+        ) else math.nan
+        rate = win_rate(a, b)
+    else:
+        mean_diff = half = ratio = rate = math.nan
+    return PairedComparison(
+        algo_a=algo_a,
+        algo_b=algo_b,
+        metric=metric,
+        n=len(a),
+        mean_diff=mean_diff,
+        ci95_half_width=half,
+        win_rate=rate,
+        geomean_ratio=ratio,
+    )

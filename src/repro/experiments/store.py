@@ -1,0 +1,248 @@
+"""Append-only campaign results store: JSONL rows + checkpoint manifest.
+
+Every executor writes one JSON line per completed
+:class:`~repro.experiments.grid.WorkUnit` into ``rows.jsonl`` — the full
+scenario tags (config/network/topology/policy), the grid coordinates
+(granularity/rep) and the :class:`~repro.experiments.harness.RepResult`
+payload.  ``manifest.json`` records the generating
+:class:`~repro.experiments.grid.ScenarioGrid`, so ``--resume <dir>`` can
+rebuild the campaign, skip completed units, and refuse a store that was
+written for a different grid.
+
+Crash safety is the append-only discipline: each row is one flushed
+line, so a killed campaign loses at most the in-flight units; a trailing
+partial line (the kill landed mid-write) is detected and ignored on
+load.  Floats round-trip exactly through JSON (``repr``-based), which is
+what keeps resumed and distributed campaigns bit-identical to serial
+in-memory runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.experiments.grid import ScenarioGrid, WorkUnit
+from repro.experiments.harness import RepResult, flatten_rep_result
+
+MANIFEST_NAME = "manifest.json"
+ROWS_NAME = "rows.jsonl"
+STORE_FORMAT = 1
+
+
+class StoreError(RuntimeError):
+    """A store is unreadable, corrupt, or belongs to a different campaign."""
+
+
+def result_to_dict(result: RepResult) -> dict:
+    """JSON payload of one rep result (exact float round-trip)."""
+    return {
+        "faultfree_norm": result.faultfree_norm,
+        "metrics": result.metrics,
+    }
+
+
+def result_from_dict(data: dict, granularity: float, rep: int) -> RepResult:
+    return RepResult(
+        granularity=granularity,
+        rep=rep,
+        faultfree_norm=data["faultfree_norm"],
+        metrics=data["metrics"],
+    )
+
+
+class RunStore:
+    """Where campaign results accumulate, in memory or on disk.
+
+    ``RunStore(None)`` is the ephemeral in-memory store every default
+    campaign uses; ``RunStore(directory)`` persists rows as they complete
+    and reloads them on construction, which is all resume needs.  Appends
+    are thread-safe (the socket master appends from one handler thread
+    per worker) and idempotent per unit id (requeue races after a
+    presumed-dead worker reconnects cannot duplicate rows).
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._lock = threading.Lock()
+        self._results: dict[str, RepResult] = {}
+        self._tags: dict[str, dict] = {}
+        self._order: list[str] = []
+        self._rows_fh: Optional[IO[str]] = None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load_rows()
+
+    # ------------------------------------------------------------------ load
+
+    @property
+    def rows_path(self) -> Optional[Path]:
+        return self.directory / ROWS_NAME if self.directory else None
+
+    @property
+    def manifest_path(self) -> Optional[Path]:
+        return self.directory / MANIFEST_NAME if self.directory else None
+
+    def _load_rows(self) -> None:
+        path = self.rows_path
+        if path is None or not path.exists():
+            return
+        lines = path.read_bytes().split(b"\n")
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                at_eof = all(not later.strip() for later in lines[i + 1 :])
+                if at_eof:
+                    # A kill landed mid-append; the unit will simply rerun.
+                    break
+                raise StoreError(
+                    f"{path}: corrupt row at line {i + 1} "
+                    "(not a trailing partial write)"
+                ) from None
+            self._ingest(record)
+
+    def _ingest(self, record: dict) -> None:
+        unit_id = record["unit_id"]
+        if unit_id in self._results:  # replayed append from a requeue race
+            return
+        self._results[unit_id] = result_from_dict(
+            record["result"], record["granularity"], record["rep"]
+        )
+        self._tags[unit_id] = {
+            key: record[key] for key in ("config", "network", "topology", "policy")
+        }
+        self._order.append(unit_id)
+
+    # --------------------------------------------------------------- writing
+
+    def append(self, unit: WorkUnit, result: RepResult) -> bool:
+        """Record one completed unit; returns False if already present."""
+        record = {
+            "unit_id": unit.unit_id,
+            **unit.scenario,
+            "granularity": unit.granularity,
+            "rep": unit.rep,
+            "result": result_to_dict(result),
+        }
+        with self._lock:
+            if unit.unit_id in self._results:
+                return False
+            self._results[unit.unit_id] = result
+            self._tags[unit.unit_id] = unit.scenario
+            self._order.append(unit.unit_id)
+            if self.directory is not None:
+                if self._rows_fh is None:
+                    self._rows_fh = open(self.rows_path, "a")
+                self._rows_fh.write(json.dumps(record, separators=(",", ":")))
+                self._rows_fh.write("\n")
+                self._rows_fh.flush()
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._rows_fh is not None:
+                self._rows_fh.close()
+                self._rows_fh = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- manifest
+
+    def write_manifest(self, grid: ScenarioGrid) -> None:
+        if self.directory is None:
+            return
+        manifest = {
+            "format": STORE_FORMAT,
+            "total_units": grid.total_units,
+            "grid": grid.to_dict(),
+        }
+        self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+
+    def read_manifest_grid(self) -> ScenarioGrid:
+        """The grid this store was created for (``campaign resume <dir>``)."""
+        path = self.manifest_path
+        if path is None:
+            raise StoreError("in-memory stores have no manifest")
+        if not path.exists():
+            raise StoreError(f"{self.directory}: no {MANIFEST_NAME} to resume from")
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{path}: unreadable manifest ({exc})") from None
+        return ScenarioGrid.from_dict(manifest["grid"])
+
+    def ensure_manifest(self, grid: ScenarioGrid) -> None:
+        """Write the manifest, or verify an existing one matches ``grid``.
+
+        A store belongs to exactly one campaign: resuming with a
+        different grid would silently mix incompatible rows, so any
+        mismatch is an error rather than a merge.
+        """
+        if self.directory is None:
+            return
+        if self.manifest_path.exists():
+            existing = self.read_manifest_grid()
+            if existing.to_dict() != grid.to_dict():
+                raise StoreError(
+                    f"{self.directory}: store was created for a different "
+                    "campaign grid (config/scenario mismatch)"
+                )
+        else:
+            self.write_manifest(grid)
+
+    # --------------------------------------------------------------- reading
+
+    def completed_ids(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._results
+
+    def result(self, unit_id: str) -> RepResult:
+        return self._results[unit_id]
+
+    def results(self) -> dict[str, RepResult]:
+        with self._lock:
+            return dict(self._results)
+
+    def rep_rows(self) -> list[dict]:
+        """Scenario-tagged per-rep rows, flattened for stats/compare.
+
+        One row per (unit, algorithm): scenario tags + granularity/rep +
+        ``algorithm`` + the rep's metric values.  Append order on disk is
+        executor-dependent, so rows are returned sorted by
+        (scenario, granularity, rep, algorithm) — canonical and
+        executor-independent.
+        """
+        rows: list[dict] = []
+        with self._lock:
+            items = [
+                (uid, self._tags[uid], self._results[uid]) for uid in self._order
+            ]
+        for uid, tags, result in items:
+            rows.extend(flatten_rep_result(tags, result))
+        rows.sort(
+            key=lambda r: (
+                r["config"],
+                r["network"],
+                r["topology"],
+                r["policy"],
+                r["granularity"],
+                r["rep"],
+                r["algorithm"],
+            )
+        )
+        return rows

@@ -1,0 +1,120 @@
+"""Socket-executor integration tests (localhost master + worker processes).
+
+Marked ``distributed``: run only these with
+``pytest -m distributed``, or skip them with ``-m "not distributed"``.
+Each campaign is bounded by a hard 60 s deadline — a hung master fails
+loudly instead of wedging the suite — and the whole module is skipped
+where localhost sockets are unavailable.
+"""
+
+import socket
+
+import pytest
+
+from repro.experiments import SocketExecutor, run_campaign
+from repro.experiments.executors.socket import _LineConn
+
+
+def _sockets_available() -> bool:
+    try:
+        probe = socket.create_server(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = [
+    pytest.mark.distributed,
+    pytest.mark.skipif(
+        not _sockets_available(), reason="localhost sockets unavailable"
+    ),
+]
+
+#: hard deadline for every socket campaign in this module
+DEADLINE_S = 60.0
+
+
+class TestSocketExecutor:
+    def test_two_workers_match_serial(self, pinned_config, pinned_serial_rows):
+        messages = []
+        result = run_campaign(
+            pinned_config,
+            executor=SocketExecutor(spawn_workers=2, timeout=DEADLINE_S),
+            progress=messages.append,
+        )
+        assert result.rows() == pinned_serial_rows
+        assert len(messages) == 4
+
+    def test_worker_death_requeues_units(self, pinned_config, pinned_serial_rows):
+        # One worker vanishes after a single unit (simulated crash); the
+        # surviving worker picks up the requeued work — rows unchanged.
+        executor = SocketExecutor(
+            spawn_workers=[["--max-units", "1"], []], timeout=DEADLINE_S
+        )
+        result = run_campaign(pinned_config, executor=executor)
+        assert result.rows() == pinned_serial_rows
+
+    def test_slow_heartbeat_worker_not_declared_dead(
+        self, pinned_config, pinned_serial_rows
+    ):
+        # The hello message carries the worker's own heartbeat interval;
+        # the master scales its deadness deadline per connection, so a
+        # worker beating slower than the master's default survives.
+        executor = SocketExecutor(
+            spawn_workers=[["--heartbeat", "2.0"]], timeout=DEADLINE_S
+        )
+        result = run_campaign(pinned_config, executor=executor)
+        assert result.rows() == pinned_serial_rows
+
+    def test_no_workers_times_out(self, pinned_config):
+        executor = SocketExecutor(spawn_workers=0, timeout=1.0)
+        with pytest.raises(TimeoutError, match="workers connected"):
+            run_campaign(pinned_config, executor=executor)
+
+    def test_all_spawned_workers_dead_fails_fast(self, pinned_config):
+        # A config whose units crash every worker (unknown algorithm name
+        # explodes inside run_rep) must not sit out the full timeout: the
+        # master notices all its spawned workers exited and raises.
+        from dataclasses import replace
+
+        poison = replace(pinned_config, algorithms=("caft", "no-such-algo"))
+        executor = SocketExecutor(spawn_workers=2, timeout=DEADLINE_S)
+        with pytest.raises(RuntimeError, match="spawned worker"):
+            run_campaign(poison, executor=executor)
+
+    def test_store_backed_socket_campaign(
+        self, pinned_config, pinned_serial_rows, tmp_path
+    ):
+        run_campaign(
+            pinned_config,
+            executor=SocketExecutor(spawn_workers=2, timeout=DEADLINE_S),
+            store=tmp_path / "s",
+        )
+        from repro.experiments import CampaignResult, RunStore
+
+        reloaded = CampaignResult.from_store(RunStore(tmp_path / "s"))
+        assert reloaded.rows() == pinned_serial_rows
+
+
+class TestWireProtocol:
+    def test_line_conn_round_trip(self):
+        server = socket.create_server(("127.0.0.1", 0))
+        host, port = server.getsockname()[:2]
+        client = socket.create_connection((host, port), timeout=5.0)
+        conn, _ = server.accept()
+        a, b = _LineConn(client), _LineConn(conn)
+        try:
+            a.send({"type": "hello", "worker": "w1"})
+            assert b.recv(timeout=5.0) == {"type": "hello", "worker": "w1"}
+            b.send({"type": "unit", "unit": {"granularity": 0.5}})
+            assert a.recv(timeout=5.0)["unit"] == {"granularity": 0.5}
+            # Closing via the _LineConn releases the makefile reference too,
+            # so the peer observes EOF (a bare sock.close() would not).
+            a.close()
+            with pytest.raises(ConnectionError):
+                b.recv(timeout=5.0)
+        finally:
+            a.close()
+            b.close()
+            server.close()

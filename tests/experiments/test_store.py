@@ -1,0 +1,164 @@
+"""Tests for the append-only campaign results store."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import ScenarioGrid, WorkUnit
+from repro.experiments.harness import RepResult
+from repro.experiments.store import (
+    RunStore,
+    StoreError,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig(
+        name="store-test",
+        granularities=(0.5, 1.5),
+        num_procs=4,
+        epsilon=1,
+        crashes=1,
+        num_graphs=2,
+        task_range=(8, 10),
+    )
+
+
+def fake_result(granularity: float, rep: int) -> RepResult:
+    """A synthetic rep result with awkward float values."""
+    return RepResult(
+        granularity=granularity,
+        rep=rep,
+        faultfree_norm={"caft": 1.0 + rep * 0.1234567890123456},
+        metrics={
+            "caft": {
+                "norm_latency": 1.1 / 3.0 * (rep + 1),
+                "norm_upper": 2.0,
+                "overhead_0crash": 0.1,
+                "messages": 17.0,
+                "norm_crash": None if rep else 1.5,
+                "overhead_crash": None if rep else 3.3,
+            }
+        },
+    )
+
+
+class TestResultSerialization:
+    def test_exact_float_round_trip(self):
+        result = fake_result(0.5, 1)
+        data = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(data, 0.5, 1) == result
+
+
+class TestInMemoryStore:
+    def test_append_and_read(self, cfg):
+        store = RunStore()
+        unit = WorkUnit(cfg, 0.5, 0)
+        assert store.append(unit, fake_result(0.5, 0))
+        assert unit.unit_id in store
+        assert len(store) == 1
+        assert store.result(unit.unit_id).rep == 0
+
+    def test_append_is_idempotent(self, cfg):
+        store = RunStore()
+        unit = WorkUnit(cfg, 0.5, 0)
+        first = fake_result(0.5, 0)
+        assert store.append(unit, first)
+        assert not store.append(unit, fake_result(0.5, 1))  # dedup keeps first
+        assert store.result(unit.unit_id) == first
+
+    def test_manifest_unavailable(self):
+        with pytest.raises(StoreError, match="in-memory"):
+            RunStore().read_manifest_grid()
+
+
+class TestDiskStore:
+    def test_rows_persist_and_reload(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        for g in cfg.granularities:
+            for rep in range(cfg.num_graphs):
+                store.append(WorkUnit(cfg, g, rep), fake_result(g, rep))
+        store.close()
+
+        reloaded = RunStore(tmp_path / "s")
+        assert len(reloaded) == 4
+        for g in cfg.granularities:
+            for rep in range(cfg.num_graphs):
+                unit = WorkUnit(cfg, g, rep)
+                assert reloaded.result(unit.unit_id) == fake_result(g, rep)
+
+    def test_append_only_on_disk(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        store.append(WorkUnit(cfg, 0.5, 0), fake_result(0.5, 0))
+        before = (tmp_path / "s" / "rows.jsonl").read_bytes()
+        store.append(WorkUnit(cfg, 0.5, 1), fake_result(0.5, 1))
+        after = (tmp_path / "s" / "rows.jsonl").read_bytes()
+        assert after.startswith(before)
+
+    def test_truncated_final_line_tolerated(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        store.append(WorkUnit(cfg, 0.5, 0), fake_result(0.5, 0))
+        store.append(WorkUnit(cfg, 0.5, 1), fake_result(0.5, 1))
+        store.close()
+        path = tmp_path / "s" / "rows.jsonl"
+        # Simulate a kill mid-append: chop the last line in half.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])
+
+        reloaded = RunStore(tmp_path / "s")
+        assert len(reloaded) == 1  # the partial row reruns, the full one stays
+        assert WorkUnit(cfg, 0.5, 0).unit_id in reloaded
+
+    def test_mid_file_corruption_raises(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        store.append(WorkUnit(cfg, 0.5, 0), fake_result(0.5, 0))
+        store.append(WorkUnit(cfg, 0.5, 1), fake_result(0.5, 1))
+        store.close()
+        path = tmp_path / "s" / "rows.jsonl"
+        lines = path.read_bytes().split(b"\n")
+        lines[0] = lines[0][:20]  # corrupt a NON-trailing row
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(StoreError, match="corrupt row"):
+            RunStore(tmp_path / "s")
+
+    def test_manifest_round_trip(self, cfg, tmp_path):
+        grid = ScenarioGrid.from_config(cfg)
+        store = RunStore(tmp_path / "s")
+        store.write_manifest(grid)
+        assert RunStore(tmp_path / "s").read_manifest_grid() == grid
+
+    def test_manifest_mismatch_rejected(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        store.ensure_manifest(ScenarioGrid.from_config(cfg))
+        other = ScenarioGrid.from_config(cfg.with_graphs(5))
+        with pytest.raises(StoreError, match="different campaign"):
+            store.ensure_manifest(other)
+
+    def test_ensure_manifest_accepts_same_grid(self, cfg, tmp_path):
+        grid = ScenarioGrid.from_config(cfg)
+        store = RunStore(tmp_path / "s")
+        store.ensure_manifest(grid)
+        store.ensure_manifest(grid)  # second call is a no-op
+
+
+class TestRepRows:
+    def test_rep_rows_are_tagged_and_sorted(self, cfg, tmp_path):
+        store = RunStore()
+        # Append deliberately out of canonical order.
+        for g, rep in ((1.5, 1), (0.5, 0), (1.5, 0), (0.5, 1)):
+            store.append(WorkUnit(cfg, g, rep), fake_result(g, rep))
+        rows = store.rep_rows()
+        assert len(rows) == 4  # one algorithm in the fake results
+        assert [(r["granularity"], r["rep"]) for r in rows] == [
+            (0.5, 0), (0.5, 1), (1.5, 0), (1.5, 1),
+        ]
+        assert rows[0]["network"] == "oneport"
+        assert rows[0]["topology"] == "clique"
+        assert rows[0]["policy"] == "append"
+        assert rows[0]["algorithm"] == "caft"
+        assert rows[0]["norm_crash"] == 1.5
+        assert rows[1]["norm_crash"] is None

@@ -24,6 +24,71 @@ class TestParser:
         assert args.scheduler == "caft"
 
 
+class TestCampaignParser:
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_args(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "2", "--graphs", "3", "--store", "/tmp/x",
+             "--resume", "--executor", "socket", "--spawn-workers", "2"]
+        )
+        assert args.number == 2 and args.graphs == 3
+        assert args.store == "/tmp/x" and args.resume
+        assert args.executor == "socket" and args.spawn_workers == 2
+
+    def test_campaign_worker_address(self):
+        args = build_parser().parse_args(
+            ["campaign", "worker", "10.0.0.5:7077", "--max-units", "1"]
+        )
+        assert args.master == ("10.0.0.5", 7077)
+        assert args.max_units == 1
+
+    def test_campaign_worker_rejects_bad_address(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "worker", "nocolon"])
+
+    def test_campaign_resume_args(self):
+        args = build_parser().parse_args(["campaign", "resume", "/tmp/store"])
+        assert args.store == "/tmp/store"
+
+    def test_campaign_resume_without_store_rejected(self, capsys):
+        rc = main(["campaign", "run", "1", "--graphs", "1", "--resume"])
+        assert rc == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+
+class TestCampaignCommands:
+    def test_campaign_run_store_and_resume(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        rc = main(["campaign", "run", "1", "--graphs", "1",
+                   "--store", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shape checks: OK" in out
+        assert (store / "manifest.json").exists()
+        assert (store / "rows.jsonl").exists()
+        # Resuming a complete store reruns nothing and reports again.
+        rc = main(["campaign", "resume", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "figure1" in out
+
+    def test_campaign_run_refuses_dirty_store_without_resume(
+        self, capsys, tmp_path
+    ):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", "1", "--graphs", "1",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        from repro.experiments import StoreError
+
+        with pytest.raises(StoreError, match="resume"):
+            main(["campaign", "run", "1", "--graphs", "1",
+                  "--store", str(store)])
+
+
 class TestCommands:
     def test_demo_runs(self, capsys):
         rc = main(

@@ -41,6 +41,16 @@ class TestExamples:
         assert "clique" in out and "ring" in out
         # the clique row is the 1.00x baseline
         assert "1.00x" in out
+        # the grid-driven topology campaign, one row per scenario x algo
+        assert "campaign grid: 3 scenarios" in out
+        assert "routed-oneport/torus" in out
+
+    @pytest.mark.distributed
+    def test_distributed_campaign(self, capsys):
+        out = run_example("distributed_campaign.py", capsys=capsys)
+        assert "2 spawned local workers" in out
+        assert "rows identical: True" in out
+        assert "distributed rows == serial rows: True" in out
 
     def test_reproduce_figure(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
