@@ -103,6 +103,30 @@ def _parse_address(spec: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def _socket_flag_errors(args: argparse.Namespace) -> Optional[str]:
+    """Socket-only flags without ``--executor socket`` would be silently
+    ignored (the sweep runs locally, no port is bound, remote workers
+    never connect) — refuse instead."""
+    if args.executor == "socket":
+        return None
+    offending = [
+        flag
+        for flag, given in (
+            ("--bind", args.bind is not None),
+            ("--spawn-workers", bool(args.spawn_workers)),
+            ("--timeout", args.timeout is not None),
+        )
+        if given
+    ]
+    if offending:
+        got = args.executor if args.executor else "not given"
+        return (
+            f"error: {', '.join(offending)} require(s) --executor socket "
+            f"(--executor was {got})"
+        )
+    return None
+
+
 def _campaign_executor(args: argparse.Namespace):
     """Build the executor a ``campaign run``/``resume`` asked for."""
     from repro.experiments.executors import SocketExecutor
@@ -118,7 +142,7 @@ def _campaign_executor(args: argparse.Namespace):
             host=host,
             port=port,
             spawn_workers=spawn,
-            timeout=args.timeout,
+            timeout=args.timeout if args.timeout is not None else 3600.0,
         )
     return args.executor  # spec string; make_executor resolves it
 
@@ -150,7 +174,7 @@ def _scenario_csv_path(base: str, result, multi: bool) -> str:
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    error = _network_flag_errors(args)
+    error = _network_flag_errors(args) or _socket_flag_errors(args)
     if error:
         print(error, file=sys.stderr)
         return 2
@@ -194,6 +218,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import resume_campaign
+
+    error = _socket_flag_errors(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
 
     def progress(msg: str) -> None:
         if args.verbose:
@@ -434,8 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--spawn-workers", type=int, default=0,
                        help="local worker processes the socket master "
                             "launches itself")
-        p.add_argument("--timeout", type=float, default=3600.0,
-                       help="socket campaign deadline in seconds")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="socket campaign no-activity timeout in seconds "
+                            "(resets on any worker heartbeat or result; "
+                            "default 3600)")
         p.add_argument("--out", type=str, default=None, help="CSV output path")
         p.add_argument("--verbose", action="store_true")
 

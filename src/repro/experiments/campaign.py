@@ -130,13 +130,13 @@ def resume_campaign(
     directory is needed: completed units are skipped, missing ones run
     on ``executor``, and the full results are returned.
     """
-    store = RunStore(directory)
-    grid = store.read_manifest_grid()
-    return run_grid(
-        grid,
-        store=store,
-        executor=executor,
-        progress=progress,
-        workers=workers,
-        resume=True,
-    )
+    with RunStore(directory) as store:
+        grid = store.read_manifest_grid()
+        return run_grid(
+            grid,
+            store=store,
+            executor=executor,
+            progress=progress,
+            workers=workers,
+            resume=True,
+        )

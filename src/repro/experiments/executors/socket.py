@@ -47,6 +47,11 @@ from repro.experiments.store import RunStore, result_from_dict, result_to_dict
 DEFAULT_HEARTBEAT = 0.5
 #: master declares a worker dead after this many silent heartbeat periods
 DEAD_AFTER_BEATS = 8
+#: a worker that hears nothing from the master for this long gives up —
+#: the master host vanished without a TCP FIN (power loss, partition).
+#: Generous, because a worker legitimately idles while the master holds
+#: it back waiting on another worker's in-flight unit (possible requeue).
+WORKER_IDLE_TIMEOUT = 3600.0
 
 
 class _LineConn:
@@ -96,9 +101,12 @@ class SocketExecutor:
     ``["--max-units", "1"]`` to make a worker die mid-campaign).
     External workers connect with
     ``repro-ftsched campaign worker HOST:PORT`` at any time, including
-    mid-campaign.  ``timeout`` bounds the whole run: if units remain
-    incomplete past it (e.g. every worker died), the run raises instead
-    of hanging.
+    mid-campaign.  ``timeout`` is a *no-activity* deadline, not a wall
+    clock for the whole run: it resets on every message any worker sends
+    (heartbeats while computing, results, hellos), so a campaign with at
+    least one live worker never trips it — however long the run or a
+    single unit takes — while a run with no worker talking (every worker
+    died and none reconnects) raises instead of hanging forever.
     """
 
     name = "socket"
@@ -143,15 +151,24 @@ class SocketExecutor:
         acceptor.start()
         workers = [self._spawn_worker(extra) for extra in self._worker_specs]
         try:
-            deadline = (
-                None if self.timeout is None
-                else time.monotonic() + self.timeout
-            )
+            last_activity = -1
+            deadline: Optional[float] = None
             while not state.wait_done(0.2):
+                activity = state.activity_count()
+                if activity != last_activity:
+                    # Any worker message (heartbeat, result, hello)
+                    # resets the clock: `timeout` bounds how long the
+                    # campaign may go with no worker talking, not its
+                    # total length or a single unit's runtime.
+                    last_activity = activity
+                    deadline = (
+                        None if self.timeout is None
+                        else time.monotonic() + self.timeout
+                    )
                 if deadline is not None and time.monotonic() >= deadline:
                     missing = state.remaining()
                     raise TimeoutError(
-                        f"socket campaign incomplete after "
+                        f"socket campaign heard from no worker for "
                         f"{self.timeout:.0f}s: {len(missing)} unit(s) still "
                         f"pending "
                         f"(first: {missing[0].unit_id if missing else '-'}); "
@@ -210,6 +227,7 @@ class SocketExecutor:
             hello = lc.recv(timeout=self._dead_after)
             if hello.get("type") != "hello":
                 return
+            state.note_activity()
             state.connection_opened()
             serving = True
             # Honor the worker's own heartbeat cadence (it may have been
@@ -227,6 +245,7 @@ class SocketExecutor:
                 lc.send({"type": "unit", "unit": unit.to_dict()})
                 while True:
                     message = lc.recv(timeout=dead_after)
+                    state.note_activity()
                     if message.get("type") == "heartbeat":
                         continue
                     if message.get("type") == "result":
@@ -306,6 +325,7 @@ class _MasterState:
         self._progress = progress
         self._finished = False
         self._active = 0
+        self._activity = 0
 
     def next_unit(self) -> Optional[WorkUnit]:
         """Claim the next pending unit; blocks while others are in flight
@@ -340,6 +360,16 @@ class _MasterState:
             if unit.unit_id not in self._done:
                 self._pending.appendleft(unit)
                 self._cond.notify_all()
+
+    def note_activity(self) -> None:
+        """A worker message arrived (heartbeat/result/hello); the master
+        uses this to distinguish "slow but alive" from "all dead"."""
+        with self._cond:
+            self._activity += 1
+
+    def activity_count(self) -> int:
+        with self._cond:
+            return self._activity
 
     def connection_opened(self) -> None:
         with self._cond:
@@ -385,6 +415,7 @@ def run_worker(
     max_units: Optional[int] = None,
     heartbeat: float = DEFAULT_HEARTBEAT,
     verbose: bool = False,
+    idle_timeout: float = WORKER_IDLE_TIMEOUT,
 ) -> int:
     """Connect to a campaign master and compute units until shutdown.
 
@@ -393,10 +424,22 @@ def run_worker(
     tell "still computing" from "dead".  ``max_units`` makes the worker
     drop the connection after that many results — fault injection for
     the requeue path (quokka-style), never used in production.
-    Returns a process exit code.
+    ``idle_timeout`` bounds how long the worker waits for the master's
+    next message (keepalive plus a recv timeout), so a worker orphaned
+    by a master host that died without closing the TCP connection exits
+    instead of blocking forever.  Returns a process exit code.
     """
     sock = socket.create_connection((host, port), timeout=10.0)
     sock.settimeout(None)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    # Default kernel keepalive idles ~2h — longer than the recv timeout,
+    # i.e. useless.  Tighten it where the platform allows so a vanished
+    # master host (no FIN) errors the socket in minutes, not an hour.
+    for opt, value in (
+        ("TCP_KEEPIDLE", 60), ("TCP_KEEPINTVL", 10), ("TCP_KEEPCNT", 5)
+    ):
+        if hasattr(socket, opt):
+            sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, opt), value)
     lc = _LineConn(sock)
     label = f"{socket.gethostname()}:{os.getpid()}"
     lc.send({"type": "hello", "worker": label, "heartbeat": heartbeat})
@@ -413,7 +456,7 @@ def run_worker(
     done = 0
     try:
         while True:
-            message = lc.recv(timeout=None)
+            message = lc.recv(timeout=idle_timeout)
             kind = message.get("type")
             if kind == "shutdown":
                 if verbose:

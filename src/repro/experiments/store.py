@@ -11,8 +11,9 @@ written for a different grid.
 
 Crash safety is the append-only discipline: each row is one flushed
 line, so a killed campaign loses at most the in-flight units; a trailing
-partial line (the kill landed mid-write) is detected and ignored on
-load.  Floats round-trip exactly through JSON (``repr``-based), which is
+partial line (the kill landed mid-write) is skipped on load and dropped
+by the first append, so new records always start on a clean line while
+read-only loads never modify the file.  Floats round-trip exactly through JSON (``repr``-based), which is
 what keeps resumed and distributed campaigns bit-identical to serial
 in-memory runs.
 """
@@ -71,6 +72,8 @@ class RunStore:
         self._tags: dict[str, dict] = {}
         self._order: list[str] = []
         self._rows_fh: Optional[IO[str]] = None
+        self._repair_truncate: Optional[int] = None
+        self._repair_newline = False
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load_rows()
@@ -89,22 +92,32 @@ class RunStore:
         path = self.rows_path
         if path is None or not path.exists():
             return
-        lines = path.read_bytes().split(b"\n")
-        for i, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                at_eof = all(not later.strip() for later in lines[i + 1 :])
-                if at_eof:
-                    # A kill landed mid-append; the unit will simply rerun.
-                    break
-                raise StoreError(
-                    f"{path}: corrupt row at line {i + 1} "
-                    "(not a trailing partial write)"
-                ) from None
-            self._ingest(record)
+        data = path.read_bytes()
+        offset = 0  # byte position where the current line starts
+        for i, line in enumerate(data.split(b"\n")):
+            if line.strip():
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if data[offset + len(line) :].strip():
+                        raise StoreError(
+                            f"{path}: corrupt row at line {i + 1} "
+                            "(not a trailing partial write)"
+                        ) from None
+                    # A kill landed mid-append; the half-written unit
+                    # reruns.  Remember where the partial bytes start so
+                    # the first append can drop them — repairing here
+                    # would make read-only loads mutate a store another
+                    # process may still be writing.
+                    self._repair_truncate = offset
+                    return
+                self._ingest(record)
+            offset += len(line) + 1  # +1 for the "\n" the split removed
+        if data and not data.endswith(b"\n"):
+            # The kill landed after a full record but before its
+            # newline; the first append must complete the line before
+            # writing, or its record would glue onto this one.
+            self._repair_newline = True
 
     def _ingest(self, record: dict) -> None:
         unit_id = record["unit_id"]
@@ -137,11 +150,26 @@ class RunStore:
             self._order.append(unit.unit_id)
             if self.directory is not None:
                 if self._rows_fh is None:
-                    self._rows_fh = open(self.rows_path, "a")
+                    self._rows_fh = self._open_rows_for_append()
                 self._rows_fh.write(json.dumps(record, separators=(",", ":")))
                 self._rows_fh.write("\n")
                 self._rows_fh.flush()
         return True
+
+    def _open_rows_for_append(self) -> IO[str]:
+        """Open rows.jsonl for appending, repairing any mid-write kill
+        damage recorded at load time (deferred so read-only loads never
+        touch the file)."""
+        path = self.rows_path
+        if self._repair_truncate is not None and path.exists():
+            with open(path, "r+b") as fh:
+                fh.truncate(self._repair_truncate)
+        elif self._repair_newline and path.exists():
+            with open(path, "ab") as fh:
+                fh.write(b"\n")
+        self._repair_truncate = None
+        self._repair_newline = False
+        return open(path, "a")
 
     def close(self) -> None:
         with self._lock:

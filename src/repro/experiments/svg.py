@@ -152,7 +152,11 @@ class SvgLineChart:
 def campaign_to_charts(result: CampaignResult) -> list[SvgLineChart]:
     """The three paper panels of one campaign as SVG charts."""
     cfg = result.config
-    xs = list(cfg.granularities)
+    # From the points, not cfg.granularities: a partial store (killed
+    # campaign, out-of-order executor) can be missing a mid-sweep
+    # granularity entirely, and series() has one value per *point* — a
+    # cfg-based axis would silently shift later points left.
+    xs = [point.granularity for point in result.points]
     c = cfg.crashes
 
     a = SvgLineChart(

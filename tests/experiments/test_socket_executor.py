@@ -2,9 +2,9 @@
 
 Marked ``distributed``: run only these with
 ``pytest -m distributed``, or skip them with ``-m "not distributed"``.
-Each campaign is bounded by a hard 60 s deadline — a hung master fails
-loudly instead of wedging the suite — and the whole module is skipped
-where localhost sockets are unavailable.
+Each campaign gets a 60 s no-activity timeout — a master that stops
+hearing from every worker fails loudly instead of wedging the suite —
+and the whole module is skipped where localhost sockets are unavailable.
 """
 
 import socket
@@ -71,6 +71,50 @@ class TestSocketExecutor:
         executor = SocketExecutor(spawn_workers=0, timeout=1.0)
         with pytest.raises(TimeoutError, match="workers connected"):
             run_campaign(pinned_config, executor=executor)
+
+    def test_slow_unit_with_live_heartbeats_not_timed_out(self, pinned_config):
+        # `timeout` is a no-activity deadline, not a per-unit bound: a
+        # worker that takes 3x the timeout to compute one unit while
+        # heartbeating must not kill the campaign.
+        import threading
+        import time
+
+        from repro.experiments.grid import ScenarioGrid, WorkUnit
+        from repro.experiments.store import RunStore, result_to_dict
+
+        units = ScenarioGrid.from_config(pinned_config).units()[:1]
+        executor = SocketExecutor(spawn_workers=0, timeout=1.0)
+        store = RunStore()
+        errors = []
+
+        def master():
+            try:
+                executor.run(units, store)
+            except Exception as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=master)
+        thread.start()
+        while executor.address is None:
+            time.sleep(0.01)
+        lc = _LineConn(socket.create_connection(executor.address, timeout=10.0))
+        try:
+            lc.send({"type": "hello", "worker": "slow", "heartbeat": 0.3})
+            message = lc.recv(timeout=10.0)
+            assert message["type"] == "unit"
+            unit = WorkUnit.from_dict(message["unit"])
+            result = unit.run()
+            for _ in range(10):  # pretend the compute takes 3 s
+                time.sleep(0.3)
+                lc.send({"type": "heartbeat"})
+            lc.send({"type": "result", "unit_id": unit.unit_id,
+                     "result": result_to_dict(result)})
+            assert lc.recv(timeout=10.0)["type"] == "shutdown"
+        finally:
+            lc.close()
+            thread.join(timeout=10.0)
+        assert not errors
+        assert len(store) == 1
 
     def test_all_spawned_workers_dead_fails_fast(self, pinned_config):
         # A config whose units crash every worker (unknown algorithm name

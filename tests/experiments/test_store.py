@@ -107,11 +107,58 @@ class TestDiskStore:
         path = tmp_path / "s" / "rows.jsonl"
         # Simulate a kill mid-append: chop the last line in half.
         data = path.read_bytes()
-        path.write_bytes(data[: len(data) - 40])
+        chopped = data[: len(data) - 40]
+        path.write_bytes(chopped)
 
         reloaded = RunStore(tmp_path / "s")
         assert len(reloaded) == 1  # the partial row reruns, the full one stays
         assert WorkUnit(cfg, 0.5, 0).unit_id in reloaded
+        # A read-only load must not touch the file: a monitoring process
+        # peeking at a live store must never race the writer's appends.
+        assert path.read_bytes() == chopped
+
+    def test_append_after_truncated_reload(self, cfg, tmp_path):
+        # The resume path proper: kill mid-append, reload, append the
+        # rerun unit, reload again.  The partial bytes must not glue
+        # onto the rerun's row.
+        store = RunStore(tmp_path / "s")
+        store.append(WorkUnit(cfg, 0.5, 0), fake_result(0.5, 0))
+        store.append(WorkUnit(cfg, 0.5, 1), fake_result(0.5, 1))
+        store.close()
+        path = tmp_path / "s" / "rows.jsonl"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])  # kill mid-append
+
+        resumed = RunStore(tmp_path / "s")
+        assert len(resumed) == 1
+        resumed.append(WorkUnit(cfg, 0.5, 1), fake_result(0.5, 1))
+        resumed.append(WorkUnit(cfg, 1.5, 0), fake_result(1.5, 0))
+        resumed.close()
+
+        reloaded = RunStore(tmp_path / "s")
+        assert len(reloaded) == 3
+        assert reloaded.result(WorkUnit(cfg, 0.5, 1).unit_id) == fake_result(
+            0.5, 1
+        )
+
+    def test_append_after_missing_trailing_newline(self, cfg, tmp_path):
+        # The kill can also land after a full record but before its
+        # newline reaches disk; the next append must not glue onto it.
+        store = RunStore(tmp_path / "s")
+        store.append(WorkUnit(cfg, 0.5, 0), fake_result(0.5, 0))
+        store.close()
+        path = tmp_path / "s" / "rows.jsonl"
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        path.write_bytes(data[:-1])
+
+        resumed = RunStore(tmp_path / "s")
+        assert len(resumed) == 1  # the record itself is intact
+        resumed.append(WorkUnit(cfg, 0.5, 1), fake_result(0.5, 1))
+        resumed.close()
+
+        reloaded = RunStore(tmp_path / "s")
+        assert len(reloaded) == 2
 
     def test_mid_file_corruption_raises(self, cfg, tmp_path):
         store = RunStore(tmp_path / "s")
