@@ -16,7 +16,6 @@ scaling.  Run directly::
 from __future__ import annotations
 
 import os
-import socket
 import time
 from datetime import datetime, timezone
 
@@ -25,15 +24,7 @@ import pytest
 from benchmarks.bench_fastpath import append_bench_record
 from benchmarks.conftest import bench_graphs, bench_workers
 from repro.experiments import SocketExecutor, run_figure
-
-
-def _sockets_available() -> bool:
-    try:
-        probe = socket.create_server(("127.0.0.1", 0))
-        probe.close()
-        return True
-    except OSError:
-        return False
+from repro.experiments.executors import sockets_available
 
 
 def _timed(executor) -> tuple[float, object]:
@@ -41,6 +32,50 @@ def _timed(executor) -> tuple[float, object]:
     t0 = time.perf_counter()
     result = run_figure(1, num_graphs=graphs, executor=executor)
     return time.perf_counter() - t0, result
+
+
+def test_campaign_lease_scaling():
+    """Socket-executor wall clock at lease sizes {1, auto}.
+
+    Lease 1 is the PR-3 protocol (one unit per round-trip); ``auto``
+    adapts to observed unit latency and batches.  On a 1-CPU container
+    the units dominate and auto must at least not regress; on many-
+    worker masters the saved round-trips are the point.  The pair lands
+    in BENCH_fastpath.json so lease scaling is tracked across PRs.
+    """
+    if not sockets_available():
+        pytest.skip("localhost sockets unavailable")
+    graphs = bench_graphs(default=1)
+    workers = bench_workers(default=2)
+
+    serial_s, serial = _timed("serial")
+    lease1_s, leased1 = _timed(
+        SocketExecutor(spawn_workers=workers, timeout=600.0, lease=1)
+    )
+    assert leased1.rows() == serial.rows(), "lease=1 changed rows"
+    auto_s, auto = _timed(
+        SocketExecutor(spawn_workers=workers, timeout=600.0, lease="auto")
+    )
+    assert auto.rows() == serial.rows(), "lease=auto changed rows"
+
+    record = {
+        "bench": "campaign-lease-scaling",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "graphs_per_point": graphs,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "socket_lease1_s": round(lease1_s, 3),
+        "socket_auto_s": round(auto_s, 3),
+    }
+    append_bench_record(record)
+
+    print(f"\ncampaign lease scaling: figure1 x{graphs} graphs, "
+          f"{workers} socket workers")
+    print(f"  serial        {serial_s:7.2f}s")
+    print(f"  socket lease1 {lease1_s:7.2f}s")
+    print(f"  socket auto   {auto_s:7.2f}s "
+          f"({lease1_s / auto_s:.2f}x vs lease1)")
 
 
 def test_campaign_executors():
@@ -52,7 +87,7 @@ def test_campaign_executors():
     assert process.rows() == serial.rows(), "process executor changed rows"
 
     socket_s = None
-    if _sockets_available():
+    if sockets_available():
         socket_s, socketed = _timed(
             SocketExecutor(spawn_workers=workers, timeout=600.0)
         )

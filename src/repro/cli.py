@@ -103,6 +103,17 @@ def _parse_address(spec: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def _parse_lease(spec: str) -> str:
+    """Validate ``--lease`` at parse time (``auto`` or a positive int)."""
+    from repro.experiments.executors import LeasePolicy
+
+    try:
+        LeasePolicy.from_spec(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return spec
+
+
 def _socket_flag_errors(args: argparse.Namespace) -> Optional[str]:
     """Socket-only flags without ``--executor socket`` would be silently
     ignored (the sweep runs locally, no port is bound, remote workers
@@ -129,7 +140,7 @@ def _socket_flag_errors(args: argparse.Namespace) -> Optional[str]:
 
 def _campaign_executor(args: argparse.Namespace):
     """Build the executor a ``campaign run``/``resume`` asked for."""
-    from repro.experiments.executors import SocketExecutor
+    from repro.experiments.executors import SocketExecutor, make_executor
 
     if args.executor == "socket":
         host, port = args.bind if args.bind else ("127.0.0.1", 0)
@@ -143,8 +154,10 @@ def _campaign_executor(args: argparse.Namespace):
             port=port,
             spawn_workers=spawn,
             timeout=args.timeout if args.timeout is not None else 3600.0,
+            lease=args.lease,
         )
-    return args.executor  # spec string; make_executor resolves it
+    # Resolve here so --lease reaches the process pool's chunking too.
+    return make_executor(args.executor, workers=args.workers, lease=args.lease)
 
 
 def _report_campaign(result, args: argparse.Namespace, out=None) -> int:
@@ -467,6 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket campaign no-activity timeout in seconds "
                             "(resets on any worker heartbeat or result; "
                             "default 3600)")
+        p.add_argument("--lease", "--lease-size", dest="lease",
+                       type=_parse_lease, default=None, metavar="{auto,N}",
+                       help="units per worker lease / pool chunk: an integer "
+                            "pins the size, 'auto' (default) adapts to "
+                            "observed unit latency (~2x heartbeat of work "
+                            "per lease) and prefers same-scenario units")
         p.add_argument("--out", type=str, default=None, help="CSV output path")
         p.add_argument("--verbose", action="store_true")
 
@@ -505,8 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cwork.add_argument("--heartbeat", type=float, default=0.5,
                          help="seconds between liveness heartbeats")
     p_cwork.add_argument("--max-units", type=int, default=None,
-                         help="drop the connection after N units "
-                              "(fault-injection for requeue tests)")
+                         help="drop the connection after N units — fault "
+                              "injection for requeue tests; the worker exits "
+                              "with code 3 (distinct from a crash's 1) so "
+                              "harnesses can assert why it died")
     p_cwork.add_argument("--verbose", action="store_true")
     p_cwork.set_defaults(func=_cmd_campaign_worker)
 

@@ -41,6 +41,7 @@ from repro.experiments.store import (
 )
 from repro.experiments.executors import (
     Executor,
+    LeasePolicy,
     SerialExecutor,
     ProcessExecutor,
     SocketExecutor,
@@ -129,6 +130,7 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "Executor",
+    "LeasePolicy",
     "SerialExecutor",
     "ProcessExecutor",
     "SocketExecutor",

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.executors import Executor, make_executor
+from repro.experiments.executors import Executor, LeaseSpec, make_executor
 from repro.experiments.grid import ScenarioGrid
 from repro.experiments.harness import CampaignResult
 from repro.experiments.store import RunStore, StoreError
@@ -40,6 +40,7 @@ def run_grid(
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
     resume: bool = False,
+    lease: "LeaseSpec" = None,
 ) -> list[CampaignResult]:
     """Execute every unit of ``grid`` and return one result per scenario.
 
@@ -47,9 +48,11 @@ def run_grid(
     ``None`` (in-memory).  With ``resume=True`` units already present in
     the store are skipped — the crash-recovery path — otherwise a
     non-empty store is an error, so two campaigns can never silently mix.
-    Results are identical across executors, worker counts, and
-    interrupt/resume splits: aggregation reads the store in canonical
-    grid order, not completion order.
+    ``lease`` sizes worker leases / pool chunks (``"auto"`` or an int;
+    ignored when ``executor`` is an already-configured instance).
+    Results are identical across executors, worker counts, lease sizes,
+    and interrupt/resume splits: aggregation reads the store in
+    canonical grid order, not completion order.
     """
     owns_store = not isinstance(store, RunStore)
     run_store = resolve_store(store)
@@ -71,7 +74,7 @@ def run_grid(
             )
         todo = [unit for unit in units if unit.unit_id not in completed]
         if todo:
-            make_executor(executor, workers=workers).run(
+            make_executor(executor, workers=workers, lease=lease).run(
                 todo, run_store, progress=progress
             )
         results = run_store.results()
@@ -100,13 +103,14 @@ def run_campaign(
     executor: Union[Executor, str, None] = None,
     store: StoreLike = None,
     resume: bool = False,
+    lease: "LeaseSpec" = None,
 ) -> CampaignResult:
     """Run the full granularity sweep of one figure config.
 
     The single-scenario convenience wrapper over :func:`run_grid`; every
     historical call site (``workers=N`` for a process pool) keeps its
-    behaviour, and ``executor=``/``store=``/``resume=`` expose the
-    distributed and resumable paths.
+    behaviour, and ``executor=``/``store=``/``resume=``/``lease=``
+    expose the distributed and resumable paths.
     """
     return run_grid(
         ScenarioGrid.from_config(config),
@@ -115,6 +119,7 @@ def run_campaign(
         progress=progress,
         workers=workers,
         resume=resume,
+        lease=lease,
     )[0]
 
 
@@ -123,6 +128,7 @@ def resume_campaign(
     executor: Union[Executor, str, None] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
+    lease: "LeaseSpec" = None,
 ) -> list[CampaignResult]:
     """Finish a killed campaign from its store directory alone.
 
@@ -139,4 +145,5 @@ def resume_campaign(
             progress=progress,
             workers=workers,
             resume=True,
+            lease=lease,
         )

@@ -4,7 +4,7 @@ Three implementations of the same :class:`Executor` protocol — inline
 (:class:`SerialExecutor`), process-pool (:class:`ProcessExecutor`) and
 distributed TCP master/worker (:class:`SocketExecutor`).  Work units are
 pure functions of their fields, so all three produce bit-identical
-stores.
+stores — whatever the worker count or :class:`LeasePolicy` batch size.
 """
 
 from __future__ import annotations
@@ -14,12 +14,22 @@ from typing import Optional, Union
 
 from repro.experiments.executors.base import (
     Executor,
+    LeasePolicy,
+    LeaseSpec,
     ProgressFn,
     SerialExecutor,
     unit_progress_line,
 )
 from repro.experiments.executors.process import ProcessExecutor, effective_workers
-from repro.experiments.executors.socket import SocketExecutor, run_worker
+from repro.experiments.executors.socket import (
+    PROTO_VERSION,
+    WORKER_EXIT_ERROR,
+    WORKER_EXIT_FAULT_INJECTED,
+    WORKER_EXIT_OK,
+    SocketExecutor,
+    run_worker,
+    sockets_available,
+)
 
 #: the specs `make_executor` accepts by name
 EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process", "socket")
@@ -29,6 +39,7 @@ def make_executor(
     spec: Union[Executor, str, None] = None,
     workers: Optional[int] = None,
     clamp: bool = True,
+    lease: LeaseSpec = None,
 ) -> Executor:
     """Resolve an executor from a spec string, instance, or worker count.
 
@@ -38,12 +49,14 @@ def make_executor(
     (``"serial"``, ``"process"``, ``"process:4"``, ``"socket"`` — the
     latter binds an ephemeral localhost port and spawns ``workers``
     local worker processes, which is the zero-config way to try the
-    distributed path).  An :class:`Executor` instance passes through,
-    which is how configured :class:`SocketExecutor` masters arrive.
+    distributed path).  ``lease`` sizes worker leases / pool chunks
+    (``"auto"`` or an int; see :class:`LeasePolicy`).  An
+    :class:`Executor` instance passes through unchanged — configured
+    :class:`SocketExecutor` masters carry their own lease policy.
     """
     if spec is None:
         if workers is not None and int(workers) > 1:
-            return ProcessExecutor(workers, clamp=clamp)
+            return ProcessExecutor(workers, clamp=clamp, lease=lease)
         return SerialExecutor()
     if isinstance(spec, str):
         name, _, arg = spec.partition(":")
@@ -53,10 +66,10 @@ def make_executor(
             # Asking for the process executor without a count means "use
             # the machine", not "run serially".
             count = int(arg) if arg else (workers or os.cpu_count() or 1)
-            return ProcessExecutor(count, clamp=clamp)
+            return ProcessExecutor(count, clamp=clamp, lease=lease)
         if name == "socket":
             spawn = int(arg) if arg else (workers if workers else 2)
-            return SocketExecutor(spawn_workers=spawn)
+            return SocketExecutor(spawn_workers=spawn, lease=lease)
         raise ValueError(
             f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}"
         )
@@ -65,6 +78,8 @@ def make_executor(
 
 __all__ = [
     "Executor",
+    "LeasePolicy",
+    "LeaseSpec",
     "ProgressFn",
     "SerialExecutor",
     "ProcessExecutor",
@@ -72,6 +87,11 @@ __all__ = [
     "effective_workers",
     "make_executor",
     "run_worker",
+    "sockets_available",
     "unit_progress_line",
     "EXECUTOR_NAMES",
+    "PROTO_VERSION",
+    "WORKER_EXIT_OK",
+    "WORKER_EXIT_ERROR",
+    "WORKER_EXIT_FAULT_INJECTED",
 ]

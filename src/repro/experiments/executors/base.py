@@ -1,4 +1,4 @@
-"""The executor protocol and the inline (serial) executor.
+"""The executor protocol, lease sizing, and the inline (serial) executor.
 
 An executor takes a list of :class:`~repro.experiments.grid.WorkUnit`\\ s
 and a :class:`~repro.experiments.store.RunStore` and guarantees that on a
@@ -7,17 +7,154 @@ successful return every unit's result has been appended to the store.
 pool, or on remote workers — and because every unit is a pure function of
 its fields, the store contents are bit-identical whichever executor ran
 the campaign.
+
+:class:`LeasePolicy` is the shared batching knob: the socket master hands
+each worker a *lease* of several units at once (per-unit round-trips
+dominate on many-worker masters), and the process pool submits chunks of
+units per task for the same reason.  Lease size never affects results —
+only which worker computes which unit, and how chatty the dispatch is.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+import math
+import threading
+from dataclasses import dataclass, field
+from itertools import groupby
+from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.experiments.grid import WorkUnit
 from repro.experiments.store import RunStore
 
 #: progress callbacks receive short human-readable lines
 ProgressFn = Callable[[str], None]
+
+#: everything ``LeasePolicy.from_spec`` accepts: a policy, ``"auto"``,
+#: a fixed size (int or digit string), or ``None`` for the default
+LeaseSpec = Union["LeasePolicy", str, int, None]
+
+
+@dataclass
+class LeasePolicy:
+    """How many units a worker gets per lease (or a pool task per chunk).
+
+    ``size`` pins a fixed lease size; ``size=None`` adapts: the policy
+    tracks an EWMA of observed per-unit seconds (:meth:`observe`) and
+    sizes leases to hold about ``target_seconds`` of work — the socket
+    master targets ~2x its heartbeat interval, so a worker's lease
+    outlives a couple of liveness probes without letting a dead worker
+    strand much work.  Adaptive sizing also caps a lease at this
+    worker's fair share of the queue so one fast worker cannot starve
+    the rest.  Thread-safe: the socket master observes and sizes from
+    one handler thread per worker.
+    """
+
+    size: Optional[int] = None
+    target_seconds: float = 1.0
+    min_size: int = 1
+    max_size: int = 64
+    ewma_alpha: float = 0.4
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _avg_unit_s: Optional[float] = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_spec(
+        cls, spec: LeaseSpec, target_seconds: Optional[float] = None
+    ) -> "LeasePolicy":
+        """Resolve a lease spec: ``"auto"``/``None`` adapt, an int pins.
+
+        ``target_seconds`` seeds the adaptive target (ignored when
+        ``spec`` is already a configured :class:`LeasePolicy`).
+        """
+        if isinstance(spec, LeasePolicy):
+            return spec
+        kwargs = {} if target_seconds is None else {
+            "target_seconds": target_seconds
+        }
+        if spec is None or spec == "auto":
+            return cls(**kwargs)
+        try:
+            size = int(spec)
+            if size != spec and not isinstance(spec, str):
+                raise ValueError  # a fractional lease size is a typo
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"bad lease spec {spec!r}: expected 'auto' or a positive integer"
+            ) from None
+        if size < 1:
+            raise ValueError(f"lease size must be >= 1, got {size}")
+        return cls(size=size, **kwargs)
+
+    @property
+    def adaptive(self) -> bool:
+        return self.size is None
+
+    def observe(self, unit_seconds: float) -> None:
+        """Feed one observed per-unit compute time into the EWMA."""
+        if not (unit_seconds >= 0.0) or not math.isfinite(unit_seconds):
+            return
+        with self._lock:
+            if self._avg_unit_s is None:
+                self._avg_unit_s = unit_seconds
+            else:
+                a = self.ewma_alpha
+                self._avg_unit_s = a * unit_seconds + (1 - a) * self._avg_unit_s
+
+    @property
+    def observed_unit_seconds(self) -> Optional[float]:
+        with self._lock:
+            return self._avg_unit_s
+
+    def lease_size(self, queue_depth: int, workers: int = 1) -> int:
+        """Units for the next lease, given queue depth and live workers."""
+        if queue_depth <= 0:
+            return 0
+        if self.size is not None:
+            return max(1, min(self.size, queue_depth))
+        with self._lock:
+            avg = self._avg_unit_s
+        if avg is None:
+            # No latency sample yet: start small so the first results
+            # calibrate the EWMA quickly instead of committing a big
+            # blind lease to a possibly-slow worker.
+            k = self.min_size
+        elif avg <= 0.0:
+            k = self.max_size
+        else:
+            k = int(round(self.target_seconds / avg))
+        k = max(self.min_size, min(self.max_size, k))
+        # Fairness: never lease more than this worker's share of what is
+        # left, or one worker drains the queue while the others idle.
+        share = math.ceil(queue_depth / max(1, workers))
+        return max(1, min(k, share, queue_depth))
+
+    def chunks(
+        self, units: Sequence[WorkUnit], workers: int = 1
+    ) -> list[list[WorkUnit]]:
+        """Split units into locality-pure chunks (the process-pool path).
+
+        Chunks never mix scenarios (``WorkUnit.locality_key``), so a pool
+        worker reuses warm kernel/epoch-cache state across its chunk.  A
+        fixed ``size`` is honored exactly; adaptive sizing has no latency
+        feedback here (all chunks are submitted up front), so it targets
+        ~4 chunks per worker — big enough to amortize IPC, small enough
+        to load-balance.
+        """
+        units = list(units)
+        if not units:
+            return []
+        if self.size is not None:
+            size = max(1, self.size)
+        else:
+            size = math.ceil(len(units) / (max(1, workers) * 4))
+            size = max(self.min_size, min(self.max_size, size))
+        out: list[list[WorkUnit]] = []
+        for _key, group in groupby(units, key=lambda u: u.locality_key):
+            run = list(group)
+            out.extend(run[i : i + size] for i in range(0, len(run), size))
+        return out
 
 
 @runtime_checkable

@@ -9,22 +9,36 @@ kill, network partition) has its in-flight unit *requeued* for the next
 live worker, so a campaign survives any worker failure as long as one
 worker remains.  Fitting machinery for a paper about tolerating crashes.
 
-Wire protocol: newline-delimited JSON, one message per line.
+Wire protocol: newline-delimited JSON, one message per line.  Version 2
+adds batch leases — the master hands a worker several units per
+round-trip and the worker acks each unit as it completes, so a dead
+worker only requeues the *unfinished remainder* of its lease.
 
-======================  ======================================  =========
-message                 fields                                  direction
-======================  ======================================  =========
-``hello``               ``worker`` (label), ``heartbeat`` (s)   w -> m
-``unit``                ``unit`` (WorkUnit dict)                m -> w
-``heartbeat``           —                                       w -> m
-``result``              ``unit_id``, ``result`` (RepResult)     w -> m
-``shutdown``            —                                       m -> w
-======================  ======================================  =========
+======================  ==========================================  =========
+message                 fields                                      direction
+======================  ==========================================  =========
+``hello``               ``worker`` (label), ``heartbeat`` (s),      w -> m
+                        ``proto`` (int, absent = 1)
+``unit``                ``unit`` (WorkUnit dict)           [v1]     m -> w
+``lease``               ``units`` (list of WorkUnit dicts) [v2]     m -> w
+``heartbeat``           —                                           w -> m
+``result``              ``unit_id``, ``result`` (RepResult),        w -> m
+                        ``seconds`` (compute time)         [v2]
+``shutdown``            —                                           m -> w
+======================  ==========================================  =========
+
+Version negotiation: the worker's ``hello`` names the highest protocol
+it speaks and the master answers in ``min(worker, PROTO_VERSION)`` — a
+v1 worker (no ``proto`` field) is streamed single ``unit`` messages
+exactly as before, a v2 worker gets ``lease`` batches sized by the
+master's :class:`~repro.experiments.executors.base.LeasePolicy` (adaptive
+sizing targets ~2x the heartbeat interval of work per lease, and leases
+prefer units of one scenario so workers reuse warm kernel state).
 
 Units carry their full config, so workers need no shared filesystem and
 no campaign-specific state: connect, compute, reply.  Results round-trip
 through JSON exactly (float ``repr``), keeping distributed rows
-bit-identical to serial ones.
+bit-identical to serial ones — whatever the lease size.
 """
 
 from __future__ import annotations
@@ -39,9 +53,24 @@ import time
 from collections import deque
 from typing import Optional, Sequence, Union
 
-from repro.experiments.executors.base import ProgressFn, unit_progress_line
+from repro.experiments.executors.base import (
+    LeasePolicy,
+    LeaseSpec,
+    ProgressFn,
+    unit_progress_line,
+)
 from repro.experiments.grid import WorkUnit
 from repro.experiments.store import RunStore, result_from_dict, result_to_dict
+
+#: highest wire-protocol version this build speaks
+PROTO_VERSION = 2
+
+#: worker process exit codes — the conformance harness asserts *why* a
+#: worker died, so the injected fault must be distinguishable from a
+#: genuine crash (exit 1) and a clean shutdown (exit 0)
+WORKER_EXIT_OK = 0
+WORKER_EXIT_ERROR = 1
+WORKER_EXIT_FAULT_INJECTED = 3
 
 #: how often a worker emits a heartbeat while connected
 DEFAULT_HEARTBEAT = 0.5
@@ -52,6 +81,18 @@ DEAD_AFTER_BEATS = 8
 #: Generous, because a worker legitimately idles while the master holds
 #: it back waiting on another worker's in-flight unit (possible requeue).
 WORKER_IDLE_TIMEOUT = 3600.0
+
+
+def sockets_available() -> bool:
+    """Can this host bind a localhost TCP port?  Sandboxes sometimes
+    can't — callers (tests, benches) use this to skip the socket
+    executor instead of failing on ``run``."""
+    try:
+        probe = socket.create_server(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
 
 
 class _LineConn:
@@ -107,6 +148,14 @@ class SocketExecutor:
     least one live worker never trips it — however long the run or a
     single unit takes — while a run with no worker talking (every worker
     died and none reconnects) raises instead of hanging forever.
+
+    ``lease`` sizes the unit batches handed to v2 workers: an int pins a
+    fixed lease size, ``"auto"`` (the default) adapts to observed unit
+    latency — targeting ~2x the heartbeat interval of work per lease —
+    and a configured :class:`LeasePolicy` instance passes through.
+    After ``run`` returns, ``worker_exit_codes`` holds the exit code of
+    every worker this master spawned (``WORKER_EXIT_FAULT_INJECTED``
+    identifies ``--max-units`` fault workers).
     """
 
     name = "socket"
@@ -118,16 +167,21 @@ class SocketExecutor:
         spawn_workers: Union[int, Sequence[Sequence[str]]] = 0,
         heartbeat: float = DEFAULT_HEARTBEAT,
         timeout: Optional[float] = 300.0,
+        lease: LeaseSpec = None,
     ) -> None:
         self.host = host
         self.port = port
         self.heartbeat = heartbeat
         self.timeout = timeout
+        self.lease_policy = LeasePolicy.from_spec(
+            lease, target_seconds=2.0 * heartbeat
+        )
         if isinstance(spawn_workers, int):
             self._worker_specs: list[list[str]] = [[] for _ in range(spawn_workers)]
         else:
             self._worker_specs = [list(extra) for extra in spawn_workers]
         self.address: Optional[tuple[str, int]] = None
+        self.worker_exit_codes: list[int] = []
         self._dead_after = max(heartbeat * DEAD_AFTER_BEATS, 5.0)
 
     # ------------------------------------------------------------- master
@@ -198,8 +252,9 @@ class SocketExecutor:
                 server.close()
             except OSError:
                 pass
-            for proc in workers:
-                self._reap_worker(proc)
+            self.worker_exit_codes = [
+                self._reap_worker(proc) for proc in workers
+            ]
 
     def _accept_loop(
         self, server: socket.socket, state: "_MasterState", stop: threading.Event
@@ -221,7 +276,7 @@ class SocketExecutor:
 
     def _serve_worker(self, conn: socket.socket, state: "_MasterState") -> None:
         lc = _LineConn(conn)
-        unit: Optional[WorkUnit] = None
+        remaining: dict[str, WorkUnit] = {}
         serving = False
         try:
             hello = lc.recv(timeout=self._dead_after)
@@ -230,6 +285,10 @@ class SocketExecutor:
             state.note_activity()
             state.connection_opened()
             serving = True
+            # Version negotiation: speak the highest protocol both sides
+            # know.  A v1 worker (no proto field) is streamed one unit at
+            # a time; a v2 worker gets policy-sized leases.
+            proto = min(PROTO_VERSION, int(hello.get("proto", 1)))
             # Honor the worker's own heartbeat cadence (it may have been
             # started with --heartbeat much larger than the master's):
             # the deadness deadline is per-connection, from the hello.
@@ -238,39 +297,60 @@ class SocketExecutor:
                 self._dead_after, worker_beat * DEAD_AFTER_BEATS
             )
             while True:
-                unit = state.next_unit()
-                if unit is None:
+                lease = state.next_lease(
+                    self.lease_policy if proto >= 2 else None
+                )
+                if lease is None:
                     lc.send({"type": "shutdown"})
                     return
-                lc.send({"type": "unit", "unit": unit.to_dict()})
-                while True:
+                # Track the lease BEFORE the send: if the worker died at
+                # the lease boundary (send raises), the claimed units
+                # must requeue, not strand in flight.
+                remaining = {u.unit_id: u for u in lease}
+                if proto >= 2:
+                    lc.send(
+                        {"type": "lease",
+                         "units": [u.to_dict() for u in lease]}
+                    )
+                else:
+                    lc.send({"type": "unit", "unit": lease[0].to_dict()})
+                while remaining:
                     message = lc.recv(timeout=dead_after)
                     state.note_activity()
-                    if message.get("type") == "heartbeat":
+                    kind = message.get("type")
+                    if kind == "heartbeat":
                         continue
-                    if message.get("type") == "result":
-                        break
-                    raise ConnectionError(
-                        f"unexpected message type {message.get('type')!r}"
+                    if kind != "result":
+                        raise ConnectionError(
+                            f"unexpected message type {kind!r}"
+                        )
+                    unit_id = message.get("unit_id")
+                    unit = remaining.pop(unit_id, None)
+                    if unit is None:
+                        if state.is_done(unit_id):
+                            # Duplicate delivery (a replayed ack): the
+                            # unit is already stored, drop the copy.
+                            continue
+                        # A version-skewed or buggy worker answering for
+                        # a unit it was never leased must not corrupt
+                        # the store: drop the worker, requeue its lease.
+                        raise ConnectionError(
+                            f"result for {unit_id!r} outside this "
+                            "worker's lease"
+                        )
+                    result = result_from_dict(
+                        message["result"], unit.granularity, unit.rep
                     )
-                if message.get("unit_id") != unit.unit_id:
-                    # A version-skewed or buggy worker answering for the
-                    # wrong unit must not corrupt the store: drop the
-                    # worker, requeue the dispatched unit.
-                    raise ConnectionError(
-                        f"result for {message.get('unit_id')!r} while "
-                        f"awaiting {unit.unit_id!r}"
-                    )
-                result = result_from_dict(
-                    message["result"], unit.granularity, unit.rep
-                )
-                state.complete(unit, result)
-                unit = None
+                    state.complete(unit, result)
+                    seconds = message.get("seconds")
+                    if seconds is not None:
+                        self.lease_policy.observe(float(seconds))
         except (ConnectionError, OSError, socket.timeout, json.JSONDecodeError):
-            # Worker died or went silent: put its in-flight unit back on
-            # the queue for the next live worker (mappy-style requeue).
-            if unit is not None:
-                state.requeue(unit)
+            # Worker died or went silent: put the *unfinished remainder*
+            # of its lease back on the queue for the next live worker
+            # (per-unit acks mean completed units never rerun).
+            if remaining:
+                state.requeue_units(list(remaining.values()))
         finally:
             if serving:
                 state.connection_closed()
@@ -299,12 +379,12 @@ class SocketExecutor:
         )
 
     @staticmethod
-    def _reap_worker(proc: subprocess.Popen) -> None:
+    def _reap_worker(proc: subprocess.Popen) -> int:
         try:
-            proc.wait(timeout=5.0)
+            return proc.wait(timeout=5.0)
         except subprocess.TimeoutExpired:
             proc.kill()
-            proc.wait(timeout=5.0)
+            return proc.wait(timeout=5.0)
 
 
 class _MasterState:
@@ -327,18 +407,43 @@ class _MasterState:
         self._active = 0
         self._activity = 0
 
-    def next_unit(self) -> Optional[WorkUnit]:
-        """Claim the next pending unit; blocks while others are in flight
-        (a requeue may refill the queue); ``None`` once the campaign is
-        complete (or aborted)."""
+    def next_lease(
+        self, policy: Optional[LeasePolicy]
+    ) -> Optional[list[WorkUnit]]:
+        """Claim the next lease of pending units; blocks while others are
+        in flight (a requeue may refill the queue); ``None`` once the
+        campaign is complete (or aborted).
+
+        ``policy=None`` (a v1 worker) leases exactly one unit.  Otherwise
+        the policy sizes the lease and assembly prefers locality: the
+        lease is the queue head plus the next pending units sharing its
+        ``locality_key``, so a worker computes one scenario back to back
+        and reuses warm kernel/epoch-cache state.  Skipped units keep
+        their queue order.
+        """
         with self._cond:
             while True:
                 if self._finished or len(self._done) >= self._total:
                     return None
                 if self._pending:
-                    unit = self._pending.popleft()
-                    self._in_flight[unit.unit_id] = unit
-                    return unit
+                    k = 1
+                    if policy is not None:
+                        k = policy.lease_size(
+                            len(self._pending), workers=max(1, self._active)
+                        )
+                    lease = [self._pending.popleft()]
+                    if k > 1:
+                        key = lease[0].locality_key
+                        kept: deque[WorkUnit] = deque()
+                        for unit in self._pending:
+                            if len(lease) < k and unit.locality_key == key:
+                                lease.append(unit)
+                            else:
+                                kept.append(unit)
+                        self._pending = kept
+                    for unit in lease:
+                        self._in_flight[unit.unit_id] = unit
+                    return lease
                 self._cond.wait(timeout=0.1)
 
     def complete(self, unit: WorkUnit, result) -> None:
@@ -354,11 +459,21 @@ class _MasterState:
                 )
             self._cond.notify_all()
 
-    def requeue(self, unit: WorkUnit) -> None:
+    def is_done(self, unit_id: Optional[str]) -> bool:
         with self._cond:
-            self._in_flight.pop(unit.unit_id, None)
-            if unit.unit_id not in self._done:
-                self._pending.appendleft(unit)
+            return unit_id in self._done
+
+    def requeue_units(self, units: Sequence[WorkUnit]) -> None:
+        """Return a dead worker's unfinished lease remainder to the queue
+        (front of the queue, original order preserved)."""
+        with self._cond:
+            requeued = False
+            for unit in reversed(units):
+                self._in_flight.pop(unit.unit_id, None)
+                if unit.unit_id not in self._done:
+                    self._pending.appendleft(unit)
+                    requeued = True
+            if requeued:
                 self._cond.notify_all()
 
     def note_activity(self) -> None:
@@ -423,11 +538,19 @@ def run_worker(
     thread heartbeats for the life of the connection so the master can
     tell "still computing" from "dead".  ``max_units`` makes the worker
     drop the connection after that many results — fault injection for
-    the requeue path (quokka-style), never used in production.
-    ``idle_timeout`` bounds how long the worker waits for the master's
-    next message (keepalive plus a recv timeout), so a worker orphaned
-    by a master host that died without closing the TCP connection exits
-    instead of blocking forever.  Returns a process exit code.
+    the requeue path (quokka-style), never used in production; because
+    the budget is checked per unit, a worker holding a multi-unit lease
+    dies *mid-lease*, which is exactly what the partial-requeue path
+    needs exercised.  ``idle_timeout`` bounds how long the worker waits
+    for the master's next message (keepalive plus a recv timeout), so a
+    worker orphaned by a master host that died without closing the TCP
+    connection exits instead of blocking forever.
+
+    Returns a process exit code: ``WORKER_EXIT_OK`` after a clean
+    shutdown, ``WORKER_EXIT_ERROR`` on a genuine failure, and
+    ``WORKER_EXIT_FAULT_INJECTED`` when the ``max_units`` budget ran out
+    — distinct codes, so the conformance harness can assert *why* a
+    worker died.
     """
     sock = socket.create_connection((host, port), timeout=10.0)
     sock.settimeout(None)
@@ -442,7 +565,14 @@ def run_worker(
             sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, opt), value)
     lc = _LineConn(sock)
     label = f"{socket.gethostname()}:{os.getpid()}"
-    lc.send({"type": "hello", "worker": label, "heartbeat": heartbeat})
+    lc.send(
+        {
+            "type": "hello",
+            "worker": label,
+            "heartbeat": heartbeat,
+            "proto": PROTO_VERSION,
+        }
+    )
     stop = threading.Event()
 
     def _beat() -> None:
@@ -462,27 +592,39 @@ def run_worker(
                 if verbose:
                     print(f"worker {label}: shutdown after {done} unit(s)",
                           file=sys.stderr)
-                return 0
-            if kind != "unit":
+                return WORKER_EXIT_OK
+            if kind == "lease":
+                units = [WorkUnit.from_dict(d) for d in message["units"]]
+            elif kind == "unit":
+                units = [WorkUnit.from_dict(message["unit"])]
+            else:
                 continue
-            unit = WorkUnit.from_dict(message["unit"])
-            if verbose:
-                print(f"worker {label}: {unit.unit_id}", file=sys.stderr)
-            result = unit.run()
-            lc.send(
-                {
-                    "type": "result",
-                    "unit_id": unit.unit_id,
-                    "result": result_to_dict(result),
-                }
-            )
-            done += 1
-            if max_units is not None and done >= max_units:
-                # Simulated crash: vanish without a goodbye so the master
-                # exercises its dead-worker detection.
-                return 1
+            for unit in units:
+                if verbose:
+                    print(f"worker {label}: {unit.unit_id}", file=sys.stderr)
+                t0 = time.perf_counter()
+                result = unit.run()
+                # The per-unit ack: the master stores each unit the
+                # moment it completes, so a later crash of this worker
+                # only requeues the lease's unfinished remainder.
+                lc.send(
+                    {
+                        "type": "result",
+                        "unit_id": unit.unit_id,
+                        "result": result_to_dict(result),
+                        "seconds": time.perf_counter() - t0,
+                    }
+                )
+                done += 1
+                if max_units is not None and done >= max_units:
+                    # Simulated crash: vanish without a goodbye — mid-
+                    # lease when more units were leased — so the master
+                    # exercises dead-worker detection and partial-lease
+                    # requeue.  The distinct exit code lets a harness
+                    # tell this injected fault from a real crash.
+                    return WORKER_EXIT_FAULT_INJECTED
     except (ConnectionError, OSError):
-        return 0 if done else 1
+        return WORKER_EXIT_OK if done else WORKER_EXIT_ERROR
     finally:
         stop.set()
         lc.close()

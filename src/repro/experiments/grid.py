@@ -54,6 +54,19 @@ class WorkUnit:
         )
 
     @property
+    def locality_key(self) -> tuple[str, str, str, str]:
+        """What a lease should keep together: the communication scenario.
+
+        Units sharing this key schedule over the same figure, network
+        model, topology, and port policy, so a worker that computes them
+        back to back reuses warm kernel/epoch-cache state.  Canonical
+        grid order is already sorted by this key; requeues can interleave
+        scenarios, which is why lease assembly filters on it explicitly.
+        """
+        name, model, topology, policy = self.config.scenario_key()
+        return (name, model, topology, policy)
+
+    @property
     def scenario(self) -> dict[str, str]:
         """Scenario tags every stored row carries (report columns)."""
         name, model, topology, policy = self.config.scenario_key()

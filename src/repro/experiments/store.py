@@ -74,6 +74,8 @@ class RunStore:
         self._rows_fh: Optional[IO[str]] = None
         self._repair_truncate: Optional[int] = None
         self._repair_newline = False
+        self._duplicate_appends = 0
+        self._replayed_rows = 0
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load_rows()
@@ -122,6 +124,7 @@ class RunStore:
     def _ingest(self, record: dict) -> None:
         unit_id = record["unit_id"]
         if unit_id in self._results:  # replayed append from a requeue race
+            self._replayed_rows += 1
             return
         self._results[unit_id] = result_from_dict(
             record["result"], record["granularity"], record["rep"]
@@ -144,6 +147,7 @@ class RunStore:
         }
         with self._lock:
             if unit.unit_id in self._results:
+                self._duplicate_appends += 1
                 return False
             self._results[unit.unit_id] = result
             self._tags[unit.unit_id] = unit.scenario
@@ -228,6 +232,23 @@ class RunStore:
             self.write_manifest(grid)
 
     # --------------------------------------------------------------- reading
+
+    def dedup_stats(self) -> dict[str, int]:
+        """How many replayed deliveries idempotency swallowed.
+
+        ``duplicate_appends`` counts live :meth:`append` calls for units
+        already present (requeue races, duplicate socket deliveries);
+        ``replayed_rows`` counts duplicate rows skipped while loading
+        ``rows.jsonl`` (a crash landed between a rerun's append and the
+        original's — harmless, the first row wins).  Both should be 0 in
+        a fault-free campaign; fault-injection suites assert they absorb
+        exactly the injected replays.
+        """
+        with self._lock:
+            return {
+                "duplicate_appends": self._duplicate_appends,
+                "replayed_rows": self._replayed_rows,
+            }
 
     def completed_ids(self) -> frozenset[str]:
         with self._lock:

@@ -1,0 +1,290 @@
+"""Reusable executor conformance + fault-injection harness.
+
+The executor stack's core contract is *bit-identical stored rows*: any
+executor, any worker count, any lease size, and any fault along the way
+must leave the store exactly as a fault-free serial run would.  This
+module packages that contract as a matrix any executor implementation
+can be driven through:
+
+========================  ==================================================
+fault cell                what is injected
+========================  ==================================================
+``none``                  nothing — the plain equivalence run
+``worker-crash``          the computing side dies mid-campaign: a socket
+                          worker vanishes mid-lease (``--max-units``, so the
+                          partial-lease remainder requeues to the survivor),
+                          serial/process abort after two units and a fresh
+                          executor finishes via ``resume=True``
+``master-kill-resume``    the whole campaign process takes ``SIGKILL``
+                          mid-run; a new process resumes the store
+``duplicate-delivery``    every result is delivered to the store twice
+                          (requeue-race replay); idempotent appends must
+                          swallow each copy exactly once
+========================  ==================================================
+
+``run_cell`` executes one (executor, fault) cell against a store
+directory and returns the store's canonical per-rep rows for comparison
+against the serial baseline.  ``test_conformance.py`` drives the full
+matrix under the ``conformance`` pytest marker; the module itself is
+importable (no ``test_`` prefix) so future executors can reuse it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.experiments import (
+    ExperimentConfig,
+    ProcessExecutor,
+    RunStore,
+    ScenarioGrid,
+    SerialExecutor,
+    SocketExecutor,
+    run_campaign,
+)
+from repro.experiments.campaign import resume_campaign
+from repro.experiments.executors import (
+    WORKER_EXIT_FAULT_INJECTED,
+    WORKER_EXIT_OK,
+    sockets_available,
+)
+from repro.experiments.grid import WorkUnit
+from repro.experiments.harness import RepResult
+
+EXECUTORS: tuple[str, ...] = ("serial", "process", "socket")
+FAULTS: tuple[str, ...] = (
+    "none",
+    "worker-crash",
+    "master-kill-resume",
+    "duplicate-delivery",
+)
+
+#: hard no-activity deadline for every socket cell — a wedged master
+#: fails loudly instead of hanging the suite
+DEADLINE_S = 60.0
+
+
+class FaultInjected(RuntimeError):
+    """Raised by the harness to kill the computing side mid-campaign."""
+
+
+class DuplicatingStore(RunStore):
+    """A store whose every append is delivered twice.
+
+    Models the requeue-race replay (a presumed-dead worker's result
+    arriving after the rerun's) uniformly for all executors: the second
+    delivery must be swallowed by idempotency, never duplicate a row.
+    """
+
+    def append(self, unit: WorkUnit, result: RepResult) -> bool:
+        first = super().append(unit, result)
+        replay = super().append(unit, result)
+        assert not replay, f"duplicate append of {unit.unit_id} was stored"
+        return first
+
+
+def make_cell_executor(
+    name: str,
+    lease: Union[str, int, None] = "auto",
+    spawn: Union[int, Sequence[Sequence[str]]] = 2,
+):
+    """A fresh executor for one conformance cell."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(2, clamp=False, lease=lease)
+    if name == "socket":
+        return SocketExecutor(
+            spawn_workers=spawn, timeout=DEADLINE_S, lease=lease
+        )
+    raise ValueError(f"unknown conformance executor {name!r}")
+
+
+def stored_rows(store_dir: Union[str, Path]) -> list[dict]:
+    """The canonical per-rep rows of a store directory."""
+    with RunStore(store_dir) as store:
+        return store.rep_rows()
+
+
+def run_cell(
+    config: ExperimentConfig,
+    executor_name: str,
+    fault: str,
+    store_dir: Union[str, Path],
+) -> list[dict]:
+    """Run one (executor, fault) cell; returns the stored rows.
+
+    Every cell finishes the full campaign into ``store_dir`` — through
+    the fault — and additionally asserts the fault-specific invariants
+    (partial progress before resume, distinct fault exit codes, dedup
+    counts).  The caller compares the returned rows against the serial
+    baseline.
+    """
+    store_dir = Path(store_dir)
+    grid = ScenarioGrid.from_config(config)
+    total = grid.total_units
+
+    if fault == "none":
+        run_campaign(config, executor=make_cell_executor(executor_name),
+                     store=store_dir)
+
+    elif fault == "duplicate-delivery":
+        store = DuplicatingStore(store_dir)
+        try:
+            run_campaign(config, executor=make_cell_executor(executor_name),
+                         store=store)
+        finally:
+            store.close()
+        stats = store.dedup_stats()
+        assert stats["duplicate_appends"] >= total, (
+            f"expected >= {total} swallowed replays, saw {stats}"
+        )
+
+    elif fault == "worker-crash":
+        if executor_name == "socket":
+            # One worker vanishes after a single unit of its multi-unit
+            # lease (--max-units 1, lease pinned > 1): the master must
+            # requeue the lease's unfinished remainder to the survivor.
+            executor = make_cell_executor(
+                "socket", lease=2, spawn=[["--max-units", "1"], []]
+            )
+            run_campaign(config, executor=executor, store=store_dir)
+            codes = executor.worker_exit_codes
+            assert codes.count(WORKER_EXIT_FAULT_INJECTED) == 1, (
+                f"fault worker's exit code not distinct: {codes}"
+            )
+            assert codes.count(WORKER_EXIT_OK) == 1, (
+                f"surviving worker did not shut down cleanly: {codes}"
+            )
+        else:
+            # Serial/process have no independently-killable worker with a
+            # survivor, so the computing side aborts mid-campaign and a
+            # fresh executor finishes from the partial store.
+            calls = 0
+
+            def dying_progress(message: str) -> None:
+                nonlocal calls
+                calls += 1
+                if calls >= 2:
+                    raise FaultInjected(message)
+
+            try:
+                run_campaign(
+                    config,
+                    executor=make_cell_executor(executor_name),
+                    store=store_dir,
+                    progress=dying_progress,
+                )
+            except FaultInjected:
+                pass
+            with RunStore(store_dir) as partial:
+                done = len(partial)
+            assert 0 < done < total, (
+                f"crash landed outside the campaign: {done}/{total} done"
+            )
+            run_campaign(config, executor=make_cell_executor(executor_name),
+                         store=store_dir, resume=True)
+
+    elif fault == "master-kill-resume":
+        _sigkill_master_then_resume(config, executor_name, store_dir, total)
+
+    else:
+        raise ValueError(f"unknown conformance fault {fault!r}")
+
+    rows = stored_rows(store_dir)
+    with RunStore(store_dir) as store:
+        missing = {u.unit_id for u in grid.units()} - set(store.completed_ids())
+    assert not missing, f"cell left {len(missing)} unit(s) incomplete"
+    return rows
+
+
+#: executor spec the SIGKILL victim subprocess resolves (socket masters
+#: self-host two local workers; process pools skip the CPU clamp so the
+#: fault lands mid-drain even on a 1-CPU container)
+_VICTIM_SPECS = {"serial": "serial", "process": "process:2", "socket": "socket:2"}
+
+_VICTIM_SCRIPT = """\
+import json, sys, time
+from repro.experiments import ExperimentConfig, run_campaign
+from repro.experiments.executors import make_executor
+
+cfg = ExperimentConfig.from_dict(json.load(open(sys.argv[1])))
+# Slow the append rate so the parent can land SIGKILL mid-campaign
+# instead of racing a fast finish.
+run_campaign(
+    cfg,
+    executor=make_executor(sys.argv[3], lease="auto"),
+    store=sys.argv[2],
+    progress=lambda message: time.sleep(0.4),
+)
+"""
+
+
+def _sigkill_master_then_resume(
+    config: ExperimentConfig,
+    executor_name: str,
+    store_dir: Path,
+    total: int,
+) -> None:
+    """SIGKILL a campaign subprocess mid-run, then resume it here.
+
+    The kill lands after at least one row hit the disk (polled) and the
+    resume must not rerun any completed unit — the store's append-only
+    bytes are checked to be a strict prefix of the final file.
+    """
+    cfg_path = store_dir.parent / "victim-config.json"
+    cfg_path.parent.mkdir(parents=True, exist_ok=True)
+    cfg_path.write_text(json.dumps(config.to_dict()))
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _VICTIM_SCRIPT,
+            str(cfg_path),
+            str(store_dir),
+            _VICTIM_SPECS[executor_name],
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    rows_path = store_dir / "rows.jsonl"
+    deadline = time.monotonic() + DEADLINE_S
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if rows_path.exists() and rows_path.read_bytes().count(b"\n") >= 1:
+                break
+            time.sleep(0.02)
+        assert rows_path.exists(), "victim campaign never wrote a row"
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    with RunStore(store_dir) as partial:
+        done_before = len(partial)
+    assert done_before < total, "kill landed too late to exercise resume"
+    bytes_before = rows_path.read_bytes()
+
+    resume_campaign(store_dir, executor=make_cell_executor(executor_name))
+
+    bytes_after = rows_path.read_bytes()
+    # Append-only discipline: completed rows survive the kill untouched
+    # (modulo the documented partial-final-line repair, which only ever
+    # removes bytes of the interrupted, *incomplete* record).
+    repaired_prefix = bytes_before
+    if not bytes_before.endswith(b"\n"):
+        repaired_prefix = bytes_before[: bytes_before.rfind(b"\n") + 1]
+    assert bytes_after.startswith(repaired_prefix), (
+        "resume rewrote completed rows"
+    )

@@ -12,27 +12,28 @@ import socket
 import pytest
 
 from repro.experiments import SocketExecutor, run_campaign
-from repro.experiments.executors.socket import _LineConn
-
-
-def _sockets_available() -> bool:
-    try:
-        probe = socket.create_server(("127.0.0.1", 0))
-        probe.close()
-        return True
-    except OSError:
-        return False
-
+from repro.experiments.executors.socket import _LineConn, sockets_available
 
 pytestmark = [
     pytest.mark.distributed,
     pytest.mark.skipif(
-        not _sockets_available(), reason="localhost sockets unavailable"
+        not sockets_available(), reason="localhost sockets unavailable"
     ),
 ]
 
 #: hard deadline for every socket campaign in this module
 DEADLINE_S = 60.0
+
+
+def _serial_rep_rows(config):
+    """Per-rep serial baseline rows (for stores without a manifest)."""
+    from repro.experiments.executors import SerialExecutor
+    from repro.experiments.grid import ScenarioGrid
+    from repro.experiments.store import RunStore
+
+    store = RunStore()
+    SerialExecutor().run(ScenarioGrid.from_config(config).units(), store)
+    return store.rep_rows()
 
 
 class TestSocketExecutor:
@@ -139,6 +140,174 @@ class TestSocketExecutor:
 
         reloaded = CampaignResult.from_store(RunStore(tmp_path / "s"))
         assert reloaded.rows() == pinned_serial_rows
+
+
+class TestBatchLeases:
+    def test_fixed_lease_matches_serial(self, pinned_config, pinned_serial_rows):
+        executor = SocketExecutor(spawn_workers=2, timeout=DEADLINE_S, lease=3)
+        result = run_campaign(pinned_config, executor=executor)
+        assert result.rows() == pinned_serial_rows
+
+    def test_crash_mid_lease_requeues_remainder(
+        self, pinned_config, pinned_serial_rows
+    ):
+        # The fault worker completes one unit of its 2-unit lease and
+        # vanishes; per-unit acks mean only the *remainder* requeues —
+        # rows stay bit-identical and the injected fault exits distinctly.
+        from repro.experiments.executors import (
+            WORKER_EXIT_FAULT_INJECTED,
+            WORKER_EXIT_OK,
+        )
+
+        executor = SocketExecutor(
+            spawn_workers=[["--max-units", "1"], []],
+            timeout=DEADLINE_S,
+            lease=2,
+        )
+        result = run_campaign(pinned_config, executor=executor)
+        assert result.rows() == pinned_serial_rows
+        assert sorted(executor.worker_exit_codes) == sorted(
+            [WORKER_EXIT_FAULT_INJECTED, WORKER_EXIT_OK]
+        )
+
+    def test_crash_at_lease_boundary_requeues_next_lease(self, pinned_config):
+        # The fault worker completes its whole first lease (--max-units
+        # == lease size) and vanishes exactly at the lease boundary: the
+        # master has already claimed the next lease when the send/recv
+        # fails, and must requeue it rather than strand it in flight.
+        from dataclasses import replace
+
+        cfg = replace(pinned_config, num_graphs=3)  # 6 units
+        executor = SocketExecutor(
+            spawn_workers=[["--max-units", "2"], []],
+            timeout=DEADLINE_S,
+            lease=2,
+        )
+        result = run_campaign(cfg, executor=executor)
+        assert result.rows() == run_campaign(cfg).rows()
+
+    def _drive_master(self, pinned_config, worker):
+        """Run a master against a hand-rolled worker implementation."""
+        import threading
+        import time
+
+        from repro.experiments.grid import ScenarioGrid
+        from repro.experiments.store import RunStore
+
+        units = ScenarioGrid.from_config(pinned_config).units()
+        executor = SocketExecutor(spawn_workers=0, timeout=DEADLINE_S)
+        store = RunStore()
+        errors = []
+
+        def master():
+            try:
+                executor.run(units, store)
+            except Exception as exc:  # surfaced to the test below
+                errors.append(exc)
+
+        thread = threading.Thread(target=master)
+        thread.start()
+        try:
+            while executor.address is None:
+                time.sleep(0.01)
+            lc = _LineConn(
+                socket.create_connection(executor.address, timeout=10.0)
+            )
+            try:
+                worker(lc)
+            finally:
+                lc.close()
+        finally:
+            thread.join(timeout=15.0)
+        assert not errors, errors
+        assert len(store) == len(units)
+        return store
+
+    def test_v1_worker_negotiation(self, pinned_config, pinned_serial_rows):
+        # A hello without a proto field is a v1 worker: the master must
+        # stream single `unit` messages, never a `lease`.
+        from repro.experiments.grid import WorkUnit
+        from repro.experiments.store import result_to_dict
+
+        def v1_worker(lc):
+            lc.send({"type": "hello", "worker": "legacy", "heartbeat": 0.3})
+            while True:
+                message = lc.recv(timeout=10.0)
+                if message["type"] == "shutdown":
+                    return
+                assert message["type"] == "unit", message["type"]
+                unit = WorkUnit.from_dict(message["unit"])
+                lc.send({
+                    "type": "result",
+                    "unit_id": unit.unit_id,
+                    "result": result_to_dict(unit.run()),
+                })
+
+        store = self._drive_master(pinned_config, v1_worker)
+        assert store.rep_rows() == _serial_rep_rows(pinned_config)
+
+    def test_adaptive_lease_grows_with_fast_units(self, pinned_config):
+        # First lease is 1 unit (no latency sample); after a fast result
+        # the policy sizes the next lease to its fair share of the queue.
+        from dataclasses import replace
+
+        from repro.experiments.grid import WorkUnit
+        from repro.experiments.store import result_to_dict
+
+        lease_sizes = []
+
+        def v2_worker(lc):
+            lc.send({"type": "hello", "worker": "v2", "heartbeat": 0.3,
+                     "proto": 2})
+            while True:
+                message = lc.recv(timeout=10.0)
+                if message["type"] == "shutdown":
+                    return
+                assert message["type"] == "lease", message["type"]
+                units = [WorkUnit.from_dict(d) for d in message["units"]]
+                lease_sizes.append(len(units))
+                for unit in units:
+                    lc.send({
+                        "type": "result",
+                        "unit_id": unit.unit_id,
+                        "result": result_to_dict(unit.run()),
+                        "seconds": 0.01,  # report fast units
+                    })
+
+        cfg = replace(pinned_config, num_graphs=3)  # 6 units
+        self._drive_master(cfg, v2_worker)
+        assert lease_sizes[0] == 1
+        assert max(lease_sizes) > 1  # the master batched once calibrated
+        assert sum(lease_sizes) == 6
+
+    def test_duplicate_result_delivery_ignored(
+        self, pinned_config, pinned_serial_rows
+    ):
+        # A worker acking the same unit twice (replayed delivery) must
+        # not corrupt the store or kill the connection.
+        from repro.experiments.grid import WorkUnit
+        from repro.experiments.store import result_to_dict
+
+        def duplicating_worker(lc):
+            lc.send({"type": "hello", "worker": "dup", "heartbeat": 0.3,
+                     "proto": 2})
+            while True:
+                message = lc.recv(timeout=10.0)
+                if message["type"] == "shutdown":
+                    return
+                units = [WorkUnit.from_dict(d) for d in message["units"]]
+                for unit in units:
+                    ack = {
+                        "type": "result",
+                        "unit_id": unit.unit_id,
+                        "result": result_to_dict(unit.run()),
+                        "seconds": 0.01,
+                    }
+                    lc.send(ack)
+                    lc.send(ack)  # duplicate delivery
+
+        store = self._drive_master(pinned_config, duplicating_worker)
+        assert store.rep_rows() == _serial_rep_rows(pinned_config)
 
 
 class TestWireProtocol:

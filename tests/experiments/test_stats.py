@@ -97,3 +97,154 @@ def test_mean_within_ci(values):
     lo, hi = s.ci95
     assert lo <= s.mean <= hi
     assert s.std >= 0
+
+
+# --------------------------------------------------------------------------
+# rep-level helpers on RAGGED stores — scenarios with unequal completed
+# rep counts, the natural state of an interrupted or in-flight campaign
+
+
+def _row(
+    config="figA",
+    topology="clique",
+    granularity=1.0,
+    rep=0,
+    algorithm="caft",
+    norm_latency=1.0,
+):
+    """One scenario-tagged per-rep row in the ``rep_rows()`` schema."""
+    return {
+        "config": config,
+        "network": "oneport",
+        "topology": topology,
+        "policy": "append",
+        "granularity": granularity,
+        "rep": rep,
+        "algorithm": algorithm,
+        "norm_latency": norm_latency,
+    }
+
+
+def _ragged_rows():
+    """Scenario 'ring' finished 3 reps, scenario 'clique' only 1 —
+    exactly what a store of a still-running multi-scenario campaign
+    holds."""
+    rows = []
+    for rep in range(3):
+        rows.append(_row(topology="ring", rep=rep, algorithm="caft",
+                         norm_latency=1.0 + rep))
+        rows.append(_row(topology="ring", rep=rep, algorithm="ftsa",
+                         norm_latency=2.0 + rep))
+    rows.append(_row(topology="clique", rep=0, algorithm="caft",
+                     norm_latency=5.0))
+    rows.append(_row(topology="clique", rep=0, algorithm="ftsa",
+                     norm_latency=6.0))
+    return rows
+
+
+class TestRaggedRepSeries:
+    def test_series_spans_all_scenarios_in_canonical_order(self):
+        from repro.experiments.stats import rep_series
+
+        series = rep_series(_ragged_rows(), "caft")
+        # clique sorts before ring; within ring, reps ascend.
+        assert series == [5.0, 1.0, 2.0, 3.0]
+
+    def test_where_filter_isolates_the_ragged_scenario(self):
+        from repro.experiments.stats import rep_series
+
+        rows = _ragged_rows()
+        assert len(rep_series(rows, "caft", where={"topology": "ring"})) == 3
+        assert len(rep_series(rows, "caft", where={"topology": "clique"})) == 1
+
+    def test_none_values_stay_as_nan_placeholders(self):
+        from repro.experiments.stats import rep_series
+
+        rows = _ragged_rows()
+        rows[0]["norm_latency"] = None  # failed crash replay
+        series = rep_series(rows, "caft", where={"topology": "ring"})
+        assert len(series) == 3  # alignment with the instance grid kept
+        assert math.isnan(series[0])
+
+
+class TestRaggedCompareReps:
+    def test_pairs_only_shared_instances(self):
+        from repro.experiments.stats import compare_reps
+
+        rows = _ragged_rows()
+        # ftsa's ring rep 1 never completed: drop the row entirely.
+        rows = [
+            r for r in rows
+            if not (r["algorithm"] == "ftsa" and r["topology"] == "ring"
+                    and r["rep"] == 1)
+        ]
+        cmp = compare_reps(rows, "caft", "ftsa")
+        assert cmp.n == 3  # ring reps 0, 2 + clique rep 0
+        assert cmp.mean_diff == pytest.approx(-1.0)
+        assert cmp.win_rate == 1.0
+
+    def test_none_values_dropped_pairwise(self):
+        from repro.experiments.stats import compare_reps
+
+        rows = _ragged_rows()
+        for r in rows:
+            if (r["algorithm"] == "ftsa" and r["topology"] == "ring"
+                    and r["rep"] == 2):
+                r["norm_latency"] = None
+        cmp = compare_reps(rows, "caft", "ftsa")
+        assert cmp.n == 3  # the None instance vanishes from both sides
+
+    def test_empty_intersection_is_nan_not_crash(self):
+        from repro.experiments.stats import compare_reps
+
+        rows = [_row(algorithm="caft", rep=0), _row(algorithm="ftsa", rep=1)]
+        cmp = compare_reps(rows, "caft", "ftsa")
+        assert cmp.n == 0
+        assert math.isnan(cmp.mean_diff)
+        assert not cmp.significant
+
+    def test_ragged_store_end_to_end(self):
+        """Through a real RunStore: two scenarios, unequal rep counts."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.grid import WorkUnit
+        from repro.experiments.harness import RepResult
+        from repro.experiments.stats import compare_reps, rep_series
+        from repro.experiments.store import RunStore
+
+        def result(g, rep, offset):
+            return RepResult(
+                granularity=g,
+                rep=rep,
+                faultfree_norm={"caft": 1.0, "ftsa": 1.0},
+                metrics={
+                    "caft": {"norm_latency": 1.0 + rep + offset},
+                    "ftsa": {"norm_latency": 2.0 + rep + offset},
+                },
+            )
+
+        def config(topology):
+            return ExperimentConfig(
+                name="ragged",
+                granularities=(1.0,),
+                num_procs=4,
+                epsilon=1,
+                crashes=1,
+                num_graphs=3,
+                model="routed-oneport" if topology else "oneport",
+                topology=topology,
+            )
+
+        store = RunStore()
+        ring, clique = config("ring"), config(None)
+        for rep in range(3):  # ring: fully completed
+            store.append(WorkUnit(ring, 1.0, rep), result(1.0, rep, 0.0))
+        for rep in range(1):  # clique: campaign interrupted after 1 rep
+            store.append(WorkUnit(clique, 1.0, rep), result(1.0, rep, 0.5))
+        rows = store.rep_rows()
+
+        assert len(rep_series(rows, "caft", where={"topology": "ring"})) == 3
+        assert len(rep_series(rows, "caft", where={"topology": "clique"})) == 1
+        cmp = compare_reps(rows, "caft", "ftsa")
+        assert cmp.n == 4  # every completed instance pairs across algos
+        assert cmp.mean_diff == pytest.approx(-1.0)
+        assert cmp.significant

@@ -192,6 +192,101 @@ class TestDiskStore:
         store.ensure_manifest(grid)  # second call is a no-op
 
 
+class TestCorruptionMatrix:
+    def test_every_truncation_point_of_the_last_record(self, cfg, tmp_path):
+        """Chop rows.jsonl at *every* byte boundary of the final record and
+        assert load + repair + resume never loses a durable row, never
+        duplicates one, and never touches the intact prefix.
+
+        This is the systematic version of the spot-check truncation
+        tests above: a kill can land after any byte of an append, so the
+        invariant must hold for all of them, not just one sample.
+        """
+        units = [WorkUnit(cfg, 0.5, 0), WorkUnit(cfg, 0.5, 1)]
+        results = {u.unit_id: fake_result(u.granularity, u.rep) for u in units}
+        reference = RunStore(tmp_path / "ref")
+        for u in units:
+            reference.append(u, results[u.unit_id])
+        reference.close()
+        data = (tmp_path / "ref" / "rows.jsonl").read_bytes()
+        first_end = data.index(b"\n") + 1  # first record stays intact
+
+        for cut in range(first_end, len(data) + 1):
+            directory = tmp_path / f"cut{cut}"
+            directory.mkdir()
+            path = directory / "rows.jsonl"
+            path.write_bytes(data[:cut])
+
+            store = RunStore(directory)
+            # The durably-written first record survives every cut; the
+            # second only once its newline hit the disk.
+            assert units[0].unit_id in store, f"cut={cut} lost row 1"
+            loaded = len(store)
+            assert loaded in (1, 2), f"cut={cut} loaded {loaded} rows"
+            # Resume: rerun whatever is missing, and replay *everything*
+            # once more (duplicate delivery) — idempotency must hold.
+            for u in units:
+                store.append(u, results[u.unit_id])
+            store.close()
+
+            final = RunStore(directory)
+            assert len(final) == 2, f"cut={cut} ended with {len(final)} rows"
+            for u in units:
+                assert final.result(u.unit_id) == results[u.unit_id], (
+                    f"cut={cut} corrupted {u.unit_id}"
+                )
+            # On-disk rows are unique per unit — no duplicates ever land.
+            lines = [
+                json.loads(line)
+                for line in path.read_bytes().split(b"\n")
+                if line.strip()
+            ]
+            ids = [record["unit_id"] for record in lines]
+            assert sorted(ids) == sorted(results), f"cut={cut} wrote {ids}"
+            # The repaired file still starts with the intact first record.
+            assert path.read_bytes().startswith(data[:first_end]), (
+                f"cut={cut} rewrote the intact prefix"
+            )
+            final.close()
+
+
+class TestDedupStats:
+    def test_live_duplicate_appends_counted(self, cfg):
+        store = RunStore()
+        unit = WorkUnit(cfg, 0.5, 0)
+        store.append(unit, fake_result(0.5, 0))
+        store.append(unit, fake_result(0.5, 0))
+        store.append(unit, fake_result(0.5, 0))
+        assert store.dedup_stats() == {
+            "duplicate_appends": 2,
+            "replayed_rows": 0,
+        }
+
+    def test_replayed_rows_counted_at_load(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        unit = WorkUnit(cfg, 0.5, 0)
+        store.append(unit, fake_result(0.5, 0))
+        store.close()
+        path = tmp_path / "s" / "rows.jsonl"
+        path.write_bytes(path.read_bytes() * 2)  # a replayed append on disk
+
+        reloaded = RunStore(tmp_path / "s")
+        assert len(reloaded) == 1
+        assert reloaded.dedup_stats() == {
+            "duplicate_appends": 0,
+            "replayed_rows": 1,
+        }
+
+    def test_clean_store_reports_zero(self, cfg, tmp_path):
+        store = RunStore(tmp_path / "s")
+        store.append(WorkUnit(cfg, 0.5, 0), fake_result(0.5, 0))
+        store.close()
+        assert RunStore(tmp_path / "s").dedup_stats() == {
+            "duplicate_appends": 0,
+            "replayed_rows": 0,
+        }
+
+
 class TestRepRows:
     def test_rep_rows_are_tagged_and_sorted(self, cfg, tmp_path):
         store = RunStore()
