@@ -59,11 +59,11 @@ def _timed_figure(number: int, graphs: int, fast: bool, workers: int):
 
 
 def test_fastpath_speedup():
-    from repro.experiments.harness import ParallelHarness
+    from repro.experiments.executors.process import effective_workers as _clamp
 
     graphs = bench_graphs(default=1)
     workers = bench_workers(default=4)
-    effective_workers = max(1, ParallelHarness(workers).workers)
+    effective_workers = max(1, _clamp(workers))
 
     baseline_s, baseline = _timed_figure(1, graphs, fast=False, workers=1)
     fast_s, fast = _timed_figure(1, graphs, fast=True, workers=workers)

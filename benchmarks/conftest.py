@@ -8,7 +8,8 @@ Repetitions default to ``REPRO_GRAPHS`` (or 3) per data point for
 wall-clock sanity; export ``REPRO_GRAPHS=60`` to reproduce the paper's
 averaging (EXPERIMENTS.md records such runs).  ``REPRO_WORKERS=N`` fans
 each campaign out over ``N`` worker processes (identical results — see
-``repro.experiments.harness.ParallelHarness``).
+``repro.experiments.executors.ProcessExecutor``; campaign specs say
+``executor = {kind = "process", workers = N}``).
 """
 
 from __future__ import annotations

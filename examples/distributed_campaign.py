@@ -13,6 +13,12 @@ figure-1 slice through the distributed path end to end:
 3. prove resumability by re-running from the store — zero units execute;
 4. verify the rows are bit-identical to an inline serial run.
 
+This drives the layers directly; the declarative front door over the
+same stack is a :class:`~repro.experiments.CampaignSpec` with
+``executor = {kind = "socket", ...}`` (see ``examples/campaign_spec.py``
+and ``API.md``) — a spec file plus ``repro-ftsched campaign run`` gets
+the identical distributed campaign without any of this wiring.
+
 Run:  python examples/distributed_campaign.py
 """
 

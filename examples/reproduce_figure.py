@@ -1,16 +1,26 @@
 """Regenerate a paper figure from the library API (miniature scale).
 
 The full campaigns live in ``benchmarks/bench_figure*.py`` and the CLI
-(``repro-ftsched figure N``); this example shows the same machinery driven
-programmatically, prints panel (c) — the average overhead comparison that
-carries the paper's headline claim — and verifies the qualitative shape.
+(``repro-ftsched figure N``); this example shows the same machinery
+driven programmatically: each figure ships as a campaign spec
+(``repro/experiments/specs/figure<N>.json``), which is loaded, shrunk
+with an override, and run through the :class:`Campaign` facade.  It
+prints panel (c) — the average overhead comparison that carries the
+paper's headline claim — and verifies the qualitative shape.
 
 Run:  python examples/reproduce_figure.py [figure-number] [graphs-per-point]
 """
 
 import sys
 
-from repro.experiments import check_shape, panel_c, run_figure, write_csv
+from repro.experiments import (
+    Campaign,
+    apply_overrides,
+    check_shape,
+    figure_spec,
+    panel_c,
+    write_csv,
+)
 
 
 def main() -> None:
@@ -18,7 +28,8 @@ def main() -> None:
     graphs = int(sys.argv[2]) if len(sys.argv) > 2 else 3
 
     print(f"running figure {number} with {graphs} random graphs per point ...")
-    result = run_figure(number, num_graphs=graphs)
+    spec = apply_overrides(figure_spec(number), {"graphs": graphs})
+    result = Campaign(spec).run().result()
 
     print()
     print(panel_c(result))

@@ -7,10 +7,10 @@ the script quantifies how much latency each topology costs relative to
 the clique, for both the fault-free and the fault-tolerant schedule.
 
 The second half asks the same question over *random* workloads: one
-:class:`ScenarioGrid` expands a base campaign along the topology axis
-(clique / ring / torus) — no per-topology campaign loops — and, because
-scenario expansion keeps the instance seeds, every topology schedules
-the *same* random DAGs, so the comparison table is paired.
+declarative :class:`CampaignSpec` expands a base campaign along the
+topology axis (clique / ring / torus) — no per-topology campaign loops —
+and, because scenario expansion keeps the instance seeds, every topology
+schedules the *same* random DAGs, so the comparison table is paired.
 
 Run:  python examples/sparse_cluster.py
 """
@@ -27,10 +27,10 @@ from repro import (
     scale_to_granularity,
 )
 from repro.experiments import (
+    Campaign,
+    CampaignSpec,
     ExperimentConfig,
-    ScenarioGrid,
     campaign_comparison_table,
-    run_grid,
 )
 
 PROCS = 9
@@ -46,7 +46,7 @@ def topologies() -> dict[str, Topology]:
 
 
 def topology_campaign() -> None:
-    """One grid, three interconnects, paired random instances."""
+    """One spec, three interconnects, paired random instances."""
     base = ExperimentConfig(
         name="sparse-demo",
         granularities=(1.0,),
@@ -56,12 +56,16 @@ def topology_campaign() -> None:
         num_graphs=3,
         task_range=(18, 24),
     )
-    grid = ScenarioGrid.from_scenarios(base, topologies=("ring", "torus"))
+    # The whole campaign as data: base scenario + a topology axis.  The
+    # spec is a file away from a distributed run — spec.save("sparse.json")
+    # then `repro-ftsched campaign run sparse.json --executor process`.
+    spec = CampaignSpec(config=base, topologies=("ring", "torus"))
+    grid = spec.grid()
     print(f"\ncampaign grid: {len(grid.configs)} scenarios x "
           f"{base.num_graphs} shared random graphs "
           f"({grid.total_units} work units)")
-    results = run_grid(grid)  # executor="process"/"socket" scales this out
-    rows = [row for result in results for row in result.rep_rows()]
+    handle = Campaign(spec).run()
+    rows = [row for result in handle.results for row in result.rep_rows()]
     print(campaign_comparison_table(rows, baseline="caft"))
 
 

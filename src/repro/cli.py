@@ -1,10 +1,23 @@
-"""Command-line front end.
+"""Command-line front end: a thin shell over campaign specs.
+
+The campaign-shaped commands (``figure``, ``campaign run/resume``) all
+work the same way: load a :class:`~repro.experiments.api.CampaignSpec`
+(a shipped figure spec, or any ``.json``/``.toml`` file), overlay the
+explicit flags and ``--override KEY=VALUE`` pairs onto it, and hand the
+result to :class:`~repro.experiments.api.Campaign`.  Invalid
+configurations raise the same
+:class:`~repro.utils.errors.CampaignConfigError` the API raises; the
+CLI prints it and exits 2.
 
 Examples
 --------
 Regenerate a figure's data (CSV + paper-style panels)::
 
     repro-ftsched figure 1 --graphs 10 --out results/fig1.csv
+
+Run a campaign from a spec file, overriding one key::
+
+    repro-ftsched campaign run spec.json --override graphs=60
 
 Schedule a demo workload and show the Gantt chart::
 
@@ -20,16 +33,24 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional
+from pathlib import Path
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.comm import NETWORK_NAMES
 from repro.core.caft import caft
 from repro.dag.generators import random_out_forest
 from repro.dag.workloads import ALL_WORKLOADS
-from repro.experiments.config import FIGURES
-from repro.experiments.figures import check_shape, run_figure
+from repro.experiments.api import (
+    Campaign,
+    CampaignSpec,
+    apply_overrides,
+    figure_spec,
+    parse_override,
+)
+from repro.experiments.config import FIGURES, PORT_POLICIES
+from repro.experiments.figures import check_shape
+from repro.experiments.registry import executor_names, network_names, topology_names
 from repro.experiments.report import render_figure, write_csv
 from repro.fault.model import FailureScenario
 from repro.fault.scenarios import random_crash_scenario
@@ -40,124 +61,123 @@ from repro.platform.heterogeneity import (
     uniform_delay_platform,
 )
 from repro.platform.instance import ProblemInstance
-from repro.platform.topology import topology_names
 from repro.schedule.gantt import render_gantt
 from repro.schedule.metrics import summarize
 from repro.schedulers.ftbar import ftbar
 from repro.schedulers.ftsa import ftsa
 from repro.schedulers.heft import heft
+from repro.utils.errors import CampaignConfigError
+
+
+def _progress_fn(args: argparse.Namespace) -> Optional[Callable]:
+    if not args.verbose:
+        return None
+    return lambda event: print(str(event), file=sys.stderr)
+
+
+def _scenario_overrides(args: argparse.Namespace) -> dict:
+    """Spec overrides from the scenario flags the user actually gave."""
+    overrides: dict = {}
+    if getattr(args, "graphs", None) is not None:
+        overrides["graphs"] = args.graphs
+    if getattr(args, "slow", False):
+        overrides["fast"] = False
+    for flag in ("network", "topology", "policy"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[flag] = value
+    return overrides
+
+
+def _executor_overrides(args: argparse.Namespace) -> dict:
+    """Spec overrides from the executor/store flags the user gave."""
+    overrides: dict = {}
+    if getattr(args, "executor", None):
+        overrides["executor.kind"] = args.executor
+    if getattr(args, "workers", None) is not None:
+        overrides["executor.workers"] = args.workers
+    if getattr(args, "bind", None) is not None:
+        overrides["executor.bind"] = f"{args.bind[0]}:{args.bind[1]}"
+    if getattr(args, "spawn_workers", 0):
+        overrides["executor.spawn_workers"] = args.spawn_workers
+    if getattr(args, "timeout", None) is not None:
+        overrides["executor.timeout"] = args.timeout
+    if getattr(args, "lease", None) is not None:
+        overrides["lease"] = args.lease
+    if getattr(args, "store", None):
+        overrides["store.directory"] = args.store
+    return overrides
+
+
+def _default_to_process(overrides: dict, base_kind: str) -> dict:
+    """The historical default: --workers N without --executor means a
+    local process pool, not N ignored workers on the serial path."""
+    if (
+        "executor.kind" not in overrides
+        and base_kind == "serial"
+        and (overrides.get("executor.workers") or 0) > 1
+    ):
+        overrides["executor.kind"] = "process"
+    return overrides
+
+
+def _spec_from_args(args: argparse.Namespace, spec: CampaignSpec) -> CampaignSpec:
+    """Overlay flags, defaults, and ``--override`` pairs onto ``spec``.
+
+    Precedence (lowest to highest): the spec file, explicit flags,
+    ``--override KEY=VALUE`` pairs — overriding a spec file and editing
+    it are equivalent, with identical validation.
+    """
+    overrides = _default_to_process(
+        {**_scenario_overrides(args), **_executor_overrides(args)},
+        spec.executor.kind,
+    )
+    spec = apply_overrides(spec, overrides)
+    pairs = [parse_override(text) for text in getattr(args, "override", None) or []]
+    return apply_overrides(spec, dict(pairs))
+
+
+def _load_target_spec(target: str) -> CampaignSpec:
+    """Resolve a campaign target: a paper figure number or a spec file."""
+    if target.isdigit():
+        return figure_spec(int(target))
+    path = Path(target)
+    if path.suffix in (".json", ".toml"):
+        return CampaignSpec.load(path)
+    raise CampaignConfigError(
+        f"campaign target {target!r} is neither a figure number "
+        f"({min(FIGURES)}-{max(FIGURES)}) nor a spec file (.json/.toml)",
+        key="target",
+    )
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    error = _network_flag_errors(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
     t0 = time.perf_counter()
-
-    def progress(msg: str) -> None:
-        if args.verbose:
-            print(msg, file=sys.stderr)
-
-    result = run_figure(
-        args.number,
-        num_graphs=args.graphs,
-        progress=progress,
-        workers=args.workers,
-        fast=not args.slow,
-        model=args.network,
-        topology=args.topology,
-        policy=args.policy,
-    )
-    rc = _report_campaign(result, args)
+    spec = _spec_from_args(args, figure_spec(args.number))
+    handle = Campaign(spec).run(progress=_progress_fn(args))
     if args.html:
         from repro.experiments.svg import write_html_report
 
-        path = write_html_report(result, args.html)
-        print(f"wrote {path}")
-    print(f"elapsed: {time.perf_counter() - t0:.1f}s")
-    return rc
-
-
-def _network_flag_errors(args: argparse.Namespace) -> Optional[str]:
-    """Shared validation for the figure/campaign scenario flags."""
-    if args.topology and args.network not in (None, "routed-oneport"):
-        return (
-            f"error: --topology {args.topology} requires --network routed-oneport "
-            f"(got --network {args.network})"
-        )
-    if (
-        args.policy == "insertion"
-        and (args.network not in (None, "oneport") or args.topology)
-    ):
-        return "error: --policy insertion only applies to --network oneport"
-    return None
+        # one report per scenario, tagged like the CSV files, so a
+        # multi-scenario --override campaign never loses scenarios
+        multi = len(handle.results) > 1
+        for result in handle.results:
+            path = write_html_report(
+                result, _scenario_out_path(args.html, result, multi)
+            )
+            print(f"wrote {path}")
+    return _report_results(handle.results, args, t0)
 
 
 def _parse_address(spec: str) -> tuple[str, int]:
-    host, _, port = spec.rpartition(":")
-    if not host or not port.isdigit():
-        raise argparse.ArgumentTypeError(
-            f"expected HOST:PORT, got {spec!r}"
-        )
-    return host, int(port)
-
-
-def _parse_lease(spec: str) -> str:
-    """Validate ``--lease`` at parse time (``auto`` or a positive int)."""
-    from repro.experiments.executors import LeasePolicy
+    from repro.experiments.executors import parse_bind
 
     try:
-        LeasePolicy.from_spec(spec)
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from None
-    return spec
-
-
-def _socket_flag_errors(args: argparse.Namespace) -> Optional[str]:
-    """Socket-only flags without ``--executor socket`` would be silently
-    ignored (the sweep runs locally, no port is bound, remote workers
-    never connect) — refuse instead."""
-    if args.executor == "socket":
-        return None
-    offending = [
-        flag
-        for flag, given in (
-            ("--bind", args.bind is not None),
-            ("--spawn-workers", bool(args.spawn_workers)),
-            ("--timeout", args.timeout is not None),
-        )
-        if given
-    ]
-    if offending:
-        got = args.executor if args.executor else "not given"
-        return (
-            f"error: {', '.join(offending)} require(s) --executor socket "
-            f"(--executor was {got})"
-        )
-    return None
-
-
-def _campaign_executor(args: argparse.Namespace):
-    """Build the executor a ``campaign run``/``resume`` asked for."""
-    from repro.experiments.executors import SocketExecutor, make_executor
-
-    if args.executor == "socket":
-        host, port = args.bind if args.bind else ("127.0.0.1", 0)
-        spawn = args.spawn_workers or args.workers or 0
-        if not spawn and args.bind is None:
-            # An ephemeral port nobody was told about would wait forever:
-            # without an explicit bind the master hosts its own workers.
-            spawn = 2
-        return SocketExecutor(
-            host=host,
-            port=port,
-            spawn_workers=spawn,
-            timeout=args.timeout if args.timeout is not None else 3600.0,
-            lease=args.lease,
-        )
-    # Resolve here so --lease reaches the process pool's chunking too.
-    return make_executor(args.executor, workers=args.workers, lease=args.lease)
+        return parse_bind(spec)
+    except CampaignConfigError:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {spec!r}"
+        ) from None
 
 
 def _report_campaign(result, args: argparse.Namespace, out=None) -> int:
@@ -172,10 +192,10 @@ def _report_campaign(result, args: argparse.Namespace, out=None) -> int:
     return 0 if shape.ok else 1
 
 
-def _scenario_csv_path(base: str, result, multi: bool) -> str:
-    """Per-scenario CSV path: one scenario keeps ``base`` untouched, a
-    multi-scenario store gets a scenario-tagged file each so no
-    scenario's rows overwrite another's."""
+def _scenario_out_path(base: str, result, multi: bool) -> str:
+    """Per-scenario output path (CSV/HTML): one scenario keeps ``base``
+    untouched, a multi-scenario campaign gets a scenario-tagged file
+    each so no scenario's output overwrites another's."""
     if not multi:
         return base
     from pathlib import Path
@@ -186,75 +206,81 @@ def _scenario_csv_path(base: str, result, multi: bool) -> str:
     return str(path.with_name(f"{path.stem}.{tag}{path.suffix}"))
 
 
-def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    error = _network_flag_errors(args) or _socket_flag_errors(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    if args.resume and not args.store:
-        print(
-            "error: --resume needs --store DIR (an in-memory campaign has "
-            "nothing to resume from)",
-            file=sys.stderr,
-        )
-        return 2
-    from repro.experiments.figures import run_figure
-
-    t0 = time.perf_counter()
-
-    def progress(msg: str) -> None:
-        if args.verbose:
-            print(msg, file=sys.stderr)
-
-    executor = _campaign_executor(args)
-    if getattr(executor, "name", None) == "socket" and args.bind:
-        print(f"master listening on {args.bind[0]}:{args.bind[1]} — connect "
-              f"workers with: repro-ftsched campaign worker "
-              f"{args.bind[0]}:{args.bind[1]}", file=sys.stderr)
-    result = run_figure(
-        args.number,
-        num_graphs=args.graphs,
-        progress=progress,
-        workers=args.workers,
-        fast=not args.slow,
-        model=args.network,
-        topology=args.topology,
-        policy=args.policy,
-        executor=executor,
-        store=args.store,
-        resume=args.resume,
-    )
-    rc = _report_campaign(result, args)
-    print(f"elapsed: {time.perf_counter() - t0:.1f}s")
-    return rc
-
-
-def _cmd_campaign_resume(args: argparse.Namespace) -> int:
-    from repro.experiments.campaign import resume_campaign
-
-    error = _socket_flag_errors(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-
-    def progress(msg: str) -> None:
-        if args.verbose:
-            print(msg, file=sys.stderr)
-
-    t0 = time.perf_counter()
-    results = resume_campaign(
-        args.store,
-        executor=_campaign_executor(args),
-        progress=progress,
-        workers=args.workers,
-    )
+def _report_results(results, args: argparse.Namespace, t0: float) -> int:
     rc = 0
     multi = len(results) > 1
     for result in results:
-        out = _scenario_csv_path(args.out, result, multi) if args.out else None
+        out = _scenario_out_path(args.out, result, multi) if args.out else None
         rc = max(rc, _report_campaign(result, args, out=out))
     print(f"elapsed: {time.perf_counter() - t0:.1f}s")
     return rc
+
+
+def _announce_socket_master(spec: CampaignSpec) -> None:
+    if spec.executor.kind == "socket" and spec.executor.bind:
+        print(
+            f"master listening on {spec.executor.bind} — connect workers "
+            f"with: repro-ftsched campaign worker {spec.executor.bind}",
+            file=sys.stderr,
+        )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    spec = _spec_from_args(args, _load_target_spec(args.target))
+    _announce_socket_master(spec)
+    handle = Campaign(spec).run(
+        progress=_progress_fn(args), resume=args.resume
+    )
+    return _report_results(handle.results, args, t0)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    target = Path(args.target)
+    if target.suffix in (".json", ".toml"):
+        # Resume straight from the spec that created the campaign: the
+        # store directory is part of the spec, nothing else is needed.
+        spec = _spec_from_args(args, CampaignSpec.load(target))
+        _announce_socket_master(spec)
+        handle = Campaign(spec).resume(progress=_progress_fn(args))
+        return _report_results(handle.results, args, t0)
+
+    # A bare store directory: the manifest records the grid; executor
+    # and lease come from the flags alone, through the same flag->spec
+    # mapping the spec-file path uses.
+    if args.override:
+        raise CampaignConfigError(
+            "--override needs a spec-file target (a bare store directory "
+            "has no spec to override); resume from the campaign's "
+            ".json/.toml file instead",
+            key="override",
+        )
+    from repro.experiments.api import ExecutorSpec
+    from repro.experiments.campaign import resume_campaign
+    from repro.experiments.executors import LeasePolicy
+
+    flags = _default_to_process(_executor_overrides(args), "serial")
+    lease = flags.get("lease")
+    try:
+        LeasePolicy.from_spec(lease)
+    except ValueError as exc:
+        raise CampaignConfigError(
+            f"bad 'lease' (--lease): {exc}", key="lease"
+        ) from None
+    executor_spec = ExecutorSpec.from_dict(
+        {
+            key.split(".", 1)[1]: value
+            for key, value in flags.items()
+            if key.startswith("executor.")
+        }
+    )
+    results = resume_campaign(
+        args.target,
+        executor=executor_spec.build(lease),
+        progress=_progress_fn(args),
+    )
+    return _report_results(results, args, t0)
 
 
 def _cmd_campaign_worker(args: argparse.Namespace) -> int:
@@ -443,15 +469,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write an HTML report with SVG charts")
     p_fig.add_argument("--workers", type=int, default=None,
                        help="worker processes for the campaign (default: serial)")
-    p_fig.add_argument("--network", choices=list(NETWORK_NAMES), default=None,
+    p_fig.add_argument("--network", choices=list(network_names()), default=None,
                        help="communication model (default: the figure's, oneport)")
     p_fig.add_argument("--topology", choices=list(topology_names()), default=None,
                        help="sparse interconnect shape for routed-oneport "
                             "(implies --network routed-oneport)")
-    p_fig.add_argument("--policy", choices=["append", "insertion"], default=None,
+    p_fig.add_argument("--policy", choices=list(PORT_POLICIES), default=None,
                        help="one-port reservation policy (insertion = gap reuse)")
     p_fig.add_argument("--slow", action="store_true",
                        help="disable the vectorized placement kernel (baseline timing)")
+    p_fig.add_argument("--override", action="append", default=None,
+                       metavar="KEY=VALUE",
+                       help="override any campaign-spec key (dotted paths, "
+                            "JSON values: graphs=3, config.epsilon=2)")
     p_fig.add_argument("--verbose", action="store_true")
     p_fig.set_defaults(func=_cmd_figure)
 
@@ -462,7 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
 
     def add_executor_args(p):
-        p.add_argument("--executor", choices=["serial", "process", "socket"],
+        p.add_argument("--executor", choices=list(executor_names()),
                        default=None,
                        help="where work units run (default: serial, or a "
                             "process pool when --workers > 1)")
@@ -479,26 +509,34 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeout", type=float, default=None,
                        help="socket campaign no-activity timeout in seconds "
                             "(resets on any worker heartbeat or result; "
-                            "default 3600)")
+                            "default 300)")
         p.add_argument("--lease", "--lease-size", dest="lease",
-                       type=_parse_lease, default=None, metavar="{auto,N}",
+                       default=None, metavar="{auto,N}",
                        help="units per worker lease / pool chunk: an integer "
                             "pins the size, 'auto' (default) adapts to "
                             "observed unit latency (~2x heartbeat of work "
                             "per lease) and prefers same-scenario units")
+        p.add_argument("--override", action="append", default=None,
+                       metavar="KEY=VALUE",
+                       help="override any campaign-spec key (dotted paths, "
+                            "JSON values: graphs=3, executor.kind=process, "
+                            "config.granularities=[0.2,0.4]); applied after "
+                            "the explicit flags")
         p.add_argument("--out", type=str, default=None, help="CSV output path")
         p.add_argument("--verbose", action="store_true")
 
     p_crun = camp_sub.add_parser(
-        "run", help="run one figure's campaign through the executor stack")
-    p_crun.add_argument("number", type=int, choices=sorted(FIGURES))
+        "run", help="run a campaign: a paper figure number or a spec file")
+    p_crun.add_argument("target", metavar="FIGURE|SPEC",
+                        help="paper figure number (1-6, runs its shipped "
+                             "spec) or a campaign spec file (.json/.toml)")
     p_crun.add_argument("--graphs", type=int, default=None,
                         help="random graphs per data point (default: paper's 60)")
-    p_crun.add_argument("--network", choices=list(NETWORK_NAMES), default=None,
+    p_crun.add_argument("--network", choices=list(network_names()), default=None,
                         help="communication model (default: the figure's)")
     p_crun.add_argument("--topology", choices=list(topology_names()), default=None,
                         help="sparse interconnect shape (implies routed-oneport)")
-    p_crun.add_argument("--policy", choices=["append", "insertion"], default=None,
+    p_crun.add_argument("--policy", choices=list(PORT_POLICIES), default=None,
                         help="one-port reservation policy")
     p_crun.add_argument("--slow", action="store_true",
                         help="disable the vectorized placement kernel")
@@ -506,14 +544,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for the append-only results store "
                              "(JSONL rows + manifest; enables --resume)")
     p_crun.add_argument("--resume", action="store_true",
-                        help="skip units already completed in --store")
+                        help="skip units already completed in the store")
     add_executor_args(p_crun)
     p_crun.set_defaults(func=_cmd_campaign_run)
 
     p_cres = camp_sub.add_parser(
-        "resume", help="finish a killed campaign from its store directory")
-    p_cres.add_argument("store", type=str,
-                        help="store directory of the interrupted campaign")
+        "resume",
+        help="finish a killed campaign from its store directory or spec file")
+    p_cres.add_argument("target", metavar="DIR|SPEC",
+                        help="store directory of the interrupted campaign, or "
+                             "the spec file that created it (.json/.toml with "
+                             "store.directory set)")
     add_executor_args(p_cres)
     p_cres.set_defaults(func=_cmd_campaign_resume)
 
@@ -592,7 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CampaignConfigError as exc:
+        # The one way every invalid configuration leaves the CLI — same
+        # error object the API raises, printed with its offending key.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

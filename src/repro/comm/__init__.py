@@ -21,8 +21,38 @@ _MODELS = {
     "macro-dataflow": MacroDataflowNetwork,
 }
 
-#: registered model names (CLI/campaign ``--network``)
+#: registered model names at import time (CLI/campaign ``--network``);
+#: :func:`network_names` is the live view that sees later registrations
 NETWORK_NAMES: tuple[str, ...] = tuple(sorted([*_MODELS, "routed-oneport"]))
+
+
+def network_names() -> tuple[str, ...]:
+    """Currently registered network model names, sorted.
+
+    Unlike the import-time :data:`NETWORK_NAMES` snapshot this includes
+    models added later through :func:`register_network`.
+    """
+    return tuple(sorted([*_MODELS, "routed-oneport"]))
+
+
+def register_network(name: str, cls: type, *, overwrite: bool = False) -> type:
+    """Register a :class:`NetworkModel` subclass under ``name``.
+
+    Registered models are constructed as ``cls(platform, **kwargs)`` by
+    :func:`make_network` and become valid ``--network`` / spec values
+    everywhere a campaign names its communication model.  Returns
+    ``cls`` so it can be used as a decorator.
+    """
+    from repro.utils.registry import check_registration
+
+    check_registration(
+        "network model",
+        name,
+        name == "routed-oneport" or name in _MODELS,
+        overwrite and name != "routed-oneport",
+    )
+    _MODELS[name] = cls
+    return cls
 
 
 def make_network(
@@ -74,5 +104,7 @@ __all__ = [
     "MacroDataflowNetwork",
     "RoutedOnePortNetwork",
     "NETWORK_NAMES",
+    "network_names",
+    "register_network",
     "make_network",
 ]

@@ -8,6 +8,14 @@ implementations: inline, process pool, TCP master/worker), and results
 rows into, from which :class:`CampaignResult` views are rebuilt).
 Campaigns are therefore distributable across machines and resumable
 after a crash, with bit-identical rows whichever path ran them.
+
+The front door is the declarative API (:mod:`repro.experiments.api`): a
+serializable :class:`CampaignSpec` describing the whole campaign —
+scenario axes, executor, store backend, lease policy, reps, seeds —
+run through the :class:`Campaign` facade, with every name resolving via
+the pluggable registries in :mod:`repro.experiments.registry`.  The
+paper's figures ship as spec files under ``repro/experiments/specs/``.
+See ``API.md`` for the schema and the migration table.
 """
 
 from repro.experiments.config import (
@@ -15,7 +23,23 @@ from repro.experiments.config import (
     FIGURES,
     GRANULARITY_SWEEP_A,
     GRANULARITY_SWEEP_B,
+    PORT_POLICIES,
     default_num_graphs,
+)
+from repro.experiments.registry import (
+    EXECUTORS,
+    SCHEDULERS,
+    STORES,
+    executor_names,
+    network_names,
+    register_executor,
+    register_network,
+    register_scheduler,
+    register_store,
+    register_topology,
+    scheduler_names,
+    store_names,
+    topology_names,
 )
 from repro.experiments.grid import (
     ScenarioGrid,
@@ -52,6 +76,19 @@ from repro.experiments.executors import (
 from repro.experiments.campaign import (
     run_grid,
     resume_campaign,
+)
+from repro.experiments.api import (
+    Campaign,
+    CampaignConfigError,
+    CampaignHandle,
+    CampaignSpec,
+    ExecutorSpec,
+    ProgressEvent,
+    StoreSpec,
+    apply_overrides,
+    figure_spec,
+    parse_override,
+    shipped_spec_paths,
 )
 from repro.experiments.figures import (
     run_figure,
@@ -110,7 +147,32 @@ __all__ = [
     "FIGURES",
     "GRANULARITY_SWEEP_A",
     "GRANULARITY_SWEEP_B",
+    "PORT_POLICIES",
     "default_num_graphs",
+    "Campaign",
+    "CampaignConfigError",
+    "CampaignHandle",
+    "CampaignSpec",
+    "ExecutorSpec",
+    "ProgressEvent",
+    "StoreSpec",
+    "apply_overrides",
+    "figure_spec",
+    "parse_override",
+    "shipped_spec_paths",
+    "SCHEDULERS",
+    "EXECUTORS",
+    "STORES",
+    "register_scheduler",
+    "register_executor",
+    "register_store",
+    "register_network",
+    "register_topology",
+    "scheduler_names",
+    "executor_names",
+    "store_names",
+    "network_names",
+    "topology_names",
     "ScenarioGrid",
     "WorkUnit",
     "generate_instance",

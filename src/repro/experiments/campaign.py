@@ -9,6 +9,13 @@ views from the store afterwards.  Because units are pure and the store
 is keyed by unit id, the same entry points transparently provide
 *resume*: point ``store`` at a directory of a killed campaign with
 ``resume=True`` and only the missing units run.
+
+:func:`run_grid` is the engine the declarative front door drives: a
+:class:`repro.experiments.api.CampaignSpec` (a serializable description
+of grid + executor + store + lease) run through
+:class:`repro.experiments.api.Campaign` ends up here.  The
+:func:`run_campaign` / :func:`resume_campaign` keyword entry points are
+kept as thin shims, bit-identical to the spec path.
 """
 
 from __future__ import annotations

@@ -21,6 +21,23 @@ GRANULARITY_SWEEP_B: tuple[float, ...] = tuple(float(i) for i in range(1, 11))
 #: figure panels compare these fault-tolerant algorithms
 DEFAULT_ALGORITHMS: tuple[str, ...] = ("caft", "caft-paper", "ftsa", "ftbar")
 
+#: valid one-port reservation policies (``port_policy`` / ``--policy``):
+#: the paper's append-only eqs. (4)/(6), or the gap-reusing ablation
+PORT_POLICIES: tuple[str, ...] = ("append", "insertion")
+
+#: config fields whose values are tuples (JSON round-trips them as lists)
+TUPLE_FIELDS: frozenset[str] = frozenset(
+    {
+        "granularities",
+        "task_range",
+        "degree_range",
+        "volume_range",
+        "delay_range",
+        "base_cost_range",
+        "algorithms",
+    }
+)
+
 
 def default_num_graphs(paper_count: int = 60) -> int:
     """Graphs per data point: the paper's 60, unless ``REPRO_GRAPHS`` says less.
@@ -136,21 +153,12 @@ class ExperimentConfig:
         Unknown keys are ignored so stores written by newer versions stay
         readable; list-valued fields are coerced back to tuples.
         """
-        tuple_fields = {
-            "granularities",
-            "task_range",
-            "degree_range",
-            "volume_range",
-            "delay_range",
-            "base_cost_range",
-            "algorithms",
-        }
         known = {f.name for f in fields(cls)}
         kwargs = {}
         for key, value in data.items():
             if key not in known:
                 continue
-            kwargs[key] = tuple(value) if key in tuple_fields else value
+            kwargs[key] = tuple(value) if key in TUPLE_FIELDS else value
         return cls(**kwargs)
 
 

@@ -31,8 +31,79 @@ from repro.experiments.executors.socket import (
     sockets_available,
 )
 
-#: the specs `make_executor` accepts by name
-EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process", "socket")
+from repro.experiments.registry import EXECUTORS, register_executor
+from repro.utils.errors import CampaignConfigError
+
+
+def parse_bind(spec: Union[str, tuple, list, None]) -> tuple[str, int]:
+    """Resolve a bind address (``"host:port"`` or a pair) to a tuple.
+
+    The serializable spec form is the string; the CLI's ``--bind``
+    parser hands over a tuple.  ``None`` means an ephemeral localhost
+    port.  Malformed addresses are a :class:`CampaignConfigError`.
+    """
+    if spec is None:
+        return ("127.0.0.1", 0)
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return (str(spec[0]), int(spec[1]))
+    if isinstance(spec, str):
+        host, _, port = spec.rpartition(":")
+        if host and port.isdigit():
+            return (host, int(port))
+    raise CampaignConfigError(
+        f"bad bind address {spec!r} (key 'executor.bind' / --bind): "
+        "expected HOST:PORT",
+        key="executor.bind",
+    )
+
+
+def _serial_factory(workers=None, lease=None, **_options) -> Executor:
+    return SerialExecutor()
+
+
+def _process_factory(workers=None, lease=None, clamp=True, **_options) -> Executor:
+    # Asking for the process executor without a count means "use the
+    # machine", not "run serially".
+    count = int(workers) if workers else (os.cpu_count() or 1)
+    return ProcessExecutor(count, clamp=clamp, lease=lease)
+
+
+def _socket_factory(
+    workers=None,
+    lease=None,
+    bind=None,
+    spawn_workers=None,
+    timeout=None,
+    **_options,
+) -> Executor:
+    host, port = parse_bind(bind)
+    spawn = spawn_workers or workers or 0
+    if not spawn and bind is None:
+        # An ephemeral port nobody was told about would wait forever:
+        # without an explicit bind the master hosts its own workers.
+        spawn = 2
+    kwargs = {}
+    if timeout is not None:
+        # None defers to SocketExecutor's own default, so every entry
+        # point (direct construction, make_executor, specs, CLI) shares
+        # one no-activity deadline.
+        kwargs["timeout"] = float(timeout)
+    return SocketExecutor(
+        host=host,
+        port=port,
+        spawn_workers=int(spawn),
+        lease=lease,
+        **kwargs,
+    )
+
+
+register_executor("serial", _serial_factory)
+register_executor("process", _process_factory)
+register_executor("socket", _socket_factory)
+
+#: the specs `make_executor` accepts by name (import-time snapshot;
+#: ``repro.experiments.registry.executor_names()`` is the live view)
+EXECUTOR_NAMES: tuple[str, ...] = EXECUTORS.names()
 
 
 def make_executor(
@@ -45,14 +116,18 @@ def make_executor(
 
     ``None`` picks :class:`ProcessExecutor` when ``workers`` asks for
     parallelism and :class:`SerialExecutor` otherwise — the historical
-    ``run_campaign(workers=N)`` behaviour.  A string names the executor
-    (``"serial"``, ``"process"``, ``"process:4"``, ``"socket"`` — the
-    latter binds an ephemeral localhost port and spawns ``workers``
-    local worker processes, which is the zero-config way to try the
-    distributed path).  ``lease`` sizes worker leases / pool chunks
-    (``"auto"`` or an int; see :class:`LeasePolicy`).  An
-    :class:`Executor` instance passes through unchanged — configured
-    :class:`SocketExecutor` masters carry their own lease policy.
+    ``run_campaign(workers=N)`` behaviour.  A string names a registered
+    executor (``"serial"``, ``"process"``, ``"process:4"``, ``"socket"``
+    — the latter binds an ephemeral localhost port and spawns
+    ``workers`` local worker processes, which is the zero-config way to
+    try the distributed path); the ``:N`` suffix overrides ``workers``.
+    Dispatch goes through the :data:`~repro.experiments.registry.
+    EXECUTORS` registry, so kinds added via ``register_executor`` work
+    everywhere this is called (API, spec files, CLI).  ``lease`` sizes
+    worker leases / pool chunks (``"auto"`` or an int; see
+    :class:`LeasePolicy`).  An :class:`Executor` instance passes
+    through unchanged — configured :class:`SocketExecutor` masters
+    carry their own lease policy.
     """
     if spec is None:
         if workers is not None and int(workers) > 1:
@@ -60,19 +135,17 @@ def make_executor(
         return SerialExecutor()
     if isinstance(spec, str):
         name, _, arg = spec.partition(":")
-        if name == "serial":
-            return SerialExecutor()
-        if name == "process":
-            # Asking for the process executor without a count means "use
-            # the machine", not "run serially".
-            count = int(arg) if arg else (workers or os.cpu_count() or 1)
-            return ProcessExecutor(count, clamp=clamp, lease=lease)
-        if name == "socket":
-            spawn = int(arg) if arg else (workers if workers else 2)
-            return SocketExecutor(spawn_workers=spawn, lease=lease)
-        raise ValueError(
-            f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}"
-        )
+        factory = EXECUTORS.get(name, key="executor")
+        if arg:
+            try:
+                workers = int(arg)
+            except ValueError:
+                raise CampaignConfigError(
+                    f"bad executor spec {spec!r} (key 'executor'): the "
+                    "suffix after ':' must be a worker count",
+                    key="executor",
+                ) from None
+        return factory(workers=workers, lease=lease, clamp=clamp)
     return spec
 
 
@@ -86,6 +159,7 @@ __all__ = [
     "SocketExecutor",
     "effective_workers",
     "make_executor",
+    "parse_bind",
     "run_worker",
     "sockets_available",
     "unit_progress_line",

@@ -4,6 +4,13 @@
 :func:`check_shape` asserts the qualitative findings of §6 hold on a
 campaign result (who wins, how overheads order, bounds sanity).  The
 benchmarks call these and print the paper-style panels.
+
+The figures themselves now live as shipped campaign specs
+(``repro/experiments/specs/figure*.json``); :func:`run_figure` and the
+``figure1..6`` entry points are thin deprecated shims that load the
+spec, apply their keyword overrides, and run the same grid — pinned
+bit-identical to the historical keyword path.  New code should build a
+:class:`repro.experiments.api.CampaignSpec` directly.
 """
 
 from __future__ import annotations
@@ -13,7 +20,6 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.experiments.grid import ScenarioGrid
 from repro.experiments.harness import CampaignResult
 
 
@@ -45,19 +51,30 @@ def run_figure(
     master for multi-machine campaigns); ``store`` persists rows to a
     directory as they complete, and ``resume=True`` skips units already
     in that store.  Results are bit-identical across all of them.
+
+    .. deprecated::
+        A thin shim over the shipped figure specs: it loads
+        ``repro/experiments/specs/figure<N>.json``, applies the keyword
+        overrides, and runs the resulting grid.  New code should use
+        :class:`repro.experiments.api.CampaignSpec` /
+        :class:`repro.experiments.api.Campaign` directly.
     """
+    from dataclasses import replace as _replace
+
+    from repro.experiments.api import figure_spec
     from repro.experiments.campaign import run_grid
 
-    grid = ScenarioGrid.from_figure(
-        number,
-        num_graphs=num_graphs,
+    spec = figure_spec(number)
+    spec = _replace(
+        spec,
+        graphs=num_graphs,
         fast=fast,
-        model=model,
+        network=model,
         topology=topology,
         policy=policy,
     )
     return run_grid(
-        grid,
+        spec.grid(),
         store=store,
         executor=executor,
         progress=progress,

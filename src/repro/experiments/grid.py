@@ -159,11 +159,13 @@ class ScenarioGrid:
         policy: Optional[str] = None,
     ) -> "ScenarioGrid":
         """The grid of one paper figure, optionally under another scenario."""
+        from repro.utils.errors import CampaignConfigError
+
         try:
             config = FIGURES[number]
         except KeyError:
-            raise ValueError(
-                f"no figure {number}; the paper has figures 1-6"
+            raise CampaignConfigError(
+                f"no figure {number}; the paper has figures 1-6", key="figure"
             ) from None
         config = (
             config.with_graphs(num_graphs)

@@ -24,6 +24,8 @@ This module owns the science (generation, :func:`run_rep`, aggregation);
 from __future__ import annotations
 
 import math
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
@@ -53,38 +55,75 @@ from repro.schedulers.ftsa import ftsa
 from repro.utils.errors import ExecutionFailedError
 from repro.utils.rng import RngStream
 
+from repro.experiments.registry import SCHEDULERS, register_scheduler
+
+# The paper's algorithms, registered once in the SCHEDULERS registry —
+# the source of truth every campaign validates its ``algorithms`` tuple
+# against.  The fault-free reference is the default ε = 0 form of each
+# runner (which keeps caft-paper's literal locking).
+if "caft" not in SCHEDULERS:
+    register_scheduler(
+        "caft",
+        lambda inst, eps, rng, model, fast=True: caft(
+            inst, eps, model=model, rng=rng, fast=fast
+        ),
+    )
+    register_scheduler(
+        "caft-paper",
+        lambda inst, eps, rng, model, fast=True: caft(
+            inst, eps, model=model, locking="paper", rng=rng, fast=fast
+        ),
+    )
+    register_scheduler(
+        "ftsa",
+        lambda inst, eps, rng, model, fast=True: ftsa(
+            inst, eps, model=model, rng=rng, fast=fast
+        ),
+    )
+    register_scheduler(
+        "ftbar",
+        lambda inst, eps, rng, model, fast=True: ftbar(
+            inst, eps, model=model, rng=rng, fast=fast
+        ),
+    )
+
+
+class _RunnerView(Mapping):
+    """Live read-only mapping over one field of the scheduler registry.
+
+    Keeps the historical ``ALGORITHM_RUNNERS[name](...)`` /
+    ``FAULTFREE_RUNNERS[name](...)`` call sites working while
+    ``register_scheduler`` remains the single way to add entries —
+    registered algorithms appear here automatically.
+    """
+
+    def __init__(self, attr: str) -> None:
+        self._attr = attr
+
+    def __getitem__(self, name: str) -> Callable[..., Schedule]:
+        # KeyError, not CampaignConfigError: this is the dict protocol
+        # (``in``/``.get()`` depend on it), and what the historical dicts
+        # raised.  Spec validation reports unknown names before any run.
+        if name not in SCHEDULERS:
+            raise KeyError(name)
+        return getattr(SCHEDULERS.get(name, key="algorithms"), self._attr)
+
+    def __contains__(self, name: object) -> bool:
+        return name in SCHEDULERS
+
+    def __iter__(self):
+        return iter(SCHEDULERS.names())
+
+    def __len__(self) -> int:
+        return len(SCHEDULERS)
+
+
 #: algorithm name -> callable(instance, epsilon, rng, model, fast) -> Schedule
-ALGORITHM_RUNNERS: dict[str, Callable[..., Schedule]] = {
-    "caft": lambda inst, eps, rng, model, fast=True: caft(
-        inst, eps, model=model, rng=rng, fast=fast
-    ),
-    "caft-paper": lambda inst, eps, rng, model, fast=True: caft(
-        inst, eps, model=model, locking="paper", rng=rng, fast=fast
-    ),
-    "ftsa": lambda inst, eps, rng, model, fast=True: ftsa(
-        inst, eps, model=model, rng=rng, fast=fast
-    ),
-    "ftbar": lambda inst, eps, rng, model, fast=True: ftbar(
-        inst, eps, model=model, rng=rng, fast=fast
-    ),
-}
+ALGORITHM_RUNNERS: Mapping[str, Callable[..., Schedule]] = _RunnerView("runner")
 
 #: fault-free reference of each algorithm (the paper plots FaultFree-CAFT
 #: and FaultFree-FTBAR; FTSA's fault-free run coincides with CAFT's).
-FAULTFREE_RUNNERS: dict[str, Callable[..., Schedule]] = {
-    "caft": lambda inst, rng, model, fast=True: caft(
-        inst, 0, model=model, rng=rng, fast=fast
-    ),
-    "caft-paper": lambda inst, rng, model, fast=True: caft(
-        inst, 0, model=model, locking="paper", rng=rng, fast=fast
-    ),
-    "ftsa": lambda inst, rng, model, fast=True: ftsa(
-        inst, 0, model=model, rng=rng, fast=fast
-    ),
-    "ftbar": lambda inst, rng, model, fast=True: ftbar(
-        inst, 0, model=model, rng=rng, fast=fast
-    ),
-}
+FAULTFREE_RUNNERS: Mapping[str, Callable[..., Schedule]] = _RunnerView("faultfree")
 
 
 def generate_topology(
@@ -462,7 +501,14 @@ class CampaignResult:
 
 
 class ParallelHarness:
-    """Deterministic multi-process campaign runner (compatibility shim).
+    """Deprecated multi-process campaign runner (compatibility shim).
+
+    .. deprecated::
+        Describe campaigns as data instead: a
+        :class:`repro.experiments.api.CampaignSpec` with
+        ``executor={"kind": "process", "workers": N}`` run through
+        :class:`repro.experiments.api.Campaign` — or pass
+        ``workers=N`` straight to :func:`run_campaign`.
 
     The historical front end of the process-pool path; the pool itself
     now lives in :class:`repro.experiments.executors.ProcessExecutor`
@@ -473,6 +519,13 @@ class ParallelHarness:
     def __init__(self, workers: Optional[int] = None, clamp: bool = True) -> None:
         from repro.experiments.executors.process import effective_workers
 
+        warnings.warn(
+            "ParallelHarness is deprecated; describe the campaign with "
+            "repro.experiments.api.CampaignSpec (executor kind 'process') "
+            "or call run_campaign(workers=N)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.workers = effective_workers(workers, clamp)
 
     def run_campaign(

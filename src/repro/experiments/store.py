@@ -27,6 +27,7 @@ from typing import IO, Optional, Union
 
 from repro.experiments.grid import ScenarioGrid, WorkUnit
 from repro.experiments.harness import RepResult, flatten_rep_result
+from repro.experiments.registry import STORES, register_store
 
 MANIFEST_NAME = "manifest.json"
 ROWS_NAME = "rows.jsonl"
@@ -295,3 +296,15 @@ class RunStore:
             )
         )
         return rows
+
+
+# The builtin store backends, by `store.backend` spec name: "memory" is
+# the ephemeral in-process store every default campaign uses, "jsonl"
+# the append-only directory store above.  `register_store` adds more.
+register_store("memory", lambda directory=None: RunStore(None))
+register_store("jsonl", lambda directory=None: RunStore(directory))
+
+
+def make_store(backend: str, directory: Union[str, Path, None] = None) -> RunStore:
+    """Instantiate a results store from a registered backend name."""
+    return STORES.get(backend, key="store.backend")(directory=directory)

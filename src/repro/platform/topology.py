@@ -263,6 +263,26 @@ def topology_names() -> tuple[str, ...]:
     return tuple(sorted(TOPOLOGY_BUILDERS))
 
 
+def register_topology(
+    name: str,
+    builder: Callable[[int, float], Topology],
+    *,
+    overwrite: bool = False,
+) -> Callable[[int, float], Topology]:
+    """Register a topology shape builder under ``name``.
+
+    ``builder(num_procs, delay)`` must return a :class:`Topology`;
+    registered shapes become valid ``--topology`` / spec values for
+    routed campaigns.  Returns ``builder`` so it can be a decorator.
+    """
+    from repro.utils.registry import check_registration
+
+    check_registration("topology", name, name in TOPOLOGY_BUILDERS, overwrite)
+    TOPOLOGY_BUILDERS[name] = builder
+    make_topology.cache_clear()
+    return builder
+
+
 @lru_cache(maxsize=64)
 def make_topology(name: str, num_procs: int, delay: float = 1.0) -> Topology:
     """Instantiate a standard topology shape by name over ``num_procs``.

@@ -32,6 +32,27 @@ class ScheduleValidationError(ReproError):
     """
 
 
+class CampaignConfigError(ReproError, ValueError):
+    """An invalid campaign configuration, named by its offending key.
+
+    The single error type for bad campaign descriptions — an unknown
+    scheduler/network/topology/executor/store name, a scenario flag
+    combination that cannot be built, a malformed lease spec, resuming
+    without a persistent store...  Raised identically whether the
+    configuration arrived through the :class:`repro.experiments.api.
+    CampaignSpec` API, a spec file, or the CLI (which prints it and
+    exits 2).  ``key`` names the spec field (CLI flag) at fault, e.g.
+    ``"executor.bind"`` or ``"lease"``; the message always spells it
+    out too.  Subclasses ``ValueError`` so historical ``except
+    ValueError`` call sites keep working.
+    """
+
+    def __init__(self, message: str, key: "str | None" = None) -> None:
+        super().__init__(message)
+        #: dotted spec key (or CLI flag) the error is about, if known
+        self.key = key
+
+
 class ExecutionFailedError(ReproError):
     """Crash replay ended with at least one task having no completed replica.
 

@@ -1,0 +1,33 @@
+"""The one registration-validation rule every registry shares.
+
+Campaign names resolve through several registries — the generic
+:class:`repro.experiments.registry.Registry` plus the layer-owned
+network-model and topology tables in :mod:`repro.comm` and
+:mod:`repro.platform.topology`.  They all accept names under the same
+contract, checked here, so the extension points cannot drift on what a
+valid name is or how duplicates fail.
+"""
+
+from __future__ import annotations
+
+
+def check_registration(
+    kind: str, name: str, exists: bool, overwrite: bool = False
+) -> None:
+    """Validate one ``register_*`` call; raises ``ValueError`` when bad.
+
+    Names must be non-empty strings without ``":"`` (the executor
+    spec-string separator — a name containing it could never be looked
+    up again); registering an existing name needs ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"{kind} name must be a non-empty string, got {name!r}"
+        )
+    if ":" in name:
+        raise ValueError(f"{kind} name {name!r} must not contain ':'")
+    if exists and not overwrite:
+        raise ValueError(
+            f"{kind} {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )

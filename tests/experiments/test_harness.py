@@ -183,26 +183,35 @@ class TestParallelHarness:
         b = run_rep(cfg, 0.5, 0)
         assert a == b
 
+    def test_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="CampaignSpec"):
+            ParallelHarness(1)
+
     def test_workers_do_not_change_results(self, cfg):
         serial = run_campaign(cfg)
-        parallel = ParallelHarness(2, clamp=False).run_campaign(cfg)
+        with pytest.warns(DeprecationWarning):
+            parallel = ParallelHarness(2, clamp=False).run_campaign(cfg)
         assert serial.rows() == parallel.rows()
 
     def test_parallel_progress_covers_all_jobs(self, cfg):
         messages = []
-        ParallelHarness(2, clamp=False).run_campaign(cfg, progress=messages.append)
+        with pytest.warns(DeprecationWarning):
+            harness = ParallelHarness(2, clamp=False)
+        harness.run_campaign(cfg, progress=messages.append)
         assert len(messages) == len(cfg.granularities) * cfg.num_graphs
 
     def test_workers_one_is_serial(self, cfg):
-        assert ParallelHarness(1).workers <= 1
-        assert ParallelHarness(None).workers == 0
+        with pytest.warns(DeprecationWarning):
+            assert ParallelHarness(1).workers <= 1
+            assert ParallelHarness(None).workers == 0
 
     def test_workers_clamped_to_cpus(self):
         import os
 
         cpus = os.cpu_count() or 1
-        assert ParallelHarness(cpus + 7).workers <= cpus
-        assert ParallelHarness(cpus + 7, clamp=False).workers == cpus + 7
+        with pytest.warns(DeprecationWarning):
+            assert ParallelHarness(cpus + 7).workers <= cpus
+            assert ParallelHarness(cpus + 7, clamp=False).workers == cpus + 7
 
     def test_fast_flag_does_not_change_results(self, cfg):
         from dataclasses import replace

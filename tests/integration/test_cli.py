@@ -34,9 +34,16 @@ class TestCampaignParser:
             ["campaign", "run", "2", "--graphs", "3", "--store", "/tmp/x",
              "--resume", "--executor", "socket", "--spawn-workers", "2"]
         )
-        assert args.number == 2 and args.graphs == 3
+        assert args.target == "2" and args.graphs == 3
         assert args.store == "/tmp/x" and args.resume
         assert args.executor == "socket" and args.spawn_workers == 2
+
+    def test_campaign_run_accepts_spec_target(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "spec.json", "--override", "graphs=2"]
+        )
+        assert args.target == "spec.json"
+        assert args.override == ["graphs=2"]
 
     def test_campaign_worker_address(self):
         args = build_parser().parse_args(
@@ -51,12 +58,34 @@ class TestCampaignParser:
 
     def test_campaign_resume_args(self):
         args = build_parser().parse_args(["campaign", "resume", "/tmp/store"])
-        assert args.store == "/tmp/store"
+        assert args.target == "/tmp/store"
 
     def test_campaign_resume_without_store_rejected(self, capsys):
         rc = main(["campaign", "run", "1", "--graphs", "1", "--resume"])
         assert rc == 2
-        assert "--resume needs --store" in capsys.readouterr().err
+        assert "resume needs a persistent store" in capsys.readouterr().err
+
+    def test_campaign_run_rejects_bad_target(self, capsys):
+        rc = main(["campaign", "run", "9"])
+        assert rc == 2
+        assert "no figure 9" in capsys.readouterr().err
+
+    def test_socket_flags_require_socket_executor(self, capsys):
+        rc = main(["campaign", "run", "1", "--graphs", "1",
+                   "--bind", "127.0.0.1:7077"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--bind" in err and "socket" in err
+
+    def test_resume_from_directory_rejects_override(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["campaign", "run", "1", "--graphs", "1",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        rc = main(["campaign", "resume", str(store),
+                   "--override", "lease=8"])
+        assert rc == 2
+        assert "spec-file target" in capsys.readouterr().err
 
 
 class TestCampaignCommands:
@@ -71,6 +100,52 @@ class TestCampaignCommands:
         assert (store / "rows.jsonl").exists()
         # Resuming a complete store reruns nothing and reports again.
         rc = main(["campaign", "resume", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "figure1" in out
+
+    def test_campaign_run_from_spec_with_override_precedence(
+        self, capsys, tmp_path
+    ):
+        """Spec file < explicit flags < --override, and the stored rows
+        reflect the final values."""
+        from repro.experiments import CampaignSpec, RunStore, apply_overrides, figure_spec
+
+        store = tmp_path / "store"
+        spec = apply_overrides(
+            figure_spec(1),
+            {"graphs": 3, "config.granularities": [0.4, 1.2],
+             "config.task_range": [14, 18]},
+        )
+        path = tmp_path / "campaign.json"
+        path.write_text(spec.to_json())
+
+        # --override graphs=1 beats the file's graphs=3
+        rc = main(["campaign", "run", str(path), "--store", str(store),
+                   "--override", "graphs=1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shape checks:" in out
+        with RunStore(store) as st:
+            # 2 granularities x 1 graph: the override won
+            assert len(st) == 2
+
+    def test_campaign_resume_from_spec_file(self, capsys, tmp_path):
+        from repro.experiments import apply_overrides, figure_spec
+
+        store = tmp_path / "store"
+        spec = apply_overrides(
+            figure_spec(1),
+            {"graphs": 1, "config.granularities": [0.4],
+             "config.task_range": [14, 18],
+             "store.directory": str(store)},
+        )
+        path = tmp_path / "campaign.json"
+        path.write_text(spec.to_json())
+        assert main(["campaign", "run", str(path)]) == 0
+        capsys.readouterr()
+        # resuming via the spec file re-reports without re-running
+        rc = main(["campaign", "resume", str(path)])
         out = capsys.readouterr().out
         assert rc == 0
         assert "figure1" in out
@@ -177,6 +252,19 @@ class TestNewSubcommands:
         rc = main(["figure", "1", "--graphs", "1", "--html", str(html_out)])
         assert html_out.exists()
         assert "<svg" in html_out.read_text()
+
+    def test_figure_html_multi_scenario_writes_tagged_reports(
+        self, capsys, tmp_path
+    ):
+        html_out = tmp_path / "fig.html"
+        main(["figure", "1", "--graphs", "1", "--html", str(html_out),
+              "--override", 'topologies=["ring"]',
+              "--override", "config.granularities=[0.4]",
+              "--override", "config.task_range=[14,18]"])
+        # one report per scenario, none silently dropped
+        assert (tmp_path / "fig.oneport-clique-append.html").exists()
+        assert (tmp_path / "fig.routed-oneport-ring-append.html").exists()
+        assert not html_out.exists()
 
     def test_compare_subcommand(self, capsys):
         rc = main(

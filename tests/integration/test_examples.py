@@ -1,4 +1,11 @@
-"""Smoke tests running every example script end to end."""
+"""Smoke tests running every example script and shipped spec end to end.
+
+Everything here carries the ``examples`` marker (tier-1; run alone with
+``-m examples``): every ``examples/*.py`` script executes at tiny
+settings, every shipped figure spec loads and runs, and a completeness
+check fails when a new example lands without a smoke test — so API
+drift breaks the user-facing surface loudly, not silently.
+"""
 
 import pathlib
 import runpy
@@ -19,7 +26,21 @@ def run_example(name: str, argv: list[str] | None = None, capsys=None) -> str:
     return capsys.readouterr().out if capsys else ""
 
 
+@pytest.mark.examples
 class TestExamples:
+    def test_every_example_has_a_smoke_test(self):
+        """A new examples/*.py without a test here must fail loudly."""
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            name.removeprefix("test_") + ".py"
+            for name in dir(type(self))
+            if name.startswith("test_") and name != "test_every_example_has_a_smoke_test"
+        }
+        assert scripts == covered, (
+            f"examples without a smoke test: {sorted(scripts - covered)}; "
+            f"tests without a script: {sorted(covered - scripts)}"
+        )
+
     def test_quickstart(self, capsys):
         out = run_example("quickstart.py", capsys=capsys)
         assert "latency (0 crash)" in out
@@ -41,9 +62,15 @@ class TestExamples:
         assert "clique" in out and "ring" in out
         # the clique row is the 1.00x baseline
         assert "1.00x" in out
-        # the grid-driven topology campaign, one row per scenario x algo
+        # the spec-driven topology campaign, one row per scenario x algo
         assert "campaign grid: 3 scenarios" in out
         assert "routed-oneport/torus" in out
+
+    def test_campaign_spec(self, capsys):
+        out = run_example("campaign_spec.py", capsys=capsys)
+        assert "0 units re-run, rows identical: True" in out
+        assert "executor='process'" in out
+        assert "typos fail loudly" in out and "'graps'" in out
 
     @pytest.mark.distributed
     def test_distributed_campaign(self, capsys):
@@ -63,3 +90,40 @@ class TestExamples:
         assert "parallelism profile" in out
         assert "surv" in out
         assert "caft-paper" in out
+
+
+@pytest.mark.examples
+class TestShippedSpecs:
+    """Every spec file shipped with the package runs at tiny settings."""
+
+    def _tiny(self, spec):
+        from repro.experiments import apply_overrides
+
+        return apply_overrides(
+            spec,
+            {
+                "graphs": 1,
+                "config.granularities": [0.6, 1.4],
+                "config.task_range": [12, 16],
+            },
+        )
+
+    def test_all_shipped_specs_are_covered(self):
+        from repro.experiments import FIGURES, shipped_spec_paths
+
+        names = {p.stem for p in shipped_spec_paths()}
+        assert names == {f"figure{n}" for n in FIGURES}
+
+    @pytest.mark.parametrize("number", [1, 2, 3, 4, 5, 6])
+    def test_shipped_figure_spec_runs(self, number):
+        from repro.experiments import Campaign, figure_spec
+
+        spec = self._tiny(figure_spec(number))
+        handle = Campaign(spec).run()
+        result = handle.result()
+        assert result.config.name == f"figure{number}"
+        assert len(result.reps) == spec.grid().total_units
+        # the aggregated view has every per-algorithm column
+        row = result.rows()[0]
+        for algo in result.config.algorithms:
+            assert f"{algo}_latency0" in row
