@@ -78,6 +78,71 @@ def test_campaign_lease_scaling():
           f"({lease1_s / auto_s:.2f}x vs lease1)")
 
 
+@pytest.mark.guard
+def test_campaign_straggler_tail():
+    """Tail latency with one 10x-slow worker: mitigation on vs off.
+
+    Two spawned workers, one throttled to 10x its real unit time
+    (``--slow-factor``), pinned 4-unit leases so the slow worker strands
+    a meaty lease tail.  With stealing and speculation off the campaign
+    ends when the straggler finishes its whole lease; with them on the
+    master revokes the unstarted tail for the fast worker and the wall
+    clock collapses to roughly one slow unit.  Guard-tier: the speedup
+    is asserted against a floor, so a regression that quietly disables
+    the mitigation (or breaks revocation) fails ``pytest benchmarks -m
+    guard`` instead of only drifting in BENCH_fastpath.json.
+    """
+    if not sockets_available():
+        pytest.skip("localhost sockets unavailable")
+    graphs = bench_graphs(default=1)
+    spawn = [["--slow-factor", "10"], []]
+
+    def timed_straggler(speculate, steal):
+        executor = SocketExecutor(
+            spawn_workers=spawn, timeout=600.0, lease=4,
+            speculate=speculate, steal=steal,
+        )
+        t0 = time.perf_counter()
+        result = run_figure(1, num_graphs=graphs, executor=executor)
+        return time.perf_counter() - t0, result, executor
+
+    off_s, off, _ = timed_straggler("off", "off")
+    on_s, on, mitigated = timed_straggler("auto", "auto")
+    assert on.rows() == off.rows(), "straggler mitigation changed rows"
+    speedup = off_s / on_s
+
+    record = {
+        "bench": "campaign-straggler-tail",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "graphs_per_point": graphs,
+        "workers": 2,
+        "cpus": os.cpu_count(),
+        "straggler_off_s": round(off_s, 3),
+        "straggler_on_s": round(on_s, 3),
+        "speedup": round(speedup, 2),
+        "stolen_units": mitigated.stolen_units,
+        "speculative_attempts": mitigated.speculative_attempts,
+    }
+    append_bench_record(record)
+
+    print(f"\ncampaign straggler tail: figure1 x{graphs} graphs, "
+          f"2 socket workers (one 10x slow), lease=4")
+    print(f"  mitigation off {off_s:7.2f}s")
+    print(f"  mitigation on  {on_s:7.2f}s ({speedup:.2f}x, "
+          f"{mitigated.stolen_units} stolen, "
+          f"{mitigated.speculative_attempts} speculative)")
+
+    # The slow worker's lease tail is ~3 slow units; stealing should
+    # recover nearly all of it (~3x here).  The floor is deliberately
+    # loose for shared-box noise — a broken mitigation lands at ~1.0x,
+    # far below it.
+    assert speedup >= 1.3, (
+        f"straggler mitigation speedup {speedup:.2f}x below the 1.3x "
+        f"floor (off {off_s:.2f}s, on {on_s:.2f}s) — lease revocation / "
+        "speculation is no longer rescuing a slow worker's lease tail"
+    )
+
+
 def test_campaign_executors():
     graphs = bench_graphs(default=1)
     workers = bench_workers(default=2)

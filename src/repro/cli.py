@@ -102,6 +102,10 @@ def _executor_overrides(args: argparse.Namespace) -> dict:
         overrides["executor.spawn_workers"] = args.spawn_workers
     if getattr(args, "timeout", None) is not None:
         overrides["executor.timeout"] = args.timeout
+    if getattr(args, "speculate", None) is not None:
+        overrides["executor.speculate"] = args.speculate
+    if getattr(args, "steal", None) is not None:
+        overrides["executor.steal"] = args.steal
     if getattr(args, "lease", None) is not None:
         overrides["lease"] = args.lease
     if getattr(args, "store", None):
@@ -293,6 +297,10 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
         max_units=args.max_units,
         heartbeat=args.heartbeat,
         verbose=args.verbose,
+        wedge_after=args.wedge_after,
+        slow_factor=args.slow_factor,
+        die_after=args.die_after,
+        ignore_revoke=args.ignore_revoke,
     )
 
 
@@ -510,6 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket campaign no-activity timeout in seconds "
                             "(resets on any worker heartbeat or result; "
                             "default 300)")
+        p.add_argument("--speculate", choices=["off", "auto"], default=None,
+                       help="duplicate the slowest outstanding units onto "
+                            "idle workers near the campaign tail (first ack "
+                            "wins; socket executor only; default off)")
+        p.add_argument("--steal", choices=["off", "auto"], default=None,
+                       help="let an idle worker take the unstarted remainder "
+                            "of a straggler's lease (socket executor only; "
+                            "default auto)")
         p.add_argument("--lease", "--lease-size", dest="lease",
                        default=None, metavar="{auto,N}",
                        help="units per worker lease / pool chunk: an integer "
@@ -569,6 +585,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "injection for requeue tests; the worker exits "
                               "with code 3 (distinct from a crash's 1) so "
                               "harnesses can assert why it died")
+    p_cwork.add_argument("--wedge-after", type=int, default=None,
+                         metavar="N",
+                         help="fault injection: stall mid-unit after N "
+                              "results without dying — heartbeats continue, "
+                              "so only speculation/stealing can rescue the "
+                              "campaign; exits 3 once the master is gone")
+    p_cwork.add_argument("--slow-factor", type=float, default=None,
+                         metavar="F",
+                         help="fault injection: throttle every unit to F x "
+                              "its real compute time (a reproducible "
+                              "straggler)")
+    p_cwork.add_argument("--die-after", type=int, default=None,
+                         metavar="N",
+                         help="fault injection: exit with the genuine-crash "
+                              "code 1 after N results (exercises the "
+                              "master's bounded worker respawn)")
+    p_cwork.add_argument("--ignore-revoke", action="store_true",
+                         help="fault injection: keep computing revoked "
+                              "units, forcing the revoke-vs-ack race")
     p_cwork.add_argument("--verbose", action="store_true")
     p_cwork.set_defaults(func=_cmd_campaign_worker)
 

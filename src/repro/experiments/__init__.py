@@ -69,6 +69,7 @@ from repro.experiments.executors import (
     SerialExecutor,
     ProcessExecutor,
     SocketExecutor,
+    SpeculationPolicy,
     make_executor,
     run_worker,
     EXECUTOR_NAMES,
@@ -196,6 +197,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "SocketExecutor",
+    "SpeculationPolicy",
     "make_executor",
     "run_worker",
     "EXECUTOR_NAMES",

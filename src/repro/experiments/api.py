@@ -165,9 +165,14 @@ class ExecutorSpec:
     ``kind`` names an entry of the executor registry (``"serial"``,
     ``"process"``, ``"socket"``, or anything added via
     ``register_executor``); the remaining fields parameterize it.
-    ``bind``/``spawn_workers``/``timeout`` describe a socket master and
-    are an error with any other builtin kind — the fields map 1:1 onto
-    the CLI's ``--executor/--workers/--bind/--spawn-workers/--timeout``.
+    ``bind``/``spawn_workers``/``timeout``/``speculate``/``steal``
+    describe a socket master and are an error with any other builtin
+    kind — the fields map 1:1 onto the CLI's ``--executor/--workers/
+    --bind/--spawn-workers/--timeout/--speculate/--steal``.
+    ``speculate`` (``"off"``, the default, or ``"auto"``) duplicates the
+    slowest outstanding units near the campaign tail; ``steal``
+    (``"auto"``, the default, or ``"off"``) lets an idle worker take the
+    unstarted remainder of a straggler's lease.
     """
 
     kind: str = "serial"
@@ -175,12 +180,19 @@ class ExecutorSpec:
     bind: Optional[str] = None
     spawn_workers: Optional[int] = None
     timeout: Optional[float] = None
+    speculate: Optional[str] = None
+    steal: Optional[str] = None
 
-    _KNOWN = frozenset({"kind", "workers", "bind", "spawn_workers", "timeout"})
+    _KNOWN = frozenset(
+        {"kind", "workers", "bind", "spawn_workers", "timeout",
+         "speculate", "steal"}
+    )
     _SOCKET_ONLY = (
         ("bind", "--bind"),
         ("spawn_workers", "--spawn-workers"),
         ("timeout", "--timeout"),
+        ("speculate", "--speculate"),
+        ("steal", "--steal"),
     )
 
     def __post_init__(self) -> None:
@@ -215,6 +227,17 @@ class ExecutorSpec:
                 f"got {self.timeout}",
                 key="executor.timeout",
             )
+        # The serializable spec form of the straggler knobs is the
+        # string ("off"/"auto"); richer policies are API-only.
+        for field_name, flag in (("speculate", "--speculate"),
+                                 ("steal", "--steal")):
+            value = getattr(self, field_name)
+            if value is not None and value not in ("off", "auto"):
+                raise CampaignConfigError(
+                    f"executor.{field_name} ({flag}) must be 'off' or "
+                    f"'auto', got {value!r}",
+                    key=f"executor.{field_name}",
+                )
         if self.kind == "serial" and (self.workers or 1) > 1:
             # The serial executor runs one worker; accepting workers=N
             # would silently run 1/N of the parallelism the user asked
@@ -260,7 +283,8 @@ class ExecutorSpec:
 
     def to_dict(self) -> dict:
         out: dict = {"kind": self.kind}
-        for key in ("workers", "bind", "spawn_workers", "timeout"):
+        for key in ("workers", "bind", "spawn_workers", "timeout",
+                    "speculate", "steal"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value

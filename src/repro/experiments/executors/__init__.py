@@ -18,6 +18,9 @@ from repro.experiments.executors.base import (
     LeaseSpec,
     ProgressFn,
     SerialExecutor,
+    SpeculationPolicy,
+    SpeculationSpec,
+    parse_steal,
     unit_progress_line,
 )
 from repro.experiments.executors.process import ProcessExecutor, effective_workers
@@ -26,6 +29,7 @@ from repro.experiments.executors.socket import (
     WORKER_EXIT_ERROR,
     WORKER_EXIT_FAULT_INJECTED,
     WORKER_EXIT_OK,
+    WORKER_RESPAWN_LIMIT,
     SocketExecutor,
     run_worker,
     sockets_available,
@@ -74,6 +78,8 @@ def _socket_factory(
     bind=None,
     spawn_workers=None,
     timeout=None,
+    speculate=None,
+    steal=None,
     **_options,
 ) -> Executor:
     host, port = parse_bind(bind)
@@ -93,6 +99,8 @@ def _socket_factory(
         port=port,
         spawn_workers=int(spawn),
         lease=lease,
+        speculate=speculate,
+        steal=steal,
         **kwargs,
     )
 
@@ -157,9 +165,12 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "SocketExecutor",
+    "SpeculationPolicy",
+    "SpeculationSpec",
     "effective_workers",
     "make_executor",
     "parse_bind",
+    "parse_steal",
     "run_worker",
     "sockets_available",
     "unit_progress_line",
@@ -168,4 +179,5 @@ __all__ = [
     "WORKER_EXIT_OK",
     "WORKER_EXIT_ERROR",
     "WORKER_EXIT_FAULT_INJECTED",
+    "WORKER_RESPAWN_LIMIT",
 ]

@@ -33,6 +33,25 @@ ProgressFn = Callable[[str], None]
 #: a fixed size (int or digit string), or ``None`` for the default
 LeaseSpec = Union["LeasePolicy", str, int, None]
 
+#: everything ``SpeculationPolicy.from_spec`` accepts: a policy,
+#: ``"auto"``/``"off"`` (the spec-file strings), a bool, or ``None``
+SpeculationSpec = Union["SpeculationPolicy", str, bool, None]
+
+
+def parse_steal(spec: Union[str, bool, None]) -> bool:
+    """Resolve a work-stealing spec: ``"auto"``/``None`` enable it,
+    ``"off"`` disables.  Stealing is on by default because it is free
+    when no worker straggles (a revoke is only ever sent when a worker
+    idles against an empty queue) and costs a protocol round-trip, not
+    recomputation, when one does."""
+    if spec is None or spec is True or spec == "auto":
+        return True
+    if spec is False or spec == "off":
+        return False
+    raise ValueError(
+        f"bad steal spec {spec!r}: expected 'auto' or 'off'"
+    )
+
 
 @dataclass
 class LeasePolicy:
@@ -155,6 +174,68 @@ class LeasePolicy:
             run = list(group)
             out.extend(run[i : i + size] for i in range(0, len(run), size))
         return out
+
+
+@dataclass
+class SpeculationPolicy:
+    """When the master duplicates an in-flight unit onto an idle worker.
+
+    Near the campaign tail an idle worker with an empty queue is wasted
+    capacity, and a wedged worker (computing forever while heartbeating)
+    can hold the whole campaign hostage — the dead-man deadline never
+    fires because the worker *is* alive.  Speculation is the mappy-style
+    answer: hand the idle worker a duplicate attempt of the slowest
+    outstanding unit; whichever attempt acks first wins, and the loser's
+    result is swallowed by the store's idempotent append (visible in
+    ``dedup_stats()["by_attempt"]``).
+
+    A unit is speculation-eligible when its lease has made no progress
+    for more than ``slow_factor`` times the EWMA of observed per-unit
+    seconds (never less than ``min_seconds``, so sub-millisecond
+    campaigns don't speculate on scheduling noise).  The total number of
+    speculative launches is capped at ``budget_fraction`` of the
+    campaign's units, and each unit gets at most ``max_attempts`` total
+    attempts (the primary counts as one).
+    """
+
+    enabled: bool = False
+    slow_factor: float = 3.0
+    min_seconds: float = 0.5
+    budget_fraction: float = 0.25
+    max_attempts: int = 2
+
+    @classmethod
+    def from_spec(cls, spec: SpeculationSpec) -> "SpeculationPolicy":
+        """Resolve a speculate spec: ``"auto"`` enables, ``"off"``/
+        ``None`` disable (off by default — duplicate compute is only
+        worth buying once a user opts into tail-latency mitigation)."""
+        if isinstance(spec, SpeculationPolicy):
+            return spec
+        if spec is None or spec is False or spec == "off":
+            return cls(enabled=False)
+        if spec is True or spec == "auto":
+            return cls(enabled=True)
+        raise ValueError(
+            f"bad speculate spec {spec!r}: expected 'auto' or 'off'"
+        )
+
+    def budget(self, total_units: int) -> int:
+        """Maximum speculative launches for a campaign of this size."""
+        if not self.enabled:
+            return 0
+        return max(1, math.ceil(self.budget_fraction * total_units))
+
+    def is_straggler(
+        self, stalled_seconds: float, avg_unit_seconds: Optional[float]
+    ) -> bool:
+        """Is a lease that last progressed ``stalled_seconds`` ago slow
+        enough to speculate against?  Needs a calibrated EWMA — with no
+        latency sample there is no notion of "slow" yet."""
+        if not self.enabled or avg_unit_seconds is None:
+            return False
+        return stalled_seconds > max(
+            self.slow_factor * avg_unit_seconds, self.min_seconds
+        )
 
 
 @runtime_checkable

@@ -77,6 +77,7 @@ class RunStore:
         self._repair_newline = False
         self._duplicate_appends = 0
         self._replayed_rows = 0
+        self._duplicates_by_attempt: dict[str, int] = {}
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load_rows()
@@ -137,8 +138,19 @@ class RunStore:
 
     # --------------------------------------------------------------- writing
 
-    def append(self, unit: WorkUnit, result: RepResult) -> bool:
-        """Record one completed unit; returns False if already present."""
+    def append(
+        self, unit: WorkUnit, result: RepResult, attempt: str = "primary"
+    ) -> bool:
+        """Record one completed unit; returns False if already present.
+
+        ``attempt`` tags which execution attempt delivered the result —
+        ``"primary"`` for a unit's first lease, ``"speculative"`` /
+        ``"stolen"`` / ``"stale"`` for the straggler-mitigation paths.
+        The tag changes nothing about what is stored (first ack wins,
+        identical rows either way); it only attributes swallowed
+        duplicates in :meth:`dedup_stats`, so fault harnesses can assert
+        *which* mechanism produced each losing delivery.
+        """
         record = {
             "unit_id": unit.unit_id,
             **unit.scenario,
@@ -149,6 +161,9 @@ class RunStore:
         with self._lock:
             if unit.unit_id in self._results:
                 self._duplicate_appends += 1
+                self._duplicates_by_attempt[attempt] = (
+                    self._duplicates_by_attempt.get(attempt, 0) + 1
+                )
                 return False
             self._results[unit.unit_id] = result
             self._tags[unit.unit_id] = unit.scenario
@@ -234,7 +249,7 @@ class RunStore:
 
     # --------------------------------------------------------------- reading
 
-    def dedup_stats(self) -> dict[str, int]:
+    def dedup_stats(self) -> dict:
         """How many replayed deliveries idempotency swallowed.
 
         ``duplicate_appends`` counts live :meth:`append` calls for units
@@ -244,12 +259,22 @@ class RunStore:
         original's — harmless, the first row wins).  Both should be 0 in
         a fault-free campaign; fault-injection suites assert they absorb
         exactly the injected replays.
+
+        When any live duplicate carried an attempt tag, a ``by_attempt``
+        mapping breaks ``duplicate_appends`` down by tag (``"primary"``,
+        ``"speculative"``, ``"stolen"``, ``"stale"``) — attributing each
+        losing delivery to the mechanism that raced.  The key is absent
+        when there were no duplicates, so fault-free stats stay exactly
+        the two legacy counters.
         """
         with self._lock:
-            return {
+            stats: dict = {
                 "duplicate_appends": self._duplicate_appends,
                 "replayed_rows": self._replayed_rows,
             }
+            if self._duplicates_by_attempt:
+                stats["by_attempt"] = dict(self._duplicates_by_attempt)
+            return stats
 
     def completed_ids(self) -> frozenset[str]:
         with self._lock:

@@ -20,6 +20,23 @@ fault cell                what is injected
 ``duplicate-delivery``    every result is delivered to the store twice
                           (requeue-race replay); idempotent appends must
                           swallow each copy exactly once
+``speculative-duplicate`` a worker wedges mid-unit (heartbeating, never
+                          finishing) and speculation rescues its lease with
+                          duplicate attempts; serial/process replay every
+                          append as a losing ``"speculative"`` attempt and
+                          the per-attempt dedup counts must be exact
+``lease-revocation``      an idle worker steals the unstarted remainder of
+                          a straggler's lease (v3 ``revoke``);
+                          serial/process abort mid-campaign, a fresh
+                          executor finishes the re-leased remainder, and a
+                          revoked unit's late ``"stale"`` ack is swallowed
+``wedged-worker``         a worker stalls mid-unit without dying — alive to
+                          the dead-man deadline, dead to the campaign —
+                          and stealing + speculation together must rescue
+                          every unit it holds
+``revoke-ack-race``       the victim ignores the revoke and keeps acking
+                          revoked units, racing the thief; first ack wins
+                          in both orders and losers are counted per attempt
 ========================  ==================================================
 
 ``run_cell`` executes one (executor, fault) cell against a store
@@ -53,6 +70,7 @@ from repro.experiments.campaign import resume_campaign
 from repro.experiments.executors import (
     WORKER_EXIT_FAULT_INJECTED,
     WORKER_EXIT_OK,
+    SpeculationPolicy,
     sockets_available,
 )
 from repro.experiments.grid import WorkUnit
@@ -64,6 +82,10 @@ FAULTS: tuple[str, ...] = (
     "worker-crash",
     "master-kill-resume",
     "duplicate-delivery",
+    "speculative-duplicate",
+    "lease-revocation",
+    "wedged-worker",
+    "revoke-ack-race",
 )
 
 #: hard no-activity deadline for every socket cell — a wedged master
@@ -83,10 +105,46 @@ class DuplicatingStore(RunStore):
     delivery must be swallowed by idempotency, never duplicate a row.
     """
 
-    def append(self, unit: WorkUnit, result: RepResult) -> bool:
-        first = super().append(unit, result)
-        replay = super().append(unit, result)
+    def append(
+        self, unit: WorkUnit, result: RepResult, attempt: str = "primary"
+    ) -> bool:
+        first = super().append(unit, result, attempt=attempt)
+        replay = super().append(unit, result, attempt=attempt)
         assert not replay, f"duplicate append of {unit.unit_id} was stored"
+        return first
+
+
+class AttemptReplayStore(RunStore):
+    """A store where every unit's result also arrives from a losing
+    speculative attempt — the serial/process model of first-ack-wins:
+    the replay must never be stored, and must be attributed to its
+    attempt tag exactly in ``dedup_stats()["by_attempt"]``."""
+
+    def append(
+        self, unit: WorkUnit, result: RepResult, attempt: str = "primary"
+    ) -> bool:
+        first = super().append(unit, result, attempt=attempt)
+        replay = super().append(unit, result, attempt="speculative")
+        assert not replay, f"speculative replay of {unit.unit_id} was stored"
+        return first
+
+
+class RaceStore(RunStore):
+    """A store delivering each unit from both sides of the revoke-vs-ack
+    race, alternating which attempt wins: the thief's ``"stolen"`` ack
+    first for even units, the ignoring victim's ``"stale"`` ack first
+    for odd ones.  Whichever order, first ack wins, the loser is counted
+    under its tag, and the stored row is the same bits."""
+
+    def append(
+        self, unit: WorkUnit, result: RepResult, attempt: str = "primary"
+    ) -> bool:
+        winner, loser = ("stolen", "stale") if len(self) % 2 == 0 else (
+            "stale", "stolen"
+        )
+        first = super().append(unit, result, attempt=winner)
+        replay = super().append(unit, result, attempt=loser)
+        assert not replay, f"losing {loser} ack of {unit.unit_id} was stored"
         return first
 
 
@@ -94,6 +152,8 @@ def make_cell_executor(
     name: str,
     lease: Union[str, int, None] = "auto",
     spawn: Union[int, Sequence[Sequence[str]]] = 2,
+    speculate=None,
+    steal=None,
 ):
     """A fresh executor for one conformance cell."""
     if name == "serial":
@@ -102,7 +162,11 @@ def make_cell_executor(
         return ProcessExecutor(2, clamp=False, lease=lease)
     if name == "socket":
         return SocketExecutor(
-            spawn_workers=spawn, timeout=DEADLINE_S, lease=lease
+            spawn_workers=spawn,
+            timeout=DEADLINE_S,
+            lease=lease,
+            speculate=speculate,
+            steal=steal,
         )
     raise ValueError(f"unknown conformance executor {name!r}")
 
@@ -167,33 +231,160 @@ def run_cell(
             # Serial/process have no independently-killable worker with a
             # survivor, so the computing side aborts mid-campaign and a
             # fresh executor finishes from the partial store.
-            calls = 0
+            _abort_then_resume(config, executor_name, store_dir, total,
+                               abort_after=2)
 
-            def dying_progress(message: str) -> None:
-                nonlocal calls
-                calls += 1
-                if calls >= 2:
-                    raise FaultInjected(message)
+    elif fault == "master-kill-resume":
+        _sigkill_master_then_resume(config, executor_name, store_dir, total)
 
+    elif fault == "speculative-duplicate":
+        if executor_name == "socket":
+            # One worker wedges on its very first unit (heartbeating the
+            # whole time, so the dead-man deadline never fires) while
+            # stealing is disabled: speculation alone must duplicate the
+            # wedged lease's units onto the healthy worker.  A generous
+            # budget lets it rescue the whole stranded lease.
+            executor = make_cell_executor(
+                "socket",
+                lease=2,
+                spawn=[["--wedge-after", "0"], []],
+                speculate=SpeculationPolicy(
+                    enabled=True, budget_fraction=1.0, min_seconds=0.3
+                ),
+                steal="off",
+            )
+            run_campaign(config, executor=executor, store=store_dir)
+            assert executor.speculative_attempts >= 1, (
+                "campaign finished without any speculative attempt"
+            )
+            codes = executor.worker_exit_codes
+            assert codes.count(WORKER_EXIT_FAULT_INJECTED) == 1, (
+                f"wedged worker's exit code not distinct: {codes}"
+            )
+        else:
+            store = AttemptReplayStore(store_dir)
             try:
                 run_campaign(
                     config,
                     executor=make_cell_executor(executor_name),
-                    store=store_dir,
-                    progress=dying_progress,
+                    store=store,
                 )
-            except FaultInjected:
-                pass
-            with RunStore(store_dir) as partial:
-                done = len(partial)
-            assert 0 < done < total, (
-                f"crash landed outside the campaign: {done}/{total} done"
-            )
-            run_campaign(config, executor=make_cell_executor(executor_name),
-                         store=store_dir, resume=True)
+            finally:
+                store.close()
+            stats = store.dedup_stats()
+            assert stats["duplicate_appends"] == total, stats
+            assert stats["by_attempt"] == {"speculative": total}, stats
 
-    elif fault == "master-kill-resume":
-        _sigkill_master_then_resume(config, executor_name, store_dir, total)
+    elif fault == "lease-revocation":
+        if executor_name == "socket":
+            # One 4-unit lease pins the whole campaign on the first
+            # worker to connect; the other goes idle against an empty
+            # queue and must steal the unstarted remainder via a v3
+            # revoke.  Both workers are throttled so the lease is still
+            # outstanding when the thief arrives.
+            executor = make_cell_executor(
+                "socket",
+                lease=total,
+                spawn=[["--slow-factor", "4"], ["--slow-factor", "4"]],
+                steal="auto",
+                speculate="off",
+            )
+            run_campaign(config, executor=executor, store=store_dir)
+            assert executor.stolen_units >= 1, (
+                "idle worker never stole from the outstanding lease"
+            )
+        else:
+            # Serial/process analog: the computing side is revoked
+            # mid-campaign (abort after two units), a fresh executor is
+            # re-leased the remainder, and the revoked attempt's late
+            # ack for an already-stored unit must be swallowed as a
+            # counted "stale" duplicate.
+            _abort_then_resume(config, executor_name, store_dir, total,
+                               abort_after=2)
+            with RunStore(store_dir) as store:
+                unit = grid.units()[0]
+                late = store.result(unit.unit_id)
+                assert not store.append(unit, late, attempt="stale")
+                assert store.dedup_stats()["by_attempt"] == {"stale": 1}
+
+    elif fault == "wedged-worker":
+        if executor_name == "socket":
+            # The full rescue path: a worker takes the whole campaign as
+            # one lease and wedges on the head unit.  Stealing reclaims
+            # the unstarted tail, speculation duplicates the wedged head
+            # — between them every unit the wedged worker holds must
+            # complete, and the worker's injected-fault exit code stays
+            # distinct.
+            executor = make_cell_executor(
+                "socket",
+                lease=total,
+                spawn=[["--wedge-after", "0"], []],
+                speculate="auto",
+                steal="auto",
+            )
+            run_campaign(config, executor=executor, store=store_dir)
+            assert executor.speculative_attempts >= 1, (
+                "wedged head unit was never speculated"
+            )
+            codes = executor.worker_exit_codes
+            assert codes.count(WORKER_EXIT_FAULT_INJECTED) == 1, (
+                f"wedged worker's exit code not distinct: {codes}"
+            )
+        else:
+            # Serial/process analog: the run stalls mid-unit (the wedge)
+            # and is abandoned after a single completed unit; a fresh
+            # executor must finish the rest.
+            _abort_then_resume(config, executor_name, store_dir, total,
+                               abort_after=1, stall_seconds=0.3)
+
+    elif fault == "revoke-ack-race":
+        if executor_name == "socket":
+            # Both workers ignore revokes (fault injection), so every
+            # stolen unit is computed twice and the victim's late acks
+            # race the thief's: first ack wins, rows stay identical.
+            executor = make_cell_executor(
+                "socket",
+                lease=total,
+                spawn=[
+                    ["--ignore-revoke", "--slow-factor", "4"],
+                    ["--ignore-revoke", "--slow-factor", "4"],
+                ],
+                steal="auto",
+                speculate="off",
+            )
+            store = RunStore(store_dir)
+            try:
+                run_campaign(config, executor=executor, store=store)
+            finally:
+                store.close()
+            assert executor.stolen_units >= 1, (
+                "no lease was ever revoked, the race was not exercised"
+            )
+            # The exact duplicate count is timing-dependent (the master
+            # may finish before the ignoring victim's last stale acks
+            # arrive), but any loser must be attributed to the race.
+            stats = store.dedup_stats()
+            for tag in stats.get("by_attempt", {}):
+                assert tag in ("stale", "stolen"), stats
+        else:
+            # Serial/process exercise both orders of the race directly
+            # at the store layer: half the units are won by the thief's
+            # "stolen" ack, half by the ignoring victim's "stale" ack.
+            store = RaceStore(store_dir)
+            try:
+                run_campaign(
+                    config,
+                    executor=make_cell_executor(executor_name),
+                    store=store,
+                )
+            finally:
+                store.close()
+            stats = store.dedup_stats()
+            assert stats["duplicate_appends"] == total, stats
+            half, other = total // 2, total - total // 2
+            assert stats["by_attempt"] == {"stale": half, "stolen": other}, (
+                stats
+            )
 
     else:
         raise ValueError(f"unknown conformance fault {fault!r}")
@@ -203,6 +394,48 @@ def run_cell(
         missing = {u.unit_id for u in grid.units()} - set(store.completed_ids())
     assert not missing, f"cell left {len(missing)} unit(s) incomplete"
     return rows
+
+
+def _abort_then_resume(
+    config: ExperimentConfig,
+    executor_name: str,
+    store_dir: Path,
+    total: int,
+    abort_after: int,
+    stall_seconds: float = 0.0,
+) -> None:
+    """Abort an in-process campaign after ``abort_after`` units, then
+    finish it with a fresh executor via ``resume=True``.
+
+    ``stall_seconds`` sleeps before the abort — the serial/process model
+    of a wedged computation that an operator eventually abandons.
+    """
+    calls = 0
+
+    def dying_progress(message: str) -> None:
+        nonlocal calls
+        calls += 1
+        if calls >= abort_after:
+            if stall_seconds:
+                time.sleep(stall_seconds)
+            raise FaultInjected(message)
+
+    try:
+        run_campaign(
+            config,
+            executor=make_cell_executor(executor_name),
+            store=store_dir,
+            progress=dying_progress,
+        )
+    except FaultInjected:
+        pass
+    with RunStore(store_dir) as partial:
+        done = len(partial)
+    assert 0 < done < total, (
+        f"abort landed outside the campaign: {done}/{total} done"
+    )
+    run_campaign(config, executor=make_cell_executor(executor_name),
+                 store=store_dir, resume=True)
 
 
 #: executor spec the SIGKILL victim subprocess resolves (socket masters

@@ -175,12 +175,26 @@ class TestSpecValidation:
             ("bind", "127.0.0.1:7077"),
             ("spawn_workers", 2),
             ("timeout", 60.0),
+            ("speculate", "auto"),
+            ("steal", "off"),
         ):
             err = pytest.raises(
                 CampaignConfigError, ExecutorSpec, **{field: value}
             )
             assert err.value.key == f"executor.{field}"
             assert "socket" in str(err.value)
+
+    def test_bad_speculate_and_steal_values_rejected(self):
+        for field in ("speculate", "steal"):
+            for bad in ("yes", "on", True, 1):
+                err = pytest.raises(
+                    CampaignConfigError,
+                    ExecutorSpec,
+                    kind="socket",
+                    **{field: bad},
+                )
+                assert err.value.key == f"executor.{field}"
+                assert "'auto'" in str(err.value)
 
     def test_executor_bad_bind(self):
         with pytest.raises(CampaignConfigError, match="HOST:PORT"):
@@ -297,6 +311,30 @@ class TestOverrides:
         with pytest.raises(CampaignConfigError, match="unknown key"):
             apply_overrides(spec, {"grapsh": 7})
 
+    def test_straggler_knobs_override_by_dotted_key(self):
+        # `--override executor.speculate=auto` routes through the
+        # serialized form like any other spec key — with identical
+        # validation, so the knobs stay socket-only.
+        spec = tiny_spec()
+        out = apply_overrides(
+            spec,
+            {"executor.kind": "socket", "executor.spawn_workers": 2,
+             "executor.speculate": "auto", "executor.steal": "off"},
+        )
+        assert out.executor.speculate == "auto"
+        assert out.executor.steal == "off"
+        err = pytest.raises(
+            CampaignConfigError,
+            apply_overrides, spec, {"executor.speculate": "auto"},
+        )
+        assert err.value.key == "executor.speculate"
+        err = pytest.raises(
+            CampaignConfigError,
+            apply_overrides, spec,
+            {"executor.kind": "socket", "executor.speculate": "sometimes"},
+        )
+        assert err.value.key == "executor.speculate"
+
     def test_apply_none_resets_to_default(self):
         spec = tiny_spec(lease=4)
         assert apply_overrides(spec, {"lease": None}).lease is None
@@ -383,6 +421,14 @@ class TestCampaignFacade:
         ).build()
         assert isinstance(sock, SocketExecutor)
         assert sock.timeout == 9.0
+        # Straggler-mitigation defaults: stealing on, speculation off.
+        assert sock.steal is True
+        assert sock.speculation.enabled is False
+        tuned = ExecutorSpec(
+            kind="socket", bind="127.0.0.1:0", speculate="auto", steal="off"
+        ).build()
+        assert tuned.speculation.enabled is True
+        assert tuned.steal is False
 
     def test_run_with_process_executor_matches_serial(self):
         spec = tiny_spec()

@@ -109,6 +109,8 @@ def executor_specs(draw) -> ExecutorSpec:
         bind=draw(st.none() | st.just("127.0.0.1:7077")),
         spawn_workers=draw(st.none() | st.integers(1, 4)),
         timeout=draw(st.none() | st.floats(1.0, 1e6, allow_nan=False)),
+        speculate=draw(st.none() | st.sampled_from(["off", "auto"])),
+        steal=draw(st.none() | st.sampled_from(["off", "auto"])),
     )
 
 

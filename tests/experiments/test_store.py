@@ -260,6 +260,45 @@ class TestDedupStats:
         assert store.dedup_stats() == {
             "duplicate_appends": 2,
             "replayed_rows": 0,
+            "by_attempt": {"primary": 2},
+        }
+
+    def test_duplicates_attributed_per_attempt(self, cfg):
+        # Each losing delivery lands under the attempt tag that raced:
+        # the winner's tag is never counted (it was stored, not
+        # swallowed), whatever mechanism it came from.
+        store = RunStore()
+        a, b = WorkUnit(cfg, 0.5, 0), WorkUnit(cfg, 0.5, 1)
+        assert store.append(a, fake_result(0.5, 0), attempt="primary")
+        assert not store.append(a, fake_result(0.5, 0), attempt="speculative")
+        assert not store.append(a, fake_result(0.5, 0), attempt="stale")
+        assert store.append(b, fake_result(0.5, 1), attempt="stolen")
+        assert not store.append(b, fake_result(0.5, 1), attempt="stale")
+        assert store.dedup_stats() == {
+            "duplicate_appends": 3,
+            "replayed_rows": 0,
+            "by_attempt": {"speculative": 1, "stale": 2},
+        }
+
+    def test_live_vs_replayed_counts_stay_separate(self, cfg, tmp_path):
+        # A speculative loser swallowed live is a duplicate_append (with
+        # its attempt tag); a duplicate row discovered while loading the
+        # file is a replayed_row — a fresh process must not inherit the
+        # dead process's live counters, only what the bytes show.
+        store = RunStore(tmp_path / "s")
+        unit = WorkUnit(cfg, 0.5, 0)
+        store.append(unit, fake_result(0.5, 0))
+        assert not store.append(unit, fake_result(0.5, 0),
+                                attempt="speculative")
+        store.close()
+        assert store.dedup_stats()["by_attempt"] == {"speculative": 1}
+
+        path = tmp_path / "s" / "rows.jsonl"
+        path.write_bytes(path.read_bytes() * 2)  # a replayed append on disk
+        reloaded = RunStore(tmp_path / "s")
+        assert reloaded.dedup_stats() == {
+            "duplicate_appends": 0,
+            "replayed_rows": 1,
         }
 
     def test_replayed_rows_counted_at_load(self, cfg, tmp_path):
