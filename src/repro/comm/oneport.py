@@ -37,21 +37,45 @@ class _GapTimeline:
 
     Kept sorted by start time; used only by the ``insertion`` policy.
     ``earliest(ready, duration)`` returns the first feasible start.
+
+    ``version`` counts mutations so readers can cache derived state;
+    :meth:`gap_vectors` is the split ``(starts, ends)`` mirror the fast
+    kernel's gap-overlay scans copy from (rebuilt only when the
+    committed intervals actually changed).  Plain lists on purpose: at
+    the tens-of-intervals sizes real timelines reach, C-backed
+    ``bisect``/``list.insert`` beat ndarray scalar indexing by a wide
+    margin, and the scan stays bit-identical either way.
     """
 
-    __slots__ = ("intervals",)
+    __slots__ = ("intervals", "version", "_vectors")
 
     def __init__(self) -> None:
         self.intervals: list[tuple[float, float]] = []
+        self.version = 0
+        self._vectors: tuple[int, list[float], list[float]] | None = None
 
     def earliest(self, ready: float, duration: float) -> float:
         return earliest_gap(self.intervals, ready, duration)
 
     def reserve(self, start: float, finish: float) -> None:
         bisect.insort(self.intervals, (start, finish))
+        self.version += 1
 
     def release(self, start: float, finish: float) -> None:
         self.intervals.remove((start, finish))
+        self.version += 1
+
+    def gap_vectors(self) -> tuple[list[float], list[float]]:
+        """``(starts, ends)`` of the committed intervals (cached per version)."""
+        cached = self._vectors
+        if cached is None or cached[0] != self.version:
+            cached = (
+                self.version,
+                [s for s, _ in self.intervals],
+                [f for _, f in self.intervals],
+            )
+            self._vectors = cached
+        return cached[1], cached[2]
 
 
 class OnePortNetwork(NetworkModel):

@@ -61,6 +61,10 @@ class RoutedOnePortNetwork(NetworkModel):
                 link_free=self._link_free,
                 route_hops=self._route_hops,
                 num_links=len(self._link_free),
+                # flat hop CSR is cached on the immutable topology, so
+                # every clone's view shares one build (crash replay makes
+                # a clone per scenario)
+                hop_csr=self.topology.hop_csr(),
             )
         return self._view
 

@@ -57,6 +57,7 @@ class Topology:
         self._routes = self._compute_routes()
         self._platform: Optional[Platform] = None
         self._hop_tables: Optional[tuple] = None
+        self._hop_csr: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def _compute_routes(self) -> list[list[tuple[int, ...]]]:
@@ -166,6 +167,29 @@ class Topology:
             ]
             self._hop_tables = (hop_id, route_hops)
         return self._hop_tables
+
+    def hop_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``route_hops`` flattened to CSR ``(indptr, hop_ids)`` (cached).
+
+        Row ``src * m + dst`` spans the directed hop ids of the
+        ``src -> dst`` route (empty on the diagonal).  The vectorized
+        route-aware evaluator turns the per-pair hop maximum into one
+        ``np.maximum.reduceat`` over this layout; caching it here (the
+        topology is immutable) means routed-network clones share it.
+        """
+        if self._hop_csr is None:
+            _hop_id, route_hops = self.directed_hop_tables()
+            indptr = [0]
+            ids: list[int] = []
+            for row in route_hops:
+                for hops in row:
+                    ids.extend(hops)
+                    indptr.append(len(ids))
+            self._hop_csr = (
+                np.asarray(indptr, dtype=np.int64),
+                np.asarray(ids, dtype=np.int64),
+            )
+        return self._hop_csr
 
     # ------------------------------------------------------------------
     # Standard shapes

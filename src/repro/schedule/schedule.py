@@ -409,6 +409,40 @@ class ScheduleBuilder:
             for t in tasks
         }
 
+    def sweep_trials_batch(
+        self,
+        tasks: Sequence[int],
+        sources_map: Mapping[int, Mapping[int, Sequence[Replica]]],
+        procs: Optional[Mapping[int, Sequence[int]]] = None,
+    ) -> dict[int, list[Trial]]:
+        """Trials for every requested ``(task, candidate processor)`` pair.
+
+        The general batched sweep: ``procs`` maps each task to its
+        candidate processors (``None`` = all processors for every task,
+        the free-task sweep of :meth:`sweep_trials`).  With the kernel
+        active the whole sweep is served from the epoch cache plus one
+        vectorized pass per evaluator family over the stale rows;
+        otherwise a plain loop over :meth:`trial`.  Bit-identical either
+        way.
+        """
+        if self._kernel is not None:
+            return self._kernel.sweep_trials_batch(tasks, sources_map, procs)
+        m = self.instance.num_procs
+        return {
+            t: [
+                self._place(t, p, sources_map[t], record=False)
+                for p in (range(m) if procs is None else procs[t])
+            ]
+            for t in tasks
+        }
+
+    def kernel_stats(self) -> Optional[dict]:
+        """The active kernel's observability counters (``None`` when the
+        builder runs the exact reserve-and-rollback path)."""
+        if self._kernel is None:
+            return None
+        return self._kernel.kernel_stats()
+
     def trial_with_heads(
         self,
         task: int,

@@ -89,11 +89,13 @@ def ftbar(
 
     while free:
         candidates = free.free_tasks()
-        # One sweep evaluates every (free task, processor) pair; with the
-        # fast kernel, untouched rows come from the epoch cache and the
-        # stale ones run as a single vectorized pass.
+        # One batched sweep evaluates every (free task, processor) pair;
+        # with the fast kernel, untouched rows come from the epoch cache
+        # and the stale ones run as a single vectorized pass per
+        # evaluator family (clique lockstep, routed hop-max lockstep, or
+        # gap-array replay).
         sources_map = {t: full_fanin_sources(builder, t) for t in candidates}
-        sweep = builder.sweep_trials(candidates, sources_map)
+        sweep = builder.sweep_trials_batch(candidates, sources_map)
         best_task = None
         best_urgency = -float("inf")
         best_pairs: list[tuple[float, Trial]] = []

@@ -46,6 +46,9 @@ def place_task_ftsa(
     best_finish = float("inf")
     if reselect:
         for _ in range(builder.epsilon + 1):
+            # each re-evaluation is a batched kernel sweep; rows whose
+            # resources the previous commit did not touch come straight
+            # from the epoch cache
             trials = builder.trial_batch(task, eligible_procs(builder, task), sources)
             best = argmin_trial(trials, gen)
             replica = builder.commit(task, best.proc, sources, kind="greedy")

@@ -212,6 +212,98 @@ def test_insertion_policy_fast_slow_identical_commit_logs(algo, epsilon):
         assert slow.task_order == fast.task_order
 
 
+@pytest.mark.parametrize("shape", TOPOLOGY_SHAPES)
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_routed_batched_sweep_identical(shape, epsilon, monkeypatch):
+    """Force ``sweep_trials_batch``'s lockstep routed evaluator (normally
+    reserved for large sweeps) and pin it bit-identical to the slow path
+    for HEFT, FTSA and FTBAR across every routed topology shape."""
+    monkeypatch.setattr(TrialKernel, "routed_numpy_threshold", 0)
+    for seed in SEEDS:
+        inst, topo = make_routed_instance(seed, shape)
+        for algo in ("heft", "ftsa", "ftbar"):
+            if algo == "heft" and epsilon:
+                continue
+            slow = ALGORITHMS[algo](inst, epsilon, RoutedOnePortNetwork(topo), False)
+            fast = ALGORITHMS[algo](inst, epsilon, RoutedOnePortNetwork(topo), True)
+            assert commit_signature(slow) == commit_signature(fast), (
+                f"{algo} eps={epsilon} topology={shape} seed={seed} (batched sweep)"
+            )
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_insertion_batched_sweep_identical(epsilon, monkeypatch):
+    """Force the batched insertion evaluator (vectorized key prologue +
+    per-row gap-array replay) and pin it bit-identical to the slow path
+    for HEFT, FTSA and FTBAR."""
+    monkeypatch.setattr(TrialKernel, "insertion_numpy_threshold", 0)
+    for seed in SEEDS:
+        inst = make_instance(seed)
+        for algo in ("heft", "ftsa", "ftbar"):
+            if algo == "heft" and epsilon:
+                continue
+            slow = ALGORITHMS[algo](
+                inst, epsilon, OnePortNetwork(inst.platform, policy="insertion"), False
+            )
+            fast = ALGORITHMS[algo](
+                inst, epsilon, OnePortNetwork(inst.platform, policy="insertion"), True
+            )
+            assert commit_signature(slow) == commit_signature(fast), (
+                f"{algo} eps={epsilon} model=oneport/insertion seed={seed} "
+                "(batched sweep)"
+            )
+
+
+def test_kernel_stats_counters_and_epoch_cache():
+    """``kernel_stats()`` exposes evaluator kind, cache traffic and batch
+    vs scalar volumes; a repeated candidate sweep with untouched
+    resources must be served entirely from the epoch cache."""
+    from repro.schedulers.base import make_builder
+
+    inst = make_instance(0)
+    m = inst.num_procs
+    builder = make_builder(inst, 1, "oneport", "t", fast=True)
+    task = next(t for t in inst.graph.topological_order() if not inst.graph.preds(t))
+    first = builder.trial_batch(task, range(m), {})
+    stats = builder.kernel_stats()
+    assert stats["evaluator"] == "oneport"
+    assert stats["cache_misses"] == m and stats["cache_hits"] == 0
+    assert stats["scalar_rows"] + stats["batch_rows"] == m
+    second = builder.trial_batch(task, range(m), {})
+    stats = builder.kernel_stats()
+    assert stats["cache_hits"] == m, "repeat sweep must be all cache hits"
+    assert stats["cache_hit_rate"] == 0.5
+    assert [(t.start, t.finish) for t in first] == [
+        (t.start, t.finish) for t in second
+    ]
+    assert make_builder(inst, 1, "oneport", "t", fast=False).kernel_stats() is None
+
+
+def test_fallback_warning_names_capability(caplog):
+    """The one-time fallback warning must say *which* declared capability
+    combination forced the slow path."""
+    import logging
+
+    from repro.comm.base import KernelCaps
+    from repro.schedule import kernel as kernel_mod
+    from repro.schedulers.base import make_builder
+
+    class RoutedGapNetwork(RoutedOnePortNetwork):
+        name = "routed-gap-hybrid"
+
+        def kernel_caps(self):
+            return KernelCaps(routed=True, gap_timelines=True)
+
+    kernel_mod._fallback_warned.clear()
+    rinst, topo = make_routed_instance(0, "ring")
+    with caplog.at_level(logging.WARNING, logger="repro.schedule.kernel"):
+        builder = make_builder(rinst, 1, RoutedGapNetwork(topo), "t", fast=True)
+    assert not builder.fast
+    warnings = [r for r in caplog.records if "reserve-and-rollback" in r.message]
+    assert len(warnings) == 1
+    assert "'gap_timelines+routed'" in warnings[0].message
+
+
 def test_filtered_pools_do_not_alias_entry_cache():
     """Same-length but different source pools must not hit a stale cache.
 
