@@ -110,6 +110,8 @@ def _executor_overrides(args: argparse.Namespace) -> dict:
         overrides["lease"] = args.lease
     if getattr(args, "store", None):
         overrides["store.directory"] = args.store
+    if getattr(args, "store_backend", None):
+        overrides["store.backend"] = args.store_backend
     return overrides
 
 
@@ -558,7 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the vectorized placement kernel")
     p_crun.add_argument("--store", type=str, default=None,
                         help="directory for the append-only results store "
-                             "(JSONL rows + manifest; enables --resume)")
+                             "(enables --resume)")
+    p_crun.add_argument("--store-backend", type=str, default=None,
+                        help="results store backend for --store: 'jsonl' "
+                             "(the default) or 'columnar' (chunked NumPy "
+                             "columns for million-row campaigns); any "
+                             "register_store name is accepted")
     p_crun.add_argument("--resume", action="store_true",
                         help="skip units already completed in the store")
     add_executor_args(p_crun)

@@ -60,8 +60,20 @@ from repro.experiments.harness import (
 from repro.experiments.store import (
     RunStore,
     StoreError,
+    canonical_row_key,
+    make_store,
+    open_store,
+    read_store_backend,
     result_to_dict,
     result_from_dict,
+    row_matches,
+)
+from repro.experiments.columnar import (
+    ColumnarStore,
+)
+from repro.experiments.query import (
+    StoreCampaignView,
+    aggregate_points,
 )
 from repro.experiments.executors import (
     Executor,
@@ -189,9 +201,17 @@ __all__ = [
     "ALGORITHM_RUNNERS",
     "FAULTFREE_RUNNERS",
     "RunStore",
+    "ColumnarStore",
     "StoreError",
+    "StoreCampaignView",
+    "aggregate_points",
+    "canonical_row_key",
+    "make_store",
+    "open_store",
+    "read_store_backend",
     "result_to_dict",
     "result_from_dict",
+    "row_matches",
     "Executor",
     "LeasePolicy",
     "SerialExecutor",

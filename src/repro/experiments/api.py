@@ -307,8 +307,9 @@ class ExecutorSpec:
 class StoreSpec:
     """Where a campaign's results accumulate, as serializable data.
 
-    ``backend`` names an entry of the store registry; ``None`` picks
-    ``"jsonl"`` when a ``directory`` is set and the ephemeral
+    ``backend`` names an entry of the store registry (``"memory"``,
+    ``"jsonl"``, or ``"columnar"`` for million-row campaigns); ``None``
+    picks ``"jsonl"`` when a ``directory`` is set and the ephemeral
     ``"memory"`` store otherwise — so the common cases need nothing but
     ``--store DIR`` (or no store at all).
     """
@@ -317,6 +318,8 @@ class StoreSpec:
     directory: Optional[str] = None
 
     _KNOWN = frozenset({"backend", "directory"})
+    #: builtin backends that persist to (and therefore require) a directory
+    _DIRECTORY_BACKENDS = ("jsonl", "columnar")
 
     def __post_init__(self) -> None:
         resolved = self.resolved_backend
@@ -327,9 +330,10 @@ class StoreSpec:
                 "(--store DIR implies the 'jsonl' backend)",
                 key="store.directory",
             )
-        if resolved == "jsonl" and self.directory is None:
+        if resolved in self._DIRECTORY_BACKENDS and self.directory is None:
             raise CampaignConfigError(
-                "store.backend 'jsonl' needs store.directory (--store DIR)",
+                f"store.backend {resolved!r} needs store.directory "
+                "(--store DIR)",
                 key="store.directory",
             )
 

@@ -27,7 +27,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.executors import Executor, LeaseSpec, make_executor
 from repro.experiments.grid import ScenarioGrid
 from repro.experiments.harness import CampaignResult
-from repro.experiments.store import RunStore, StoreError
+from repro.experiments.store import RunStore, StoreError, open_store
 
 #: accepted by every ``store=`` parameter: a live store, a directory, or
 #: ``None`` for an ephemeral in-memory store
@@ -37,7 +37,12 @@ StoreLike = Union[RunStore, str, Path, None]
 def resolve_store(store: StoreLike) -> RunStore:
     if isinstance(store, RunStore):
         return store
-    return RunStore(store)
+    if store is None:
+        return RunStore(None)
+    # Bare directories open with whichever backend wrote them (manifest
+    # record, or file sniffing for fresh/pre-backend directories), so a
+    # columnar campaign resumes onto columnar chunks.
+    return open_store(store)
 
 
 def run_grid(
@@ -143,7 +148,7 @@ def resume_campaign(
     directory is needed: completed units are skipped, missing ones run
     on ``executor``, and the full results are returned.
     """
-    with RunStore(directory) as store:
+    with open_store(directory) as store:
         grid = store.read_manifest_grid()
         return run_grid(
             grid,

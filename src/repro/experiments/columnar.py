@@ -1,0 +1,1036 @@
+"""Columnar results backend: NumPy structured-array chunks + JSONL tail.
+
+The JSONL store pays JSON parsing and per-row dict overhead on every
+load, which caps campaigns at whatever fits in RSS.  This backend keeps
+the exact same append-only/idempotent/crash-repair discipline but rotates
+completed rows into sealed, immutable ``chunk-NNNNNN.npz`` files of
+column arrays:
+
+- the **active chunk** is ``tail.jsonl`` — literally the JSONL backend's
+  row format and repair machinery (this class inherits them), so a kill
+  mid-append loses at most the in-flight unit and the trailing-partial
+  repair stays byte-exact;
+- once the tail holds ``chunk_rows`` flattened rows it is **sealed**:
+  rows become float64/int64 columns (scenario tags and algorithm names
+  dictionary-encoded per chunk, ``None`` metrics stored as NaN), written
+  to a temp file and atomically renamed, after which the tail is
+  truncated.  Sealed chunks are never rewritten;
+- ``index.json`` is a *derived* footer: per-chunk row/unit counts,
+  column min/max for predicate pushdown, the tag dictionaries, and the
+  per-(scenario, granularity) rep sets that make loads O(index + tail)
+  instead of O(rows).  A chunk missing from the footer (a crash landed
+  between rename and index rewrite) is re-derived from the ``.npz``
+  itself — the footer is a cache, never the truth.
+
+Crash windows: a kill before the rename leaves only a ``chunk-N.tmp``
+(ignored: the glob only matches ``.npz``), so the rows are still in the
+tail.  A kill between rename and tail truncation leaves the sealed rows
+*also* in the tail; load dedups the tail against the sealed membership
+(counted as ``replayed_rows``, same semantics as a JSONL replay).
+
+Floats are stored as float64 — bit-identical to the Python floats the
+serial harness produces — and tag dictionaries are JSON-encoded byte
+arrays (NumPy unicode arrays mangle NUL bytes and lone surrogates), so
+round-trips are exact for any string Python can hold.
+
+On top of the chunks sit vectorized query fast paths
+(:meth:`ColumnarStore.series_values`, :meth:`paired_series_values`,
+:meth:`scenario_algorithms`) that ``stats``/``compare`` dispatch to:
+chunk-level pruning, NumPy row masks, and a final ``lexsort`` reproduce
+the generic per-row code's output exactly — same values, same order, fed
+into the same downstream arithmetic — which is what keeps columnar
+campaigns bit-identical to the JSONL/serial baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.grid import unit_id_for
+from repro.experiments.harness import RepResult, flatten_rep_result
+from repro.experiments.store import (
+    COLUMNAR_TAIL_NAME,
+    ROWS_NAME,
+    TAG_COLUMNS,
+    RunStore,
+    StoreError,
+    canonical_row_key,
+    project_row,
+    row_matches,
+)
+
+INDEX_NAME = "index.json"
+CHUNK_FORMAT = 1
+#: flattened (unit × algorithm) rows per sealed chunk; also the RSS bound
+#: for loads and streaming queries, which touch one chunk at a time
+DEFAULT_CHUNK_ROWS = 65536
+
+#: per-chunk dictionary-encoded string columns
+DICT_COLUMNS = TAG_COLUMNS + ("algorithm",)
+#: numeric columns stored directly (never None)
+FIXED_NUMERIC = ("granularity", "rep", "faultfree_norm")
+
+_CHUNK_RE = re.compile(r"chunk-(\d{6})\.npz")
+
+
+def _json_bytes(obj) -> np.ndarray:
+    """A JSON document as a uint8 column (exact for any Python string)."""
+    return np.frombuffer(json.dumps(obj).encode("ascii"), dtype=np.uint8)
+
+
+def _json_unbytes(arr: np.ndarray):
+    return json.loads(bytes(arr).decode("ascii"))
+
+
+def _matches_value(have, want) -> bool:
+    """Scalar-vs-``where`` comparison, same semantics as row_matches."""
+    return row_matches({"k": have}, {"k": want})
+
+
+def _granularity_flags(npz, n: int) -> np.ndarray:
+    """Per-row "was a Python int" flags (all-float for older chunks)."""
+    if "granularity_int" in npz:
+        return np.asarray(npz["granularity_int"], dtype=np.uint8)
+    return np.zeros(n, dtype=np.uint8)
+
+
+def _granularity_value(g: float, flag: int) -> Union[int, float]:
+    return int(g) if flag else float(g)
+
+
+@dataclass
+class ChunkMeta:
+    """In-memory footer entry for one sealed chunk (derived, cheap)."""
+
+    name: str
+    rows: int
+    units: int
+    metric_names: tuple[str, ...]
+    dicts: dict[str, list[str]]
+    g_min: float
+    g_max: float
+    rep_min: int
+    rep_max: int
+    #: (scenario 4-tuple, granularity) -> sorted rep array; the sealed
+    #: membership used to dedup tail replays and resumed campaigns
+    groups: list[tuple[tuple[str, str, str, str], float, np.ndarray]]
+
+
+class ColumnarStore(RunStore):
+    """Chunked columnar :class:`RunStore` for million-row campaigns.
+
+    Same API and semantics as the JSONL backend — executors only call
+    :meth:`append`, and it stays thread-safe, idempotent per unit id,
+    and attempt-attributed.  Requires a directory (the whole point is
+    spilling to disk); pass ``backend="memory"`` for ephemeral runs.
+    """
+
+    backend_name = "columnar"
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> None:
+        if directory is None:
+            raise StoreError(
+                "the 'columnar' backend needs a directory "
+                "(use backend='memory' for ephemeral runs)"
+            )
+        self.chunk_rows = max(1, int(chunk_rows or DEFAULT_CHUNK_ROWS))
+        self._chunks: list[ChunkMeta] = []
+        self._scen_ids: dict[tuple, int] = {}
+        self._scen_tuples: list[tuple] = []
+        self._sealed_reps: dict[tuple, np.ndarray] = {}
+        self._sealed_units = 0
+        self._id_map: Optional[dict[str, tuple[int, int]]] = None
+        self._tail_rows = 0
+        self._next_chunk = 0
+        super().__init__(directory)
+
+    # ------------------------------------------------------------------ load
+
+    @property
+    def rows_path(self) -> Path:
+        # The active chunk reuses the inherited JSONL append/repair
+        # machinery verbatim — only the file name differs.
+        return self.directory / COLUMNAR_TAIL_NAME
+
+    def _chunk_path(self, meta: ChunkMeta) -> Path:
+        return self.directory / meta.name
+
+    def _reject_foreign_backend(self) -> None:
+        if (self.directory / ROWS_NAME).exists():
+            raise StoreError(
+                f"{self.directory}: directory holds a 'jsonl' store; "
+                "open it with open_store()/make_store('jsonl', ...)"
+            )
+
+    def _load_rows(self) -> None:
+        self._reject_foreign_backend()
+        self._load_chunks()
+        super()._load_rows()  # the tail; _ingest dedups vs sealed chunks
+        self._tail_rows = sum(len(r.metrics) for r in self._results.values())
+
+    def _load_chunks(self) -> None:
+        entries: dict[str, dict] = {}
+        index_path = self.directory / INDEX_NAME
+        if index_path.exists():
+            try:
+                data = json.loads(index_path.read_text())
+                entries = {e["name"]: e for e in data.get("chunks", [])}
+            except (OSError, json.JSONDecodeError, TypeError, KeyError):
+                entries = {}  # stale/corrupt footer: re-derive from chunks
+        last = -1
+        for path in sorted(self.directory.glob("chunk-*.npz")):
+            m = _CHUNK_RE.fullmatch(path.name)
+            if not m:
+                continue
+            last = max(last, int(m.group(1)))
+            entry = entries.get(path.name)
+            meta = None
+            if entry is not None:
+                try:
+                    meta = self._meta_from_entry(entry)
+                except (KeyError, TypeError, ValueError):
+                    meta = None
+            if meta is None:
+                meta = self._meta_from_chunk(path)
+            self._chunks.append(meta)
+            self._register_groups(meta)
+            self._sealed_units += meta.units
+        self._next_chunk = last + 1
+
+    def _meta_from_entry(self, entry: dict) -> ChunkMeta:
+        groups = [
+            (
+                tuple(g["scenario"]),
+                float(g["granularity"]),
+                np.sort(np.asarray(g["reps"], dtype=np.int64)),
+            )
+            for g in entry["groups"]
+        ]
+        return ChunkMeta(
+            name=entry["name"],
+            rows=int(entry["rows"]),
+            units=int(entry["units"]),
+            metric_names=tuple(entry["metric_names"]),
+            dicts={col: list(entry["dicts"][col]) for col in DICT_COLUMNS},
+            g_min=float(entry["granularity"][0]),
+            g_max=float(entry["granularity"][1]),
+            rep_min=int(entry["rep"][0]),
+            rep_max=int(entry["rep"][1]),
+            groups=groups,
+        )
+
+    def _meta_from_chunk(self, path: Path) -> ChunkMeta:
+        """Re-derive a footer entry from the chunk itself (crash landed
+        between the chunk rename and the index rewrite)."""
+        try:
+            with np.load(path) as npz:
+                if int(npz["chunk_format"]) != CHUNK_FORMAT:
+                    raise StoreError(
+                        f"{path}: unsupported chunk format "
+                        f"{int(npz['chunk_format'])} (supported: {CHUNK_FORMAT})"
+                    )
+                starts = np.asarray(npz["unit_starts"], dtype=np.int64)
+                g = np.asarray(npz["granularity"], dtype=np.float64)
+                rep = np.asarray(npz["rep"], dtype=np.int64)
+                dicts = {
+                    col: _json_unbytes(npz[f"{col}_dict"]) for col in DICT_COLUMNS
+                }
+                metric_names = tuple(_json_unbytes(npz["metric_names"]))
+                unit_g = g[starts]
+                unit_rep = rep[starts]
+                stacked = np.stack(
+                    [np.asarray(npz[f"{c}_codes"])[starts] for c in TAG_COLUMNS],
+                    axis=1,
+                )
+        except StoreError:
+            raise
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            raise StoreError(f"{path}: corrupt columnar chunk ({exc})") from None
+        combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).ravel()  # 2-D on some NumPy 2.x
+        groups: list[tuple[tuple, float, np.ndarray]] = []
+        for j in range(len(combos)):
+            t = tuple(
+                dicts[c][int(combos[j][k])] for k, c in enumerate(TAG_COLUMNS)
+            )
+            cmask = inverse == j
+            for gv in np.unique(unit_g[cmask]):
+                reps = np.sort(unit_rep[cmask & (unit_g == gv)])
+                groups.append((t, float(gv), reps))
+        return ChunkMeta(
+            name=path.name,
+            rows=int(len(g)),
+            units=int(len(starts)),
+            metric_names=metric_names,
+            dicts=dicts,
+            g_min=float(g.min()),
+            g_max=float(g.max()),
+            rep_min=int(rep.min()),
+            rep_max=int(rep.max()),
+            groups=groups,
+        )
+
+    def _register_groups(self, meta: ChunkMeta) -> None:
+        for t, gv, reps in meta.groups:
+            sid = self._scen_ids.get(t)
+            if sid is None:
+                sid = len(self._scen_tuples)
+                self._scen_ids[t] = sid
+                self._scen_tuples.append(t)
+            key = (sid, gv)
+            prev = self._sealed_reps.get(key)
+            self._sealed_reps[key] = (
+                reps if prev is None else np.sort(np.concatenate([prev, reps]))
+            )
+
+    def _sealed_has(self, scen: tuple, granularity: float, rep: int) -> bool:
+        sid = self._scen_ids.get(scen)
+        if sid is None:
+            return False
+        arr = self._sealed_reps.get((sid, float(granularity)))
+        if arr is None:
+            return False
+        i = int(np.searchsorted(arr, rep))
+        return i < arr.size and int(arr[i]) == rep
+
+    def _ingest(self, record: dict) -> None:
+        # A crash between sealing and tail truncation leaves sealed rows
+        # also in the tail; skip them like any replayed append.
+        scen = tuple(record[c] for c in TAG_COLUMNS)
+        if self._sealed_has(scen, record["granularity"], record["rep"]):
+            self._replayed_rows += 1
+            return
+        super()._ingest(record)
+
+    # --------------------------------------------------------------- writing
+
+    def append(self, unit, result: RepResult, attempt: str = "primary") -> bool:
+        with self._lock:
+            tags = unit.scenario
+            scen = tuple(tags[c] for c in TAG_COLUMNS)
+            if self._sealed_has(scen, unit.granularity, unit.rep):
+                self._duplicate_appends += 1
+                self._duplicates_by_attempt[attempt] = (
+                    self._duplicates_by_attempt.get(attempt, 0) + 1
+                )
+                return False
+            stored = super().append(unit, result, attempt=attempt)
+            if stored:
+                self._tail_rows += len(result.metrics)
+                if self._tail_rows >= self.chunk_rows:
+                    self._seal_tail()
+            return stored
+
+    def _seal_tail(self) -> None:
+        """Rotate the tail into an immutable ``chunk-NNNNNN.npz``.
+
+        Write order is the crash-safety argument: chunk tmp -> fsync ->
+        atomic rename -> index rewrite -> tail truncation.  A kill at any
+        point either leaves the rows only in the tail (before the
+        rename) or in both places (after), and load dedups the overlap.
+        Caller holds the lock.
+        """
+        order = list(self._order)
+        if not order:
+            return
+        dicts: dict[str, list[str]] = {col: [] for col in DICT_COLUMNS}
+        code_of: dict[str, dict[str, int]] = {col: {} for col in DICT_COLUMNS}
+        codes: dict[str, list[int]] = {col: [] for col in DICT_COLUMNS}
+
+        def encode(col: str, value: str) -> None:
+            table = code_of[col]
+            code = table.get(value)
+            if code is None:
+                code = len(table)
+                table[value] = code
+                dicts[col].append(value)
+            codes[col].append(code)
+
+        g_rows: list[float] = []
+        g_int_rows: list[int] = []
+        rep_rows: list[int] = []
+        ff_rows: list[float] = []
+        starts: list[int] = []
+        metric_names: Optional[tuple[str, ...]] = None
+        metric_rows: list[list[float]] = []
+        groups: dict[tuple, list[int]] = {}
+        for uid in order:
+            tags = self._tags[uid]
+            result = self._results[uid]
+            t = tuple(tags[c] for c in TAG_COLUMNS)
+            starts.append(len(g_rows))
+            groups.setdefault((t, float(result.granularity)), []).append(
+                int(result.rep)
+            )
+            for algo, metrics in result.metrics.items():
+                names = tuple(metrics)
+                if metric_names is None:
+                    metric_names = names
+                    metric_rows = [[] for _ in names]
+                elif names != metric_names:
+                    raise StoreError(
+                        f"{self.directory}: columnar chunks need a uniform "
+                        f"metric schema; unit {uid!r} carries {names!r} but "
+                        f"the chunk started with {metric_names!r}"
+                    )
+                for c in TAG_COLUMNS:
+                    encode(c, tags[c])
+                encode("algorithm", algo)
+                g_rows.append(float(result.granularity))
+                g_int_rows.append(int(isinstance(result.granularity, int)))
+                rep_rows.append(int(result.rep))
+                ff_rows.append(float(result.faultfree_norm[algo]))
+                for k, v in enumerate(metrics.values()):
+                    metric_rows[k].append(math.nan if v is None else float(v))
+        metric_names = metric_names or ()
+
+        members: dict[str, np.ndarray] = {
+            "chunk_format": np.asarray(CHUNK_FORMAT, dtype=np.int64),
+            "unit_starts": np.asarray(starts, dtype=np.int64),
+            "granularity": np.asarray(g_rows, dtype=np.float64),
+            # configs may sweep int granularities; JSONL round-trips the
+            # Python type exactly, so the flag keeps unit ids/rows identical
+            "granularity_int": np.asarray(g_int_rows, dtype=np.uint8),
+            "rep": np.asarray(rep_rows, dtype=np.int64),
+            "faultfree_norm": np.asarray(ff_rows, dtype=np.float64),
+            "metric_names": _json_bytes(list(metric_names)),
+        }
+        for k in range(len(metric_names)):
+            members[f"metric_{k}"] = np.asarray(metric_rows[k], dtype=np.float64)
+        for col in DICT_COLUMNS:
+            members[f"{col}_codes"] = np.asarray(codes[col], dtype=np.uint32)
+            members[f"{col}_dict"] = _json_bytes(dicts[col])
+
+        idx = self._next_chunk
+        name = f"chunk-{idx:06d}.npz"
+        # .tmp, not .npz.tmp: the chunk glob must never match a partial
+        tmp = self.directory / f"chunk-{idx:06d}.tmp"
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **members)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.directory / name)
+
+        meta = ChunkMeta(
+            name=name,
+            rows=len(g_rows),
+            units=len(starts),
+            metric_names=metric_names,
+            dicts={col: list(dicts[col]) for col in DICT_COLUMNS},
+            g_min=min(g_rows),
+            g_max=max(g_rows),
+            rep_min=min(rep_rows),
+            rep_max=max(rep_rows),
+            groups=[
+                (t, gv, np.sort(np.asarray(reps, dtype=np.int64)))
+                for (t, gv), reps in groups.items()
+            ],
+        )
+        ci = len(self._chunks)
+        self._chunks.append(meta)
+        self._next_chunk = idx + 1
+        self._register_groups(meta)
+        self._sealed_units += meta.units
+        if self._id_map is not None:
+            for uj, uid in enumerate(order):
+                self._id_map[uid] = (ci, uj)
+        self._write_index()
+
+        if self._rows_fh is not None:
+            self._rows_fh.close()
+            self._rows_fh = None
+        open(self.rows_path, "wb").close()
+        self._repair_truncate = None
+        self._repair_newline = False
+        self._results.clear()
+        self._tags.clear()
+        self._order.clear()
+        self._tail_rows = 0
+
+    def _write_index(self) -> None:
+        data = {
+            "format": CHUNK_FORMAT,
+            "chunks": [
+                {
+                    "name": m.name,
+                    "rows": m.rows,
+                    "units": m.units,
+                    "metric_names": list(m.metric_names),
+                    "dicts": m.dicts,
+                    "granularity": [m.g_min, m.g_max],
+                    "rep": [m.rep_min, m.rep_max],
+                    "groups": [
+                        {
+                            "scenario": list(t),
+                            "granularity": gv,
+                            "reps": [int(r) for r in reps],
+                        }
+                        for t, gv, reps in m.groups
+                    ],
+                }
+                for m in self._chunks
+            ],
+        }
+        tmp = self.directory / (INDEX_NAME + ".tmp")
+        tmp.write_text(json.dumps(data) + "\n")
+        os.replace(tmp, self.directory / INDEX_NAME)
+
+    # --------------------------------------------------------------- reading
+
+    def __len__(self) -> int:
+        return self._sealed_units + len(self._results)
+
+    def __contains__(self, unit_id: str) -> bool:
+        if unit_id in self._results:
+            return True
+        if not self._chunks:
+            return False
+        return unit_id in self._ensure_id_map()
+
+    def completed_ids(self) -> frozenset[str]:
+        with self._lock:
+            ids = set(self._results)
+            if self._chunks:
+                ids.update(self._ensure_id_map())
+            return frozenset(ids)
+
+    def _ensure_id_map(self) -> dict[str, tuple[int, int]]:
+        """unit_id -> (chunk, unit) for sealed units, built lazily —
+        resume and point lookups need it, streaming queries never do."""
+        with self._lock:
+            if self._id_map is None:
+                id_map: dict[str, tuple[int, int]] = {}
+                for ci, meta in enumerate(self._chunks):
+                    with np.load(self._chunk_path(meta)) as npz:
+                        starts = np.asarray(npz["unit_starts"], dtype=np.int64)
+                        g = npz["granularity"][starts]
+                        gint = _granularity_flags(npz, meta.rows)[starts]
+                        rep = npz["rep"][starts]
+                        tag_vals = {
+                            c: [
+                                meta.dicts[c][int(x)]
+                                for x in np.asarray(npz[f"{c}_codes"])[starts]
+                            ]
+                            for c in TAG_COLUMNS
+                        }
+                    for uj in range(len(starts)):
+                        uid = unit_id_for(
+                            tag_vals["config"][uj],
+                            tag_vals["network"][uj],
+                            tag_vals["topology"][uj],
+                            tag_vals["policy"][uj],
+                            _granularity_value(g[uj], int(gint[uj])),
+                            int(rep[uj]),
+                        )
+                        id_map[uid] = (ci, uj)
+                self._id_map = id_map
+            return self._id_map
+
+    def _chunk_unit_results(self, ci: int) -> Iterator[tuple[str, dict, RepResult]]:
+        """(unit_id, tags, RepResult) per sealed unit of one chunk."""
+        meta = self._chunks[ci]
+        with np.load(self._chunk_path(meta)) as npz:
+            starts = np.asarray(npz["unit_starts"], dtype=np.int64)
+            ends = np.append(starts[1:], meta.rows)
+            g = np.asarray(npz["granularity"])
+            gint = _granularity_flags(npz, meta.rows)
+            rep = np.asarray(npz["rep"])
+            ff = np.asarray(npz["faultfree_norm"])
+            algo_codes = np.asarray(npz["algorithm_codes"])
+            tag_codes = {c: np.asarray(npz[f"{c}_codes"]) for c in TAG_COLUMNS}
+            metric_cols = [
+                np.asarray(npz[f"metric_{k}"])
+                for k in range(len(meta.metric_names))
+            ]
+        algo_values = meta.dicts["algorithm"]
+        for uj in range(len(starts)):
+            s, e = int(starts[uj]), int(ends[uj])
+            faultfree: dict[str, float] = {}
+            metrics: dict[str, dict[str, Optional[float]]] = {}
+            for r in range(s, e):
+                algo = algo_values[int(algo_codes[r])]
+                faultfree[algo] = float(ff[r])
+                metrics[algo] = {
+                    nm: (None if np.isnan(col[r]) else float(col[r]))
+                    for nm, col in zip(meta.metric_names, metric_cols)
+                }
+            gv, rv = _granularity_value(g[s], int(gint[s])), int(rep[s])
+            tags = {c: meta.dicts[c][int(tag_codes[c][s])] for c in TAG_COLUMNS}
+            uid = unit_id_for(
+                tags["config"],
+                tags["network"],
+                tags["topology"],
+                tags["policy"],
+                gv,
+                rv,
+            )
+            yield uid, tags, RepResult(
+                granularity=gv, rep=rv, faultfree_norm=faultfree, metrics=metrics
+            )
+
+    def result(self, unit_id: str) -> RepResult:
+        with self._lock:
+            if unit_id in self._results:
+                return self._results[unit_id]
+            ci, uj = self._ensure_id_map()[unit_id]
+        for k, (_, _, result) in enumerate(self._chunk_unit_results(ci)):
+            if k == uj:
+                return result
+        raise KeyError(unit_id)  # pragma: no cover - map and chunk disagree
+
+    def results(self) -> dict[str, RepResult]:
+        """Materialize everything — chunk by chunk, then the tail.
+
+        The compatibility surface ``CampaignResult.from_store`` uses;
+        million-row consumers should stream :meth:`iter_rows` or the
+        ``series_values`` fast paths instead.
+        """
+        with self._lock:
+            n_chunks = len(self._chunks)
+            tail = dict(self._results)
+        out: dict[str, RepResult] = {}
+        for ci in range(n_chunks):
+            for uid, _, result in self._chunk_unit_results(ci):
+                out[uid] = result
+        out.update(tail)
+        return out
+
+    def rep_rows(self) -> list[dict]:
+        rows = list(self.iter_rows())
+        rows.sort(key=canonical_row_key)
+        return rows
+
+    # ----------------------------------------------------- streaming queries
+
+    def _chunk_pruned(self, meta: ChunkMeta, where: Optional[Mapping]) -> bool:
+        """True when chunk-level stats prove no row can match ``where``.
+
+        Conservative by construction: dictionary membership for the tag
+        columns, min/max bounds for granularity/rep.  Metric columns
+        carry no stats (NaN makes bounds lie), so they never prune.
+        """
+        if not where:
+            return False
+        for key, want in where.items():
+            if key in DICT_COLUMNS:
+                if not any(_matches_value(v, want) for v in meta.dicts[key]):
+                    return True
+            elif key in ("granularity", "rep"):
+                lo, hi = (
+                    (meta.g_min, meta.g_max)
+                    if key == "granularity"
+                    else (meta.rep_min, meta.rep_max)
+                )
+                cands = (
+                    want
+                    if isinstance(want, (list, tuple, set, frozenset))
+                    else (want,)
+                )
+                if not any(
+                    isinstance(v, (int, float)) and lo <= v <= hi for v in cands
+                ):
+                    return True
+        return False
+
+    def _numeric_mask(
+        self, arr: np.ndarray, want, none_as_nan: bool
+    ) -> np.ndarray:
+        """Row mask for a numeric column under one ``where`` entry."""
+        cands = (
+            list(want) if isinstance(want, (list, tuple, set, frozenset)) else [want]
+        )
+        mask = np.zeros(len(arr), dtype=bool)
+        for v in cands:
+            if v is None:
+                if none_as_nan:
+                    mask |= np.isnan(arr)
+            elif isinstance(v, (int, float)):
+                mask |= arr == v
+            # any other type can never equal a float; contributes nothing
+        return mask
+
+    def _where_mask(
+        self, npz, meta: ChunkMeta, where: Optional[Mapping]
+    ) -> Union[None, bool, np.ndarray]:
+        """Row-level mask for ``where`` (None = all rows, False = none)."""
+        if not where:
+            return None
+        mask: Optional[np.ndarray] = None
+        for key, want in where.items():
+            if key in DICT_COLUMNS:
+                values = meta.dicts[key]
+                wanted = [
+                    i for i, v in enumerate(values) if _matches_value(v, want)
+                ]
+                if not wanted:
+                    return False
+                if len(wanted) == len(values):
+                    continue
+                m = np.isin(
+                    np.asarray(npz[f"{key}_codes"]),
+                    np.asarray(wanted, dtype=np.uint32),
+                )
+            elif key in ("granularity", "rep", "faultfree_norm"):
+                m = self._numeric_mask(
+                    np.asarray(npz[key]), want, none_as_nan=False
+                )
+            elif key in meta.metric_names:
+                k = meta.metric_names.index(key)
+                m = self._numeric_mask(
+                    np.asarray(npz[f"metric_{k}"]), want, none_as_nan=True
+                )
+            else:
+                # Unknown column: every row's value is None (row_matches
+                # uses .get), so the filter is all-or-nothing.
+                if not _matches_value(None, want):
+                    return False
+                continue
+            if not m.any():
+                return False
+            mask = m if mask is None else (mask & m)
+        return mask
+
+    def _selected_rows(
+        self, npz, meta: ChunkMeta, where: Optional[Mapping]
+    ) -> Optional[np.ndarray]:
+        mask = self._where_mask(npz, meta, where)
+        if mask is False:
+            return None
+        idx = np.flatnonzero(mask) if mask is not None else np.arange(meta.rows)
+        return idx if idx.size else None
+
+    def iter_rows(
+        self,
+        where: Optional[Mapping] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Iterator[dict]:
+        """Stream rows with predicate pushdown: chunks that cannot match
+        are never opened, rows are selected by NumPy masks, and only the
+        projected columns are decoded."""
+        with self._lock:
+            n_chunks = len(self._chunks)
+            tail = [(dict(self._tags[u]), self._results[u]) for u in self._order]
+        for ci in range(n_chunks):
+            yield from self._chunk_row_iter(ci, where, columns)
+        for tags, result in tail:
+            for row in flatten_rep_result(tags, result):
+                if row_matches(row, where):
+                    yield project_row(row, columns)
+
+    def _chunk_row_iter(
+        self,
+        ci: int,
+        where: Optional[Mapping],
+        columns: Optional[Sequence[str]],
+    ) -> Iterator[dict]:
+        meta = self._chunks[ci]
+        if self._chunk_pruned(meta, where):
+            return
+        with np.load(self._chunk_path(meta)) as npz:
+            idx = self._selected_rows(npz, meta, where)
+            if idx is None:
+                return
+            wanted = (
+                tuple(columns)
+                if columns is not None
+                else TAG_COLUMNS
+                + ("granularity", "rep", "algorithm", "faultfree_norm")
+                + meta.metric_names
+            )
+            cols: list[tuple[str, str, object]] = []
+            for name in wanted:
+                if name in DICT_COLUMNS:
+                    cols.append(
+                        (name, "dict", (npz[f"{name}_codes"][idx], meta.dicts[name]))
+                    )
+                elif name == "granularity":
+                    cols.append(
+                        (
+                            name,
+                            "gran",
+                            (
+                                npz["granularity"][idx],
+                                _granularity_flags(npz, meta.rows)[idx],
+                            ),
+                        )
+                    )
+                elif name == "rep":
+                    cols.append((name, "int", npz["rep"][idx]))
+                elif name == "faultfree_norm":
+                    cols.append((name, "float", npz["faultfree_norm"][idx]))
+                elif name in meta.metric_names:
+                    k = meta.metric_names.index(name)
+                    cols.append((name, "metric", npz[f"metric_{k}"][idx]))
+                else:
+                    raise KeyError(name)
+        for i in range(len(idx)):
+            row: dict = {}
+            for name, kind, data in cols:
+                if kind == "dict":
+                    codes, values = data
+                    row[name] = values[int(codes[i])]
+                elif kind == "gran":
+                    gdata, gflags = data
+                    row[name] = _granularity_value(gdata[i], int(gflags[i]))
+                elif kind == "float":
+                    row[name] = float(data[i])
+                elif kind == "int":
+                    row[name] = int(data[i])
+                else:
+                    v = data[i]
+                    row[name] = None if np.isnan(v) else float(v)
+            yield row
+
+    def _value_column(self, npz, meta: ChunkMeta, metric: str) -> np.ndarray:
+        if metric in FIXED_NUMERIC:
+            return np.asarray(npz[metric], dtype=np.float64)
+        if metric in meta.metric_names:
+            k = meta.metric_names.index(metric)
+            return np.asarray(npz[f"metric_{k}"], dtype=np.float64)
+        raise KeyError(metric)
+
+    def _scan_series(
+        self,
+        algorithms: Sequence[str],
+        metric: str,
+        where: Optional[Mapping],
+    ):
+        """All matching (scenario, g, rep, algorithm, value) as arrays.
+
+        ``None`` metric values surface as NaN (exactly what the generic
+        per-row path produces for ``rep_series``).  Scenario combos are
+        interned into ``combo_table`` so callers can order by the Python
+        string tuples — NumPy never compares the strings itself.
+        """
+        combo_index: dict[tuple, int] = {}
+        combo_table: list[tuple] = []
+        cid_parts, g_parts, rep_parts, aidx_parts, val_parts = [], [], [], [], []
+        with self._lock:
+            n_chunks = len(self._chunks)
+            tail = [(dict(self._tags[u]), self._results[u]) for u in self._order]
+        for ci in range(n_chunks):
+            meta = self._chunks[ci]
+            if self._chunk_pruned(meta, where):
+                continue
+            algo_values = meta.dicts["algorithm"]
+            if not any(a in algo_values for a in algorithms):
+                continue
+            with np.load(self._chunk_path(meta)) as npz:
+                mask = self._where_mask(npz, meta, where)
+                if mask is False:
+                    continue
+                algo_codes = np.asarray(npz["algorithm_codes"])
+                # -1 for algorithms outside the requested set; the mask
+                # below removes those rows before the lut is consulted
+                lut = np.full(len(algo_values), -1, dtype=np.int64)
+                for i, a in enumerate(algorithms):
+                    if a in algo_values:
+                        lut[algo_values.index(a)] = i
+                amask = lut[algo_codes] >= 0
+                mask = amask if mask is None else (mask & amask)
+                idx = np.flatnonzero(mask)
+                if not idx.size:
+                    continue
+                val = self._value_column(npz, meta, metric)[idx]
+                stacked = np.stack(
+                    [np.asarray(npz[f"{c}_codes"]) for c in TAG_COLUMNS], axis=1
+                )[idx]
+                g_parts.append(np.asarray(npz["granularity"])[idx])
+                rep_parts.append(np.asarray(npz["rep"])[idx])
+            combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            inverse = np.asarray(inverse).ravel()  # 2-D on some NumPy 2.x
+            remap = np.empty(len(combos), dtype=np.int64)
+            for j in range(len(combos)):
+                t = tuple(
+                    meta.dicts[c][int(combos[j][k])]
+                    for k, c in enumerate(TAG_COLUMNS)
+                )
+                cid = combo_index.get(t)
+                if cid is None:
+                    cid = len(combo_table)
+                    combo_index[t] = cid
+                    combo_table.append(t)
+                remap[j] = cid
+            cid_parts.append(remap[inverse])
+            aidx_parts.append(lut[algo_codes[idx]])
+            val_parts.append(val)
+        # the tail: plain per-row Python, it is at most one chunk long
+        t_cid, t_g, t_rep, t_aidx, t_val = [], [], [], [], []
+        for tags, result in tail:
+            for row in flatten_rep_result(tags, result):
+                if row["algorithm"] not in algorithms:
+                    continue
+                if not row_matches(row, where):
+                    continue
+                t = tuple(tags[c] for c in TAG_COLUMNS)
+                cid = combo_index.get(t)
+                if cid is None:
+                    cid = len(combo_table)
+                    combo_index[t] = cid
+                    combo_table.append(t)
+                t_cid.append(cid)
+                t_g.append(row["granularity"])
+                t_rep.append(row["rep"])
+                t_aidx.append(algorithms.index(row["algorithm"]))
+                v = row[metric]
+                t_val.append(math.nan if v is None else float(v))
+        if t_cid:
+            cid_parts.append(np.asarray(t_cid, dtype=np.int64))
+            g_parts.append(np.asarray(t_g, dtype=np.float64))
+            rep_parts.append(np.asarray(t_rep, dtype=np.int64))
+            aidx_parts.append(np.asarray(t_aidx, dtype=np.int64))
+            val_parts.append(np.asarray(t_val, dtype=np.float64))
+        if not cid_parts:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=np.float64)
+            return empty_i, combo_table, empty_f, empty_i, empty_i, empty_f
+        return (
+            np.concatenate(cid_parts),
+            combo_table,
+            np.concatenate(g_parts).astype(np.float64),
+            np.concatenate(rep_parts).astype(np.int64),
+            np.concatenate(aidx_parts),
+            np.concatenate(val_parts).astype(np.float64),
+        )
+
+    @staticmethod
+    def _combo_ranks(combo_table: list[tuple]) -> np.ndarray:
+        """combo id -> rank under Python tuple ordering (the order the
+        generic path's ``sorted(_instance_key(row))`` produces)."""
+        rank = np.empty(len(combo_table), dtype=np.int64)
+        for r, j in enumerate(
+            sorted(range(len(combo_table)), key=lambda j: combo_table[j])
+        ):
+            rank[j] = r
+        return rank
+
+    def series_values(
+        self,
+        algorithm: str,
+        metric: str = "norm_latency",
+        where: Optional[Mapping] = None,
+    ) -> list[float]:
+        """Vectorized ``stats.rep_series``: values for one algorithm,
+        ordered by (scenario, granularity, rep), None as NaN."""
+        cids, combos, g, rep, _, val = self._scan_series(
+            [algorithm], metric, where
+        )
+        if not cids.size:
+            return []
+        order = np.lexsort((rep, g, self._combo_ranks(combos)[cids]))
+        return val[order].tolist()
+
+    def paired_series_values(
+        self,
+        algo_a: str,
+        algo_b: str,
+        metric: str = "norm_latency",
+        where: Optional[Mapping] = None,
+    ) -> tuple[list[float], list[float]]:
+        """Vectorized ``stats.paired_rep_series``: instance-aligned value
+        pairs, instances where either side is None dropped, ordered by
+        (scenario, granularity, rep)."""
+        cids, combos, g, rep, aidx, val = self._scan_series(
+            [algo_a, algo_b], metric, where
+        )
+        keep = ~np.isnan(val)
+        cids, g, rep, aidx, val = (
+            cids[keep],
+            g[keep],
+            rep[keep],
+            aidx[keep],
+            val[keep],
+        )
+        a_out: list[float] = []
+        b_out: list[float] = []
+        for j in sorted(range(len(combos)), key=lambda j: combos[j]):
+            cmask = cids == j
+            if not cmask.any():
+                continue
+            ma = cmask & (aidx == 0)
+            mb = cmask & (aidx == 1)
+            ga, ra, va = g[ma], rep[ma], val[ma]
+            gb, rb, vb = g[mb], rep[mb], val[mb]
+            for gv in np.unique(np.concatenate([ga, gb])):
+                sa = np.flatnonzero(ga == gv)
+                sb = np.flatnonzero(gb == gv)
+                if not sa.size or not sb.size:
+                    continue
+                oa = sa[np.argsort(ra[sa])]
+                ob = sb[np.argsort(rb[sb])]
+                _, ia, ib = np.intersect1d(
+                    ra[oa], rb[ob], assume_unique=True, return_indices=True
+                )
+                a_out.extend(va[oa][ia].tolist())
+                b_out.extend(vb[ob][ib].tolist())
+        return a_out, b_out
+
+    def scenario_algorithms(self) -> tuple[dict[str, dict], list[str]]:
+        """Scenario keys and algorithm order for ``campaign_comparison``.
+
+        Returns (``{scenario_key: where_tags}``, algorithms ordered by
+        first appearance in canonically-sorted rows) without flattening
+        any rows — each algorithm's minimal (scenario, g, rep) instance
+        is found per chunk with a lexsort and compared as Python tuples.
+        """
+        scenarios: dict[str, dict] = {}
+        best: dict[str, tuple] = {}
+        with self._lock:
+            n_chunks = len(self._chunks)
+            tail = [(dict(self._tags[u]), self._results[u]) for u in self._order]
+        for ci in range(n_chunks):
+            meta = self._chunks[ci]
+            with np.load(self._chunk_path(meta)) as npz:
+                stacked = np.stack(
+                    [np.asarray(npz[f"{c}_codes"]) for c in TAG_COLUMNS], axis=1
+                )
+                algo_codes = np.asarray(npz["algorithm_codes"])
+                g = np.asarray(npz["granularity"])
+                rep = np.asarray(npz["rep"])
+            combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            inverse = np.asarray(inverse).ravel()  # 2-D on some NumPy 2.x
+            tuples = [
+                tuple(
+                    meta.dicts[c][int(combos[j][k])]
+                    for k, c in enumerate(TAG_COLUMNS)
+                )
+                for j in range(len(combos))
+            ]
+            for t in tuples:
+                scenarios.setdefault("/".join(t), dict(zip(TAG_COLUMNS, t)))
+            local_rank = np.empty(len(tuples), dtype=np.int64)
+            for r, j in enumerate(
+                sorted(range(len(tuples)), key=lambda j: tuples[j])
+            ):
+                local_rank[j] = r
+            order = np.lexsort((rep, g, local_rank[inverse]))
+            codes_sorted = algo_codes[order]
+            uniq, first = np.unique(codes_sorted, return_index=True)
+            for code, pos in zip(uniq, first):
+                name = meta.dicts["algorithm"][int(code)]
+                i = int(order[int(pos)])
+                cand = tuples[int(inverse[i])] + (float(g[i]), int(rep[i]))
+                if name not in best or cand < best[name]:
+                    best[name] = cand
+        for tags, result in tail:
+            t = tuple(tags[c] for c in TAG_COLUMNS)
+            scenarios.setdefault("/".join(t), dict(zip(TAG_COLUMNS, t)))
+            for algo in result.metrics:
+                cand = t + (float(result.granularity), int(result.rep))
+                if algo not in best or cand < best[algo]:
+                    best[algo] = cand
+        algorithms = sorted(best, key=lambda a: best[a] + (a,))
+        return scenarios, algorithms

@@ -136,20 +136,32 @@ def campaign_comparison(
     ``CampaignResult``) or the rows themselves.  Rows are paired on the
     shared random instances, so the win rates and ratios are the
     trustworthy kind even at small repetition counts.
+
+    A source carrying the streaming-query surface (the columnar backend's
+    ``scenario_algorithms``/``series_values``) is never flattened: the
+    scenario/algorithm discovery and every per-scenario series run as
+    pushed-down aggregate queries, so million-row campaigns compare in
+    chunk-bounded memory.
     """
     from repro.experiments.stats import compare_reps, rep_series, summarize_series
 
-    rows = _rep_rows(source)
-    scenarios: dict[str, dict] = {}
-    algorithms: list[str] = []
-    for row in rows:
-        key = "/".join(
-            (row["config"], row["network"], row["topology"], row["policy"])
-        )
-        scenarios.setdefault(key, {k: row[k] for k in
-                                   ("config", "network", "topology", "policy")})
-        if row["algorithm"] not in algorithms:
-            algorithms.append(row["algorithm"])
+    discover = getattr(source, "scenario_algorithms", None)
+    if discover is not None:
+        scenarios, algorithms = discover()
+        # rep_series/compare_reps dispatch to the source's fast paths
+        rows: Union[Sequence[Mapping], object] = source
+    else:
+        rows = _rep_rows(source)
+        scenarios = {}
+        algorithms = []
+        for row in rows:
+            key = "/".join(
+                (row["config"], row["network"], row["topology"], row["policy"])
+            )
+            scenarios.setdefault(key, {k: row[k] for k in
+                                       ("config", "network", "topology", "policy")})
+            if row["algorithm"] not in algorithms:
+                algorithms.append(row["algorithm"])
     out: list[CampaignComparisonRow] = []
     for key, where in sorted(scenarios.items()):
         for algo in algorithms:

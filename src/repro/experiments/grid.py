@@ -26,6 +26,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness uses grid)
     from repro.experiments.harness import RepResult
 
 
+def unit_id_for(
+    name: str, model: str, topology: str, policy: str, granularity: float, rep: int
+) -> str:
+    """The stable unit identity shared by :class:`WorkUnit` and every
+    store backend that regenerates ids from stored coordinates.
+
+    ``repr`` of the granularity keeps distinct floats distinct (the sweep
+    values round-trip exactly through JSON for the same reason).
+    """
+    return f"{name}|{model}|{topology}|{policy}|g={granularity!r}|rep={rep}"
+
+
 @dataclass(frozen=True)
 class WorkUnit:
     """One independently-executable cell of a campaign grid.
@@ -42,15 +54,10 @@ class WorkUnit:
 
     @property
     def unit_id(self) -> str:
-        """Stable identity used for store rows, resume, and dedup.
-
-        ``repr`` of the granularity keeps distinct floats distinct (the
-        sweep values round-trip exactly through JSON for the same reason).
-        """
+        """Stable identity used for store rows, resume, and dedup."""
         name, model, topology, policy = self.config.scenario_key()
-        return (
-            f"{name}|{model}|{topology}|{policy}"
-            f"|g={self.granularity!r}|rep={self.rep}"
+        return unit_id_for(
+            name, model, topology, policy, self.granularity, self.rep
         )
 
     @property

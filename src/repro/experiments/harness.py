@@ -414,6 +414,14 @@ class CampaignResult:
     _points: Optional[list[PointResult]] = field(
         default=None, repr=False, compare=False
     )
+    # Lazy caches over the (frozen) RepResults, like _points: report and
+    # SVG generation call rows()/rep_rows() repeatedly, and re-flattening
+    # a million-row campaign per call is pure waste.  Callers get copies,
+    # so cached lists are never aliased to mutable state.
+    _rows_cache: Optional[list[dict]] = field(default=None, repr=False, compare=False)
+    _rep_rows_cache: Optional[list[dict]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def points(self) -> list[PointResult]:
@@ -439,16 +447,18 @@ class CampaignResult:
         return {"network": model, "topology": topology, "policy": policy}
 
     def rows(self) -> list[dict[str, object]]:
-        """CSV-ready aggregated rows, scenario-tagged."""
-        tags = self.scenario_columns()
-        out: list[dict[str, object]] = []
-        for point in self.points:
-            row = point.row()
-            merged: dict[str, object] = {"granularity": row.pop("granularity")}
-            merged.update(tags)
-            merged.update(row)
-            out.append(merged)
-        return out
+        """CSV-ready aggregated rows, scenario-tagged (cached)."""
+        if self._rows_cache is None:
+            tags = self.scenario_columns()
+            out: list[dict[str, object]] = []
+            for point in self.points:
+                row = point.row()
+                merged: dict[str, object] = {"granularity": row.pop("granularity")}
+                merged.update(tags)
+                merged.update(row)
+                out.append(merged)
+            self._rows_cache = out
+        return [dict(row) for row in self._rows_cache]
 
     def rep_rows(self) -> list[dict[str, object]]:
         """Per-rep scenario-tagged rows (one per unit × algorithm).
@@ -457,17 +467,19 @@ class CampaignResult:
         from; what the paired statistics in ``experiments.stats`` and
         the campaign comparisons in ``experiments.compare`` consume.
         """
-        name, model, topology, policy = self.config.scenario_key()
-        tags = {
-            "config": name,
-            "network": model,
-            "topology": topology,
-            "policy": policy,
-        }
-        rows: list[dict[str, object]] = []
-        for rep in self.reps:
-            rows.extend(flatten_rep_result(tags, rep))
-        return rows
+        if self._rep_rows_cache is None:
+            name, model, topology, policy = self.config.scenario_key()
+            tags = {
+                "config": name,
+                "network": model,
+                "topology": topology,
+                "policy": policy,
+            }
+            rows: list[dict[str, object]] = []
+            for rep in self.reps:
+                rows.extend(flatten_rep_result(tags, rep))
+            self._rep_rows_cache = rows
+        return [dict(row) for row in self._rep_rows_cache]
 
     def series(self, column: str) -> list[float]:
         """One named column across granularities (e.g. ``"caft_latency0"``)."""

@@ -1,0 +1,150 @@
+"""Streaming store-backed campaign views.
+
+:class:`~repro.experiments.harness.CampaignResult` answers everything
+from a materialized ``reps`` list — fine for in-memory campaigns,
+hopeless at a million rows.  This module is the streaming counterpart:
+:func:`aggregate_points` folds a store's rows into the per-granularity
+:class:`~repro.experiments.harness.PointResult` aggregates one streamed
+row at a time (with the scenario predicate pushed down to the backend),
+and :class:`StoreCampaignView` wraps that as a ``CampaignResult``-shaped
+object — ``points`` / ``rows()`` / ``series()`` / ``rep_rows()`` — so
+``report.render_figure``, ``svg`` rendering, and ``campaign_comparison``
+run directly off a store without ever holding the campaign in memory.
+
+The aggregation arithmetic *is* the harness's ``_aggregate_point`` —
+rows are regrouped into per-unit results in (granularity, rep) order
+first, so every mean is computed over the same floats in the same order
+as the in-memory path and the numbers stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    CampaignResult,
+    PointResult,
+    RepResult,
+    _aggregate_point,
+)
+from repro.experiments.store import TAG_COLUMNS, canonical_row_key
+
+#: row keys that are coordinates rather than metric values
+_COORDINATE_KEYS = frozenset(TAG_COLUMNS) | {
+    "granularity",
+    "rep",
+    "algorithm",
+    "faultfree_norm",
+}
+
+
+def scenario_where(config: ExperimentConfig) -> dict[str, str]:
+    """The pushdown predicate selecting one scenario's rows."""
+    name, model, topology, policy = config.scenario_key()
+    return {
+        "config": name,
+        "network": model,
+        "topology": topology,
+        "policy": policy,
+    }
+
+
+def aggregate_points(source, config: ExperimentConfig) -> list[PointResult]:
+    """Fold one scenario's stored rows into per-granularity aggregates.
+
+    ``source`` is any row source with ``iter_rows`` (both store
+    backends); rows stream through once, regrouped into per-unit
+    :class:`RepResult`\\ s and folded with the harness's own
+    ``_aggregate_point`` in canonical (granularity, rep) order — the
+    exact arithmetic ``CampaignResult.points`` performs, so the
+    aggregates are bit-identical to the in-memory path.
+    """
+    units: dict[tuple, tuple[dict, dict]] = {}
+    for row in source.iter_rows(where=scenario_where(config)):
+        key = (row["granularity"], row["rep"])
+        entry = units.get(key)
+        if entry is None:
+            entry = units[key] = ({}, {})
+        faultfree, metrics = entry
+        algo = row["algorithm"]
+        faultfree[algo] = row["faultfree_norm"]
+        metrics[algo] = {
+            k: v for k, v in row.items() if k not in _COORDINATE_KEYS
+        }
+    by_g: dict[float, list[RepResult]] = {g: [] for g in config.granularities}
+    for (g, rep), (faultfree, metrics) in units.items():
+        if g in by_g:  # stray granularities are ignored, like from_store
+            by_g[g].append(
+                RepResult(
+                    granularity=g,
+                    rep=rep,
+                    faultfree_norm=faultfree,
+                    metrics=metrics,
+                )
+            )
+    for reps in by_g.values():
+        reps.sort(key=lambda r: r.rep)
+    return [
+        _aggregate_point(config, g, by_g[g])
+        for g in config.granularities
+        if by_g[g]
+    ]
+
+
+@dataclass
+class StoreCampaignView:
+    """A ``CampaignResult``-shaped streaming view over one stored scenario.
+
+    Everything the report/SVG/comparison layers touch — ``config``,
+    ``points``, ``rows()``, ``series()``, ``rep_rows()``,
+    ``scenario_columns()`` — backed by pushdown queries against the
+    store instead of a materialized ``reps`` list.  Aggregates are
+    computed once (streamed) and cached; ``rep_rows()`` is the only
+    call that materializes per-rep rows, and only for this view's
+    scenario.
+    """
+
+    store: object
+    config: ExperimentConfig
+    _agg: Optional[CampaignResult] = field(default=None, repr=False, compare=False)
+
+    def _aggregated(self) -> CampaignResult:
+        if self._agg is None:
+            self._agg = CampaignResult(
+                config=self.config,
+                reps=[],
+                _points=aggregate_points(self.store, self.config),
+            )
+        return self._agg
+
+    @property
+    def points(self) -> list[PointResult]:
+        return self._aggregated().points
+
+    def scenario_columns(self) -> dict[str, str]:
+        return self._aggregated().scenario_columns()
+
+    def rows(self) -> list[dict]:
+        return self._aggregated().rows()
+
+    def series(self, column: str) -> list[float]:
+        return self._aggregated().series(column)
+
+    def iter_rows(
+        self,
+        where: Optional[Mapping] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Iterator[dict]:
+        """Stream this scenario's rows (scenario predicate + ``where``)."""
+        merged = dict(scenario_where(self.config))
+        if where:
+            merged.update(where)
+        return self.store.iter_rows(where=merged, columns=columns)
+
+    def rep_rows(self) -> list[dict]:
+        """This scenario's per-rep rows, canonically ordered."""
+        rows = list(self.iter_rows())
+        rows.sort(key=canonical_row_key)
+        return rows

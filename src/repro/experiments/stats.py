@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -117,22 +117,42 @@ def _instance_key(row: Mapping) -> tuple:
 
 
 def _matches(row: Mapping, where: Optional[Mapping]) -> bool:
-    return where is None or all(row.get(k) == v for k, v in where.items())
+    # Delegates to the store's shared predicate so `where=` means the
+    # same thing on raw row lists, streamed stores, and the columnar
+    # fast paths (scalar equality, membership for list/tuple/set).
+    from repro.experiments.store import row_matches
+
+    return row_matches(row, where)
 
 
 def rep_series(
-    rows: Sequence[Mapping],
+    rows: Union[Sequence[Mapping], object],
     algorithm: str,
     metric: str = "norm_latency",
     where: Optional[Mapping] = None,
 ) -> list[float]:
     """One algorithm's per-rep metric values, in canonical instance order.
 
-    ``rows`` is the output of ``rep_rows()``; ``where`` filters on any
-    tag column (e.g. ``{"topology": "ring"}`` or ``{"granularity": 1.0}``).
-    ``None`` metric values (failed crash replays) come back as NaN so the
-    series stays aligned with the instance grid.
+    ``rows`` is the output of ``rep_rows()`` — or any store: a source
+    with a vectorized ``series_values`` (the columnar backend) answers
+    without flattening a single row, one with ``iter_rows`` streams with
+    the ``where`` pushed down, and a plain sequence takes the historical
+    in-memory path.  ``where`` filters on any row column (e.g.
+    ``{"topology": "ring"}`` or ``{"granularity": 1.0}``).  ``None``
+    metric values (failed crash replays) come back as NaN so the series
+    stays aligned with the instance grid.
     """
+    fast = getattr(rows, "series_values", None)
+    if fast is not None:
+        return fast(algorithm, metric, where=where)
+    if hasattr(rows, "iter_rows"):
+        streamed = [
+            (_instance_key(row), row[metric])
+            for row in rows.iter_rows(where=where)
+            if row["algorithm"] == algorithm
+        ]
+        streamed.sort(key=lambda kv: kv[0])
+        return [math.nan if v is None else float(v) for _, v in streamed]
     picked = [
         row
         for row in rows
@@ -145,7 +165,7 @@ def rep_series(
 
 
 def paired_rep_series(
-    rows: Sequence[Mapping],
+    rows: Union[Sequence[Mapping], object],
     algo_a: str,
     algo_b: str,
     metric: str = "norm_latency",
@@ -156,10 +176,20 @@ def paired_rep_series(
     Instances where either side is missing or ``None`` are dropped from
     *both* series, so the result feeds :func:`paired_mean_difference`,
     :func:`dominates`, :func:`win_rate` and
-    :func:`geometric_mean_ratio` directly.
+    :func:`geometric_mean_ratio` directly.  Sources dispatch like
+    :func:`rep_series`: vectorized ``paired_series_values`` when the
+    backend has it, streamed ``iter_rows`` otherwise, raw rows last.
     """
+    fast = getattr(rows, "paired_series_values", None)
+    if fast is not None:
+        return fast(algo_a, algo_b, metric, where=where)
+    if hasattr(rows, "iter_rows"):
+        iterable = rows.iter_rows(where=where)
+        where = None  # pushed down
+    else:
+        iterable = rows
     by_key: dict[tuple, dict[str, float]] = {}
-    for row in rows:
+    for row in iterable:
         if row["algorithm"] not in (algo_a, algo_b) or not _matches(row, where):
             continue
         value = row[metric]
@@ -200,13 +230,14 @@ class PairedComparison:
 
 
 def compare_reps(
-    rows: Sequence[Mapping],
+    rows: Union[Sequence[Mapping], object],
     algo_a: str,
     algo_b: str,
     metric: str = "norm_latency",
     where: Optional[Mapping] = None,
 ) -> PairedComparison:
-    """Paired comparison of two algorithms over stored campaign rows."""
+    """Paired comparison of two algorithms over stored campaign rows
+    (or a store source; dispatches like :func:`paired_rep_series`)."""
     a, b = paired_rep_series(rows, algo_a, algo_b, metric, where=where)
     if a:
         mean_diff, half = paired_mean_difference(a, b)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import threading
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.experiments.grid import ScenarioGrid, WorkUnit
 from repro.experiments.harness import RepResult, flatten_rep_result
@@ -33,9 +33,62 @@ MANIFEST_NAME = "manifest.json"
 ROWS_NAME = "rows.jsonl"
 STORE_FORMAT = 1
 
+#: file names of the columnar backend (``repro.experiments.columnar``),
+#: shared here so each backend can refuse a directory written by the other
+COLUMNAR_TAIL_NAME = "tail.jsonl"
+COLUMNAR_CHUNK_GLOB = "chunk-*.npz"
+
+#: the scenario tag columns every stored row carries
+TAG_COLUMNS = ("config", "network", "topology", "policy")
+
 
 class StoreError(RuntimeError):
     """A store is unreadable, corrupt, or belongs to a different campaign."""
+
+
+def row_matches(row: Mapping, where: Optional[Mapping]) -> bool:
+    """Shared ``where=`` predicate semantics of the query layer.
+
+    Each key filters one row column: a scalar keeps rows whose value
+    equals it, a list/tuple/set/frozenset keeps rows whose value is a
+    member.  ``None`` (as a value) matches the ``None`` metric entries a
+    failed crash replay leaves.
+    """
+    if not where:
+        return True
+    for key, want in where.items():
+        have = row.get(key)
+        if isinstance(want, (list, tuple, set, frozenset)):
+            if have not in want:
+                return False
+        elif have != want:
+            return False
+    return True
+
+
+def project_row(row: Mapping, columns: Optional[Sequence[str]]) -> dict:
+    """Restrict a row to ``columns`` (in the requested order)."""
+    if columns is None:
+        return dict(row)
+    return {name: row[name] for name in columns}
+
+
+def canonical_row_key(row: Mapping) -> tuple:
+    """The executor-independent ordering of per-rep rows.
+
+    Append order on disk depends on which executor ran the campaign, so
+    every ``rep_rows()`` implementation sorts by this key — scenario,
+    then granularity, rep, algorithm.
+    """
+    return (
+        row["config"],
+        row["network"],
+        row["topology"],
+        row["policy"],
+        row["granularity"],
+        row["rep"],
+        row["algorithm"],
+    )
 
 
 def result_to_dict(result: RepResult) -> dict:
@@ -66,9 +119,13 @@ class RunStore:
     presumed-dead worker reconnects cannot duplicate rows).
     """
 
+    #: registry name recorded in the manifest; resume refuses a mismatch
+    backend_name = "jsonl"
+
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
         self.directory = Path(directory) if directory is not None else None
-        self._lock = threading.Lock()
+        # re-entrant: backend subclasses wrap append() under the same lock
+        self._lock = threading.RLock()
         self._results: dict[str, RepResult] = {}
         self._tags: dict[str, dict] = {}
         self._order: list[str] = []
@@ -92,32 +149,51 @@ class RunStore:
     def manifest_path(self) -> Optional[Path]:
         return self.directory / MANIFEST_NAME if self.directory else None
 
+    def _reject_foreign_backend(self) -> None:
+        """Refuse a directory another backend's files live in — loading
+        it as JSONL would silently look empty and mix two formats."""
+        if (self.directory / COLUMNAR_TAIL_NAME).exists() or any(
+            self.directory.glob(COLUMNAR_CHUNK_GLOB)
+        ):
+            raise StoreError(
+                f"{self.directory}: directory holds a 'columnar' store; "
+                "open it with open_store()/make_store('columnar', ...)"
+            )
+
     def _load_rows(self) -> None:
         path = self.rows_path
-        if path is None or not path.exists():
+        if path is None:
             return
-        data = path.read_bytes()
+        self._reject_foreign_backend()
+        if not path.exists():
+            return
+        # Streamed line by line (the buffer is one row, not the file):
+        # resuming a multi-GB campaign must not need file-size RSS.
         offset = 0  # byte position where the current line starts
-        for i, line in enumerate(data.split(b"\n")):
-            if line.strip():
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    if data[offset + len(line) :].strip():
-                        raise StoreError(
-                            f"{path}: corrupt row at line {i + 1} "
-                            "(not a trailing partial write)"
-                        ) from None
-                    # A kill landed mid-append; the half-written unit
-                    # reruns.  Remember where the partial bytes start so
-                    # the first append can drop them — repairing here
-                    # would make read-only loads mutate a store another
-                    # process may still be writing.
-                    self._repair_truncate = offset
-                    return
-                self._ingest(record)
-            offset += len(line) + 1  # +1 for the "\n" the split removed
-        if data and not data.endswith(b"\n"):
+        ends_with_newline = True
+        with open(path, "rb") as fh:
+            for i, raw in enumerate(fh):
+                ends_with_newline = raw.endswith(b"\n")
+                line = raw[:-1] if ends_with_newline else raw
+                if line.strip():
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        if fh.read().strip():
+                            raise StoreError(
+                                f"{path}: corrupt row at line {i + 1} "
+                                "(not a trailing partial write)"
+                            ) from None
+                        # A kill landed mid-append; the half-written unit
+                        # reruns.  Remember where the partial bytes start
+                        # so the first append can drop them — repairing
+                        # here would make read-only loads mutate a store
+                        # another process may still be writing.
+                        self._repair_truncate = offset
+                        return
+                    self._ingest(record)
+                offset += len(raw)
+        if offset and not ends_with_newline:
             # The kill landed after a full record but before its
             # newline; the first append must complete the line before
             # writing, or its record would glue onto this one.
@@ -210,35 +286,50 @@ class RunStore:
             return
         manifest = {
             "format": STORE_FORMAT,
+            "backend": self.backend_name,
             "total_units": grid.total_units,
             "grid": grid.to_dict(),
         }
         self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
 
-    def read_manifest_grid(self) -> ScenarioGrid:
-        """The grid this store was created for (``campaign resume <dir>``)."""
+    def _read_manifest(self) -> dict:
         path = self.manifest_path
         if path is None:
             raise StoreError("in-memory stores have no manifest")
         if not path.exists():
             raise StoreError(f"{self.directory}: no {MANIFEST_NAME} to resume from")
         try:
-            manifest = json.loads(path.read_text())
+            return json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             raise StoreError(f"{path}: unreadable manifest ({exc})") from None
-        return ScenarioGrid.from_dict(manifest["grid"])
+
+    def read_manifest_grid(self) -> ScenarioGrid:
+        """The grid this store was created for (``campaign resume <dir>``)."""
+        return ScenarioGrid.from_dict(self._read_manifest()["grid"])
 
     def ensure_manifest(self, grid: ScenarioGrid) -> None:
         """Write the manifest, or verify an existing one matches ``grid``.
 
         A store belongs to exactly one campaign: resuming with a
         different grid would silently mix incompatible rows, so any
-        mismatch is an error rather than a merge.
+        mismatch is an error rather than a merge.  The manifest also
+        records the backend that wrote the store (pre-backend manifests
+        count as ``"jsonl"``), and resuming with a different one is
+        refused the same way.
         """
         if self.directory is None:
             return
         if self.manifest_path.exists():
-            existing = self.read_manifest_grid()
+            manifest = self._read_manifest()
+            recorded = manifest.get("backend", "jsonl")
+            if recorded != self.backend_name:
+                raise StoreError(
+                    f"{self.directory}: store was written by the "
+                    f"{recorded!r} backend, not {self.backend_name!r}; "
+                    "open it with open_store() (or the matching "
+                    "--store-backend)"
+                )
+            existing = ScenarioGrid.from_dict(manifest["grid"])
             if existing.to_dict() != grid.to_dict():
                 raise StoreError(
                     f"{self.directory}: store was created for a different "
@@ -322,14 +413,80 @@ class RunStore:
         )
         return rows
 
+    def iter_rows(
+        self,
+        where: Optional[Mapping] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Iterator[dict]:
+        """Stream per-rep rows, one at a time, in append order.
+
+        The query surface shared by every backend: ``where`` filters on
+        any row column (scalar equality, or membership for a
+        list/tuple/set value — see :func:`row_matches`) and ``columns``
+        projects each yielded row down to the named columns.  Unlike
+        :meth:`rep_rows`, nothing is materialized beyond the row being
+        yielded, and the order is append order (executor-dependent) —
+        sort consumers on the canonical key when order matters.
+        """
+        with self._lock:
+            items = [(self._tags[uid], self._results[uid]) for uid in self._order]
+        for tags, result in items:
+            for row in flatten_rep_result(tags, result):
+                if row_matches(row, where):
+                    yield project_row(row, columns)
+
+
+def _columnar_factory(directory: Union[str, Path, None] = None) -> "RunStore":
+    # Imported lazily so the registry knows the name without the store
+    # module depending on the (NumPy-using) columnar module at import.
+    from repro.experiments.columnar import ColumnarStore
+
+    return ColumnarStore(directory)
+
 
 # The builtin store backends, by `store.backend` spec name: "memory" is
 # the ephemeral in-process store every default campaign uses, "jsonl"
-# the append-only directory store above.  `register_store` adds more.
+# the append-only directory store above, "columnar" the chunked
+# NumPy-structured-array store for million-row campaigns
+# (repro.experiments.columnar).  `register_store` adds more.
 register_store("memory", lambda directory=None: RunStore(None))
 register_store("jsonl", lambda directory=None: RunStore(directory))
+register_store("columnar", _columnar_factory)
 
 
 def make_store(backend: str, directory: Union[str, Path, None] = None) -> RunStore:
     """Instantiate a results store from a registered backend name."""
     return STORES.get(backend, key="store.backend")(directory=directory)
+
+
+def read_store_backend(directory: Union[str, Path]) -> str:
+    """The backend a store directory was written by.
+
+    Prefers the manifest's ``backend`` record; directories predating it
+    (or not yet carrying a manifest) are sniffed by their files, with
+    empty directories defaulting to ``"jsonl"``.
+    """
+    directory = Path(directory)
+    manifest = directory / MANIFEST_NAME
+    if manifest.exists():
+        try:
+            recorded = json.loads(manifest.read_text()).get("backend")
+        except (OSError, json.JSONDecodeError):
+            recorded = None  # the backend's own loader reports corruption
+        if recorded is not None:
+            return recorded
+    if (directory / COLUMNAR_TAIL_NAME).exists() or any(
+        directory.glob(COLUMNAR_CHUNK_GLOB)
+    ):
+        return "columnar"
+    return "jsonl"
+
+
+def open_store(directory: Union[str, Path]) -> RunStore:
+    """Open an existing store directory with whichever backend wrote it.
+
+    What ``campaign resume <dir>`` (and every bare-directory ``store=``
+    argument) goes through, so a columnar campaign resumes onto columnar
+    chunks instead of being misread as an empty JSONL store.
+    """
+    return make_store(read_store_backend(directory), directory)

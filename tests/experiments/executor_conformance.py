@@ -39,11 +39,15 @@ fault cell                what is injected
                           in both orders and losers are counted per attempt
 ========================  ==================================================
 
-``run_cell`` executes one (executor, fault) cell against a store
-directory and returns the store's canonical per-rep rows for comparison
-against the serial baseline.  ``test_conformance.py`` drives the full
-matrix under the ``conformance`` pytest marker; the module itself is
-importable (no ``test_`` prefix) so future executors can reuse it.
+``run_cell`` executes one (executor, fault, backend) cell against a
+store directory and returns the store's canonical per-rep rows for
+comparison against the serial baseline.  The same matrix runs against
+both result-store backends — the JSONL rows file and the columnar
+chunk store (with ``chunk_rows`` shrunk so every cell exercises chunk
+sealing mid-campaign) — pinning the two to identical semantics under
+every fault.  ``test_conformance.py`` drives the full matrix under the
+``conformance`` pytest marker; the module itself is importable (no
+``test_`` prefix) so future executors can reuse it.
 """
 
 from __future__ import annotations
@@ -55,18 +59,19 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.experiments import (
+    ColumnarStore,
     ExperimentConfig,
     ProcessExecutor,
     RunStore,
     ScenarioGrid,
     SerialExecutor,
     SocketExecutor,
+    open_store,
     run_campaign,
 )
-from repro.experiments.campaign import resume_campaign
 from repro.experiments.executors import (
     WORKER_EXIT_FAULT_INJECTED,
     WORKER_EXIT_OK,
@@ -77,6 +82,10 @@ from repro.experiments.grid import WorkUnit
 from repro.experiments.harness import RepResult
 
 EXECUTORS: tuple[str, ...] = ("serial", "process", "socket")
+BACKENDS: tuple[str, ...] = ("jsonl", "columnar")
+#: tiny sealing threshold so every columnar cell rotates chunks mid-run
+#: (each pinned-config unit flattens to several rows)
+CONFORMANCE_CHUNK_ROWS = 3
 FAULTS: tuple[str, ...] = (
     "none",
     "worker-crash",
@@ -97,12 +106,13 @@ class FaultInjected(RuntimeError):
     """Raised by the harness to kill the computing side mid-campaign."""
 
 
-class DuplicatingStore(RunStore):
+class DuplicatingAppends:
     """A store whose every append is delivered twice.
 
     Models the requeue-race replay (a presumed-dead worker's result
     arriving after the rerun's) uniformly for all executors: the second
     delivery must be swallowed by idempotency, never duplicate a row.
+    Composed over either backend class by :func:`_new_store`.
     """
 
     def append(
@@ -114,7 +124,7 @@ class DuplicatingStore(RunStore):
         return first
 
 
-class AttemptReplayStore(RunStore):
+class AttemptReplayAppends:
     """A store where every unit's result also arrives from a losing
     speculative attempt — the serial/process model of first-ack-wins:
     the replay must never be stored, and must be attributed to its
@@ -129,7 +139,7 @@ class AttemptReplayStore(RunStore):
         return first
 
 
-class RaceStore(RunStore):
+class RacingAppends:
     """A store delivering each unit from both sides of the revoke-vs-ack
     race, alternating which attempt wins: the thief's ``"stolen"`` ack
     first for even units, the ignoring victim's ``"stale"`` ack first
@@ -146,6 +156,28 @@ class RaceStore(RunStore):
         replay = super().append(unit, result, attempt=loser)
         assert not replay, f"losing {loser} ack of {unit.unit_id} was stored"
         return first
+
+
+_BACKEND_BASES = {"jsonl": RunStore, "columnar": ColumnarStore}
+_fault_store_cache: dict[tuple[str, str], type] = {}
+
+
+def _new_store(
+    backend: str, store_dir: Union[str, Path], mixin: Optional[type] = None
+):
+    """A fresh store of ``backend`` (columnar sized to seal mid-cell),
+    optionally composed with a fault-injection append mixin."""
+    base = _BACKEND_BASES[backend]
+    cls = base
+    if mixin is not None:
+        key = (backend, mixin.__name__)
+        cls = _fault_store_cache.get(key)
+        if cls is None:
+            cls = type(f"{mixin.__name__}_{base.__name__}", (mixin, base), {})
+            _fault_store_cache[key] = cls
+    if backend == "columnar":
+        return cls(store_dir, chunk_rows=CONFORMANCE_CHUNK_ROWS)
+    return cls(store_dir)
 
 
 def make_cell_executor(
@@ -172,8 +204,8 @@ def make_cell_executor(
 
 
 def stored_rows(store_dir: Union[str, Path]) -> list[dict]:
-    """The canonical per-rep rows of a store directory."""
-    with RunStore(store_dir) as store:
+    """The canonical per-rep rows of a store directory (any backend)."""
+    with open_store(store_dir) as store:
         return store.rep_rows()
 
 
@@ -182,8 +214,9 @@ def run_cell(
     executor_name: str,
     fault: str,
     store_dir: Union[str, Path],
+    backend: str = "jsonl",
 ) -> list[dict]:
-    """Run one (executor, fault) cell; returns the stored rows.
+    """Run one (executor, fault, backend) cell; returns the stored rows.
 
     Every cell finishes the full campaign into ``store_dir`` — through
     the fault — and additionally asserts the fault-specific invariants
@@ -196,11 +229,12 @@ def run_cell(
     total = grid.total_units
 
     if fault == "none":
-        run_campaign(config, executor=make_cell_executor(executor_name),
-                     store=store_dir)
+        with _new_store(backend, store_dir) as store:
+            run_campaign(config, executor=make_cell_executor(executor_name),
+                         store=store)
 
     elif fault == "duplicate-delivery":
-        store = DuplicatingStore(store_dir)
+        store = _new_store(backend, store_dir, DuplicatingAppends)
         try:
             run_campaign(config, executor=make_cell_executor(executor_name),
                          store=store)
@@ -219,7 +253,8 @@ def run_cell(
             executor = make_cell_executor(
                 "socket", lease=2, spawn=[["--max-units", "1"], []]
             )
-            run_campaign(config, executor=executor, store=store_dir)
+            with _new_store(backend, store_dir) as store:
+                run_campaign(config, executor=executor, store=store)
             codes = executor.worker_exit_codes
             assert codes.count(WORKER_EXIT_FAULT_INJECTED) == 1, (
                 f"fault worker's exit code not distinct: {codes}"
@@ -232,10 +267,12 @@ def run_cell(
             # survivor, so the computing side aborts mid-campaign and a
             # fresh executor finishes from the partial store.
             _abort_then_resume(config, executor_name, store_dir, total,
-                               abort_after=2)
+                               backend, abort_after=2)
 
     elif fault == "master-kill-resume":
-        _sigkill_master_then_resume(config, executor_name, store_dir, total)
+        _sigkill_master_then_resume(
+            config, executor_name, store_dir, total, backend
+        )
 
     elif fault == "speculative-duplicate":
         if executor_name == "socket":
@@ -253,7 +290,8 @@ def run_cell(
                 ),
                 steal="off",
             )
-            run_campaign(config, executor=executor, store=store_dir)
+            with _new_store(backend, store_dir) as store:
+                run_campaign(config, executor=executor, store=store)
             assert executor.speculative_attempts >= 1, (
                 "campaign finished without any speculative attempt"
             )
@@ -262,7 +300,7 @@ def run_cell(
                 f"wedged worker's exit code not distinct: {codes}"
             )
         else:
-            store = AttemptReplayStore(store_dir)
+            store = _new_store(backend, store_dir, AttemptReplayAppends)
             try:
                 run_campaign(
                     config,
@@ -289,7 +327,8 @@ def run_cell(
                 steal="auto",
                 speculate="off",
             )
-            run_campaign(config, executor=executor, store=store_dir)
+            with _new_store(backend, store_dir) as store:
+                run_campaign(config, executor=executor, store=store)
             assert executor.stolen_units >= 1, (
                 "idle worker never stole from the outstanding lease"
             )
@@ -300,8 +339,8 @@ def run_cell(
             # ack for an already-stored unit must be swallowed as a
             # counted "stale" duplicate.
             _abort_then_resume(config, executor_name, store_dir, total,
-                               abort_after=2)
-            with RunStore(store_dir) as store:
+                               backend, abort_after=2)
+            with open_store(store_dir) as store:
                 unit = grid.units()[0]
                 late = store.result(unit.unit_id)
                 assert not store.append(unit, late, attempt="stale")
@@ -322,7 +361,8 @@ def run_cell(
                 speculate="auto",
                 steal="auto",
             )
-            run_campaign(config, executor=executor, store=store_dir)
+            with _new_store(backend, store_dir) as store:
+                run_campaign(config, executor=executor, store=store)
             assert executor.speculative_attempts >= 1, (
                 "wedged head unit was never speculated"
             )
@@ -335,7 +375,7 @@ def run_cell(
             # and is abandoned after a single completed unit; a fresh
             # executor must finish the rest.
             _abort_then_resume(config, executor_name, store_dir, total,
-                               abort_after=1, stall_seconds=0.3)
+                               backend, abort_after=1, stall_seconds=0.3)
 
     elif fault == "revoke-ack-race":
         if executor_name == "socket":
@@ -352,7 +392,7 @@ def run_cell(
                 steal="auto",
                 speculate="off",
             )
-            store = RunStore(store_dir)
+            store = _new_store(backend, store_dir)
             try:
                 run_campaign(config, executor=executor, store=store)
             finally:
@@ -370,7 +410,7 @@ def run_cell(
             # Serial/process exercise both orders of the race directly
             # at the store layer: half the units are won by the thief's
             # "stolen" ack, half by the ignoring victim's "stale" ack.
-            store = RaceStore(store_dir)
+            store = _new_store(backend, store_dir, RacingAppends)
             try:
                 run_campaign(
                     config,
@@ -390,7 +430,10 @@ def run_cell(
         raise ValueError(f"unknown conformance fault {fault!r}")
 
     rows = stored_rows(store_dir)
-    with RunStore(store_dir) as store:
+    with open_store(store_dir) as store:
+        assert store.backend_name == backend, (
+            f"cell store reopened as {store.backend_name!r}, not {backend!r}"
+        )
         missing = {u.unit_id for u in grid.units()} - set(store.completed_ids())
     assert not missing, f"cell left {len(missing)} unit(s) incomplete"
     return rows
@@ -401,6 +444,7 @@ def _abort_then_resume(
     executor_name: str,
     store_dir: Path,
     total: int,
+    backend: str,
     abort_after: int,
     stall_seconds: float = 0.0,
 ) -> None:
@@ -421,21 +465,23 @@ def _abort_then_resume(
             raise FaultInjected(message)
 
     try:
-        run_campaign(
-            config,
-            executor=make_cell_executor(executor_name),
-            store=store_dir,
-            progress=dying_progress,
-        )
+        with _new_store(backend, store_dir) as store:
+            run_campaign(
+                config,
+                executor=make_cell_executor(executor_name),
+                store=store,
+                progress=dying_progress,
+            )
     except FaultInjected:
         pass
-    with RunStore(store_dir) as partial:
+    with open_store(store_dir) as partial:
         done = len(partial)
     assert 0 < done < total, (
         f"abort landed outside the campaign: {done}/{total} done"
     )
-    run_campaign(config, executor=make_cell_executor(executor_name),
-                 store=store_dir, resume=True)
+    with _new_store(backend, store_dir) as store:
+        run_campaign(config, executor=make_cell_executor(executor_name),
+                     store=store, resume=True)
 
 
 #: executor spec the SIGKILL victim subprocess resolves (socket masters
@@ -445,18 +491,23 @@ _VICTIM_SPECS = {"serial": "serial", "process": "process:2", "socket": "socket:2
 
 _VICTIM_SCRIPT = """\
 import json, sys, time
-from repro.experiments import ExperimentConfig, run_campaign
+from repro.experiments import ColumnarStore, ExperimentConfig, RunStore, run_campaign
 from repro.experiments.executors import make_executor
 
 cfg = ExperimentConfig.from_dict(json.load(open(sys.argv[1])))
+if sys.argv[4] == "columnar":
+    store = ColumnarStore(sys.argv[2], chunk_rows=int(sys.argv[5]))
+else:
+    store = RunStore(sys.argv[2])
 # Slow the append rate so the parent can land SIGKILL mid-campaign
 # instead of racing a fast finish.
 run_campaign(
     cfg,
     executor=make_executor(sys.argv[3], lease="auto"),
-    store=sys.argv[2],
+    store=store,
     progress=lambda message: time.sleep(0.4),
 )
+store.close()
 """
 
 
@@ -465,12 +516,15 @@ def _sigkill_master_then_resume(
     executor_name: str,
     store_dir: Path,
     total: int,
+    backend: str,
 ) -> None:
     """SIGKILL a campaign subprocess mid-run, then resume it here.
 
     The kill lands after at least one row hit the disk (polled) and the
-    resume must not rerun any completed unit — the store's append-only
-    bytes are checked to be a strict prefix of the final file.
+    resume must not rerun any completed unit.  Append-only discipline is
+    asserted per backend: the JSONL rows file must survive as a byte
+    prefix, while columnar sealed chunks must survive byte-identical
+    (the tail legitimately truncates when the resume seals it).
     """
     cfg_path = store_dir.parent / "victim-config.json"
     cfg_path.parent.mkdir(parents=True, exist_ok=True)
@@ -485,39 +539,65 @@ def _sigkill_master_then_resume(
             str(cfg_path),
             str(store_dir),
             _VICTIM_SPECS[executor_name],
+            backend,
+            str(CONFORMANCE_CHUNK_ROWS),
         ],
         env=env,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
-    rows_path = store_dir / "rows.jsonl"
+    rows_name = "tail.jsonl" if backend == "columnar" else "rows.jsonl"
+    rows_path = store_dir / rows_name
+
+    def row_on_disk() -> bool:
+        if rows_path.exists() and rows_path.read_bytes().count(b"\n") >= 1:
+            return True
+        return backend == "columnar" and any(store_dir.glob("chunk-*.npz"))
+
     deadline = time.monotonic() + DEADLINE_S
     try:
         while time.monotonic() < deadline:
             if proc.poll() is not None:
                 break
-            if rows_path.exists() and rows_path.read_bytes().count(b"\n") >= 1:
+            if row_on_disk():
                 break
             time.sleep(0.02)
-        assert rows_path.exists(), "victim campaign never wrote a row"
+        assert row_on_disk(), "victim campaign never wrote a row"
     finally:
         if proc.poll() is None:
             proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=30)
-    with RunStore(store_dir) as partial:
+    with open_store(store_dir) as partial:
         done_before = len(partial)
     assert done_before < total, "kill landed too late to exercise resume"
-    bytes_before = rows_path.read_bytes()
+    bytes_before = rows_path.read_bytes() if rows_path.exists() else b""
+    chunks_before = {
+        p.name: p.read_bytes() for p in store_dir.glob("chunk-*.npz")
+    }
 
-    resume_campaign(store_dir, executor=make_cell_executor(executor_name))
+    with _new_store(backend, store_dir) as store:
+        run_campaign(config, executor=make_cell_executor(executor_name),
+                     store=store, resume=True)
 
-    bytes_after = rows_path.read_bytes()
-    # Append-only discipline: completed rows survive the kill untouched
-    # (modulo the documented partial-final-line repair, which only ever
-    # removes bytes of the interrupted, *incomplete* record).
-    repaired_prefix = bytes_before
-    if not bytes_before.endswith(b"\n"):
-        repaired_prefix = bytes_before[: bytes_before.rfind(b"\n") + 1]
-    assert bytes_after.startswith(repaired_prefix), (
-        "resume rewrote completed rows"
-    )
+    if backend == "columnar":
+        # Sealed chunks are immutable and only ever accrue.
+        chunks_after = {
+            p.name: p.read_bytes() for p in store_dir.glob("chunk-*.npz")
+        }
+        for name, blob in chunks_before.items():
+            assert chunks_after.get(name) == blob, (
+                f"resume rewrote sealed chunk {name}"
+            )
+        assert len(chunks_after) >= len(chunks_before)
+    else:
+        bytes_after = rows_path.read_bytes()
+        # Append-only discipline: completed rows survive the kill
+        # untouched (modulo the documented partial-final-line repair,
+        # which only ever removes bytes of the interrupted, *incomplete*
+        # record).
+        repaired_prefix = bytes_before
+        if not bytes_before.endswith(b"\n"):
+            repaired_prefix = bytes_before[: bytes_before.rfind(b"\n") + 1]
+        assert bytes_after.startswith(repaired_prefix), (
+            "resume rewrote completed rows"
+        )

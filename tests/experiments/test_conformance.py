@@ -1,11 +1,15 @@
-"""The executor × fault conformance matrix (marker: ``conformance``).
+"""The executor × fault × backend conformance matrix (marker:
+``conformance``).
 
 Drives ``executor_conformance.run_cell`` over every
 Serial/Process/Socket × {none, worker crash mid-lease, master SIGKILL +
-resume, duplicate delivery} cell and asserts the stored rows are
-bit-identical to a fault-free serial run — the contract that lets any
-scheduling change (batch leases, locality, adaptive sizing) land without
-re-validating the science.
+resume, duplicate delivery, speculation/steal races} ×
+{jsonl, columnar} cell and asserts the stored rows are bit-identical to
+a fault-free serial run — the contract that lets any scheduling *or
+storage* change (batch leases, locality, adaptive sizing, chunked
+columnar results) land without re-validating the science.  Columnar
+cells run with a tiny ``chunk_rows`` so every fault interleaves with
+chunk sealing.
 
 Part of tier-1; socket cells auto-skip when localhost sockets are
 unavailable (mirroring the ``distributed`` marker).  Run just this
@@ -34,12 +38,15 @@ def baseline_rows(pinned_config, tmp_path_factory):
         return store.rep_rows()
 
 
+@pytest.mark.parametrize("backend", ec.BACKENDS)
 @pytest.mark.parametrize("fault", ec.FAULTS)
 @pytest.mark.parametrize("executor_name", ec.EXECUTORS)
 def test_conformance_cell(
-    executor_name, fault, pinned_config, baseline_rows, tmp_path
+    executor_name, fault, backend, pinned_config, baseline_rows, tmp_path
 ):
     if executor_name == "socket" and not ec.sockets_available():
         pytest.skip("localhost sockets unavailable")
-    rows = ec.run_cell(pinned_config, executor_name, fault, tmp_path / "cell")
+    rows = ec.run_cell(
+        pinned_config, executor_name, fault, tmp_path / "cell", backend=backend
+    )
     assert rows == baseline_rows

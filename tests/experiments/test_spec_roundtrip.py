@@ -128,7 +128,7 @@ def store_specs(draw) -> StoreSpec:
     )
     if directory is None:
         return StoreSpec()
-    backend = draw(st.sampled_from([None, "jsonl"]))
+    backend = draw(st.sampled_from([None, "jsonl", "columnar"]))
     return StoreSpec(backend=backend, directory=directory)
 
 

@@ -85,6 +85,17 @@ class TestExamples:
         assert "average overhead" in out
         assert (tmp_path / "results" / "figure1_example.csv").exists()
 
+    def test_million_row_campaign(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXAMPLE_ROWS", "2000")
+        out = run_example("million_row_campaign.py", capsys=capsys)
+        assert "-> 'columnar' store" in out
+        assert "reopened as ColumnarStore" in out
+        assert "caft @ g=1.6" in out
+        # the streaming view renders the full comparison table
+        assert "win%/ratio vs caft" in out
+        assert "sealed chunks" in out
+        assert "pruned query matched" in out
+
     def test_compare_algorithms(self, capsys):
         out = run_example("compare_algorithms.py", capsys=capsys)
         assert "parallelism profile" in out
