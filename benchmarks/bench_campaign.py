@@ -143,6 +143,83 @@ def test_campaign_straggler_tail():
     )
 
 
+@pytest.mark.guard
+def test_campaign_service_submit_latency():
+    """Submit-to-first-result latency against a *warm* campaign service.
+
+    The persistent service's pitch over the one-shot socket master is
+    amortized start-up: workers are already spawned, connected, and
+    idle when a job arrives, so a submission should start producing
+    rows in well under the cost of spawning a fresh master + workers.
+    A first job warms the pool (paying interpreter start-up), then the
+    measured job's submit->first-row latency is guarded against a loose
+    ceiling — a regression that serializes submission behind worker
+    respawn (or breaks idle-worker wakeup) lands far above it.
+    """
+    if not sockets_available():
+        pytest.skip("localhost sockets unavailable")
+    import tempfile
+
+    from repro.experiments import apply_overrides, figure_spec
+    from repro.experiments.service import CampaignService, ServiceClient
+
+    spec = apply_overrides(
+        figure_spec(1),
+        {
+            "graphs": 1,
+            "config.granularities": [0.4],
+            "config.num_procs": 6,
+            "config.task_range": [12, 18],
+        },
+    )
+    with tempfile.TemporaryDirectory() as root:
+        with CampaignService(root, spawn_workers=2) as service:
+            service.start()
+            client = ServiceClient(service.address)
+            warm = client.submit(spec, tenant="warmup")
+            client.wait(warm["job_id"], timeout=600.0)
+
+            t0 = time.perf_counter()
+            snap = client.submit(spec, tenant="measured")
+            first_result_s = None
+            while time.perf_counter() - t0 < 60.0:
+                status = client.status(snap["job_id"])
+                if status["done"] >= 1:
+                    first_result_s = time.perf_counter() - t0
+                    break
+                time.sleep(0.01)
+            final = client.wait(snap["job_id"], timeout=600.0)
+            total_s = time.perf_counter() - t0
+    assert final["state"] == "done"
+    assert first_result_s is not None, (
+        "warm service produced no row within 60s of the submit"
+    )
+
+    record = {
+        "bench": "campaign-service-latency",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workers": 2,
+        "cpus": os.cpu_count(),
+        "units": final["total"],
+        "submit_to_first_result_s": round(first_result_s, 3),
+        "submit_to_done_s": round(total_s, 3),
+    }
+    append_bench_record(record)
+
+    print(f"\ncampaign service latency: warm pool, 2 workers, "
+          f"{final['total']} unit(s)")
+    print(f"  submit -> first result {first_result_s:7.3f}s")
+    print(f"  submit -> job done     {total_s:7.3f}s")
+
+    # A warm pool answers in well under a second on an idle box; the
+    # ceiling is deliberately loose for shared-box noise.  Paying a
+    # worker (re)spawn or a wedged scheduling pass lands far above it.
+    assert first_result_s < 10.0, (
+        f"warm-service first result took {first_result_s:.2f}s (>= 10s "
+        "floor) — submission is no longer served by the idle pool"
+    )
+
+
 def test_campaign_executors():
     graphs = bench_graphs(default=1)
     workers = bench_workers(default=2)

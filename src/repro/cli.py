@@ -222,21 +222,39 @@ def _report_results(results, args: argparse.Namespace, t0: float) -> int:
     return rc
 
 
-def _announce_socket_master(spec: CampaignSpec) -> None:
-    if spec.executor.kind == "socket" and spec.executor.bind:
-        print(
-            f"master listening on {spec.executor.bind} — connect workers "
-            f"with: repro-ftsched campaign worker {spec.executor.bind}",
-            file=sys.stderr,
-        )
+def _announce_master(address: tuple[str, int]) -> None:
+    host, port = address
+    print(
+        f"master listening on {host}:{port} — connect workers "
+        f"with: repro-ftsched campaign worker {host}:{port}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _cli_executor(spec: CampaignSpec):
+    """Pre-build the spec's executor when the CLI needs its hooks.
+
+    The socket master announces its address only once it is bound, via
+    ``on_listen`` — so ``--bind host:0`` prints the ephemeral port the
+    OS actually picked, which is the address workers must be pointed
+    at (the requested ``:0`` is unconnectable).  Every other kind
+    returns ``None`` and lets :class:`Campaign` build as usual.
+    """
+    if spec.executor.kind != "socket":
+        return None
+    executor = spec.executor.build(spec.lease)
+    executor.on_listen = _announce_master
+    return executor
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     spec = _spec_from_args(args, _load_target_spec(args.target))
-    _announce_socket_master(spec)
     handle = Campaign(spec).run(
-        progress=_progress_fn(args), resume=args.resume
+        progress=_progress_fn(args),
+        resume=args.resume,
+        executor=_cli_executor(spec),
     )
     return _report_results(handle.results, args, t0)
 
@@ -248,8 +266,9 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
         # Resume straight from the spec that created the campaign: the
         # store directory is part of the spec, nothing else is needed.
         spec = _spec_from_args(args, CampaignSpec.load(target))
-        _announce_socket_master(spec)
-        handle = Campaign(spec).resume(progress=_progress_fn(args))
+        handle = Campaign(spec).resume(
+            progress=_progress_fn(args), executor=_cli_executor(spec)
+        )
         return _report_results(handle.results, args, t0)
 
     # A bare store directory: the manifest records the grid; executor
@@ -281,9 +300,12 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
             if key.startswith("executor.")
         }
     )
+    executor = executor_spec.build(lease)
+    if executor_spec.kind == "socket":
+        executor.on_listen = _announce_master
     results = resume_campaign(
         args.target,
-        executor=executor_spec.build(lease),
+        executor=executor,
         progress=_progress_fn(args),
     )
     return _report_results(results, args, t0)
@@ -304,6 +326,91 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
         die_after=args.die_after,
         ignore_revoke=args.ignore_revoke,
     )
+
+
+def _cmd_service_start(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.experiments.service import CampaignService
+
+    host, port = args.bind if args.bind else ("127.0.0.1", 0)
+    service = CampaignService(
+        args.root,
+        host=host,
+        port=port,
+        spawn_workers=args.workers,
+        heartbeat=args.heartbeat,
+        lease=args.lease,
+        speculate=args.speculate,
+        steal=args.steal,
+    )
+    bound_host, bound_port = service.start()
+    # The *bound* address, never the requested one: --bind host:0 asks
+    # the OS for an ephemeral port, and that port is what clients and
+    # external workers must be given.
+    print(
+        f"service listening on {bound_host}:{bound_port} "
+        f"(root {args.root}) — submit with: repro-ftsched service "
+        f"submit SPEC --address {bound_host}:{bound_port}",
+        flush=True,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: service.request_stop())
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.experiments.service import ServiceClient
+
+    host, port = args.address
+    return ServiceClient((host, port))
+
+
+def _print_job(snap: dict) -> None:
+    line = (
+        f"{snap['job_id']}  {snap['state']:<9}  "
+        f"{snap['done']}/{snap['total']}  tenant={snap['tenant']} "
+        f"priority={snap['priority']}"
+    )
+    if snap.get("error"):
+        line += f"  error: {snap['error']}"
+    print(line)
+
+
+def _cmd_service_submit(args: argparse.Namespace) -> int:
+    spec = _load_target_spec(args.target)
+    pairs = [parse_override(text) for text in args.override or []]
+    spec = apply_overrides(spec, dict(pairs))
+    client = _service_client(args)
+    snap = client.submit(spec, tenant=args.tenant, priority=args.priority)
+    _print_job(snap)
+    if args.wait:
+        snap = client.wait(snap["job_id"])
+        _print_job(snap)
+        return 0 if snap["state"] == "done" else 1
+    return 0
+
+
+def _cmd_service_status(args: argparse.Namespace) -> int:
+    snap = _service_client(args).status(args.job)
+    _print_job(snap)
+    return 0 if snap["state"] in ("running", "done") else 1
+
+
+def _cmd_service_jobs(args: argparse.Namespace) -> int:
+    for snap in _service_client(args).jobs():
+        _print_job(snap)
+    return 0
+
+
+def _cmd_service_cancel(args: argparse.Namespace) -> int:
+    _print_job(_service_client(args).cancel(args.job))
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -613,6 +720,94 @@ def build_parser() -> argparse.ArgumentParser:
                               "units, forcing the revoke-vs-ack race")
     p_cwork.add_argument("--verbose", action="store_true")
     p_cwork.set_defaults(func=_cmd_campaign_worker)
+
+    p_svc = sub.add_parser(
+        "service",
+        help="persistent multi-tenant campaign service (one master, "
+             "many submitted campaigns)",
+    )
+    svc_sub = p_svc.add_subparsers(dest="service_command", required=True)
+
+    p_sstart = svc_sub.add_parser(
+        "start",
+        help="run a campaign service in the foreground (SIGTERM/Ctrl-C "
+             "stops it; restarting on the same --root resumes "
+             "incomplete jobs)",
+    )
+    p_sstart.add_argument("--root", type=str, required=True,
+                          help="durable service directory (job specs and "
+                               "stores live under ROOT/jobs)")
+    p_sstart.add_argument("--bind", type=_parse_address, default=None,
+                          metavar="HOST:PORT",
+                          help="bind address (default: an ephemeral "
+                               "localhost port; the actually-bound port "
+                               "is printed and written to ROOT/"
+                               "service.json)")
+    p_sstart.add_argument("--workers", type=int, default=2,
+                          help="local worker processes the service "
+                               "spawns and shares across jobs "
+                               "(default 2; external workers can "
+                               "connect at any time)")
+    p_sstart.add_argument("--heartbeat", type=float, default=0.5,
+                          help="seconds between worker liveness "
+                               "heartbeats")
+    p_sstart.add_argument("--lease", "--lease-size", dest="lease",
+                          default=None, metavar="{auto,N}",
+                          help="default units per worker lease (a "
+                               "submitted spec's own lease field "
+                               "overrides this per job)")
+    p_sstart.add_argument("--speculate", choices=["off", "auto"],
+                          default=None,
+                          help="duplicate slow tail units onto idle "
+                               "workers (per job; default off)")
+    p_sstart.add_argument("--steal", choices=["off", "auto"], default=None,
+                          help="idle workers take the unstarted "
+                               "remainder of stragglers' leases "
+                               "(per job; default auto)")
+    p_sstart.set_defaults(func=_cmd_service_start)
+
+    def add_service_client_args(p):
+        p.add_argument("--address", type=_parse_address, required=True,
+                       metavar="HOST:PORT",
+                       help="address of the running campaign service")
+
+    p_ssub = svc_sub.add_parser(
+        "submit", help="submit a campaign to a running service")
+    p_ssub.add_argument("target", metavar="FIGURE|SPEC",
+                        help="paper figure number or a campaign spec "
+                             "file (.json/.toml); the service stores "
+                             "results under its own root")
+    add_service_client_args(p_ssub)
+    p_ssub.add_argument("--tenant", type=str, default="default",
+                        help="fair-share tenant the job is accounted to")
+    p_ssub.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority within the tenant "
+                             "(higher first; >= 0)")
+    p_ssub.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal "
+                             "state (exit 1 unless it is 'done')")
+    p_ssub.add_argument("--override", action="append", default=None,
+                        metavar="KEY=VALUE",
+                        help="override any campaign-spec key before "
+                             "submitting")
+    p_ssub.set_defaults(func=_cmd_service_submit)
+
+    p_sstat = svc_sub.add_parser("status", help="one job's progress")
+    p_sstat.add_argument("job", metavar="JOB_ID")
+    add_service_client_args(p_sstat)
+    p_sstat.set_defaults(func=_cmd_service_status)
+
+    p_sjobs = svc_sub.add_parser("jobs", help="list every job the "
+                                              "service knows about")
+    add_service_client_args(p_sjobs)
+    p_sjobs.set_defaults(func=_cmd_service_jobs)
+
+    p_scan = svc_sub.add_parser(
+        "cancel", help="cancel a running job (completed units stay in "
+                       "its store)")
+    p_scan.add_argument("job", metavar="JOB_ID")
+    add_service_client_args(p_scan)
+    p_scan.set_defaults(func=_cmd_service_cancel)
 
     p_demo = sub.add_parser("demo", help="schedule a workload and show a Gantt chart")
     p_demo.add_argument("--workload", choices=sorted(ALL_WORKLOADS), default="gaussian_elimination")

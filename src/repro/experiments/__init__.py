@@ -103,6 +103,12 @@ from repro.experiments.api import (
     parse_override,
     shipped_spec_paths,
 )
+from repro.experiments.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceExecutor,
+    ServiceJobHandle,
+)
 from repro.experiments.figures import (
     run_figure,
     figure1,
@@ -173,6 +179,10 @@ __all__ = [
     "figure_spec",
     "parse_override",
     "shipped_spec_paths",
+    "CampaignService",
+    "ServiceClient",
+    "ServiceExecutor",
+    "ServiceJobHandle",
     "SCHEDULERS",
     "EXECUTORS",
     "STORES",

@@ -163,16 +163,22 @@ class ExecutorSpec:
     """Where a campaign's work units run, as serializable data.
 
     ``kind`` names an entry of the executor registry (``"serial"``,
-    ``"process"``, ``"socket"``, or anything added via
+    ``"process"``, ``"socket"``, ``"service"``, or anything added via
     ``register_executor``); the remaining fields parameterize it.
-    ``bind``/``spawn_workers``/``timeout``/``speculate``/``steal``
-    describe a socket master and are an error with any other builtin
-    kind — the fields map 1:1 onto the CLI's ``--executor/--workers/
-    --bind/--spawn-workers/--timeout/--speculate/--steal``.
-    ``speculate`` (``"off"``, the default, or ``"auto"``) duplicates the
-    slowest outstanding units near the campaign tail; ``steal``
-    (``"auto"``, the default, or ``"off"``) lets an idle worker take the
-    unstarted remainder of a straggler's lease.
+    ``bind``/``spawn_workers``/``speculate``/``steal`` describe a socket
+    master and are an error with any other builtin kind — the fields map
+    1:1 onto the CLI's ``--executor/--workers/--bind/--spawn-workers/
+    --timeout/--speculate/--steal``.  ``speculate`` (``"off"``, the
+    default, or ``"auto"``) duplicates the slowest outstanding units
+    near the campaign tail; ``steal`` (``"auto"``, the default, or
+    ``"off"``) lets an idle worker take the unstarted remainder of a
+    straggler's lease.
+
+    ``kind="service"`` runs the units as a job on a running
+    :class:`~repro.experiments.service.CampaignService`: ``address``
+    (required, ``"HOST:PORT"``) locates it, ``tenant``/``priority``
+    set the job's fair-share identity, and ``timeout`` is the client
+    connection's no-activity deadline.
     """
 
     kind: str = "serial"
@@ -182,10 +188,13 @@ class ExecutorSpec:
     timeout: Optional[float] = None
     speculate: Optional[str] = None
     steal: Optional[str] = None
+    address: Optional[str] = None
+    tenant: Optional[str] = None
+    priority: Optional[int] = None
 
     _KNOWN = frozenset(
         {"kind", "workers", "bind", "spawn_workers", "timeout",
-         "speculate", "steal"}
+         "speculate", "steal", "address", "tenant", "priority"}
     )
     _SOCKET_ONLY = (
         ("bind", "--bind"),
@@ -193,6 +202,16 @@ class ExecutorSpec:
         ("timeout", "--timeout"),
         ("speculate", "--speculate"),
         ("steal", "--steal"),
+    )
+    _SERVICE_ONLY = (
+        ("address", "--address"),
+        ("tenant", "--tenant"),
+        ("priority", "--priority"),
+    )
+    #: every optional field forwarded to the registry factory by build()
+    _OPTION_FIELDS = (
+        "bind", "spawn_workers", "timeout", "speculate", "steal",
+        "address", "tenant", "priority",
     )
 
     def __post_init__(self) -> None:
@@ -248,43 +267,92 @@ class ExecutorSpec:
                 "'serial' runs exactly one worker",
                 key="executor.workers",
             )
+        if self.priority is not None and (
+            isinstance(self.priority, bool)
+            or not isinstance(self.priority, int)
+            or self.priority < 0
+        ):
+            raise CampaignConfigError(
+                f"executor.priority (--priority) must be an integer >= 0, "
+                f"got {self.priority!r}",
+                key="executor.priority",
+            )
+        if self.tenant is not None and (
+            not isinstance(self.tenant, str) or not self.tenant
+        ):
+            raise CampaignConfigError(
+                f"executor.tenant (--tenant) must be a non-empty string, "
+                f"got {self.tenant!r}",
+                key="executor.tenant",
+            )
         if self.kind in ("serial", "process"):
             # Only the builtin non-socket kinds reject the socket fields
             # — kinds added via register_executor receive them as
             # factory options and decide for themselves.
-            offending = [
-                (spec_key, flag)
-                for spec_key, flag in self._SOCKET_ONLY
-                if getattr(self, spec_key) is not None
-            ]
-            if offending:
-                names = ", ".join(
-                    f"executor.{spec_key} ({flag})" for spec_key, flag in offending
-                )
+            self._reject_fields(
+                self._SOCKET_ONLY + self._SERVICE_ONLY,
+                "executor kind 'socket' or 'service'",
+            )
+        elif self.kind == "socket":
+            self._reject_fields(self._SERVICE_ONLY, "executor kind 'service'")
+        elif self.kind == "service":
+            # A service job's straggler mitigation and worker pool are
+            # the *service's* configuration; only the client-side knobs
+            # (address, tenant, priority, connection timeout) are the
+            # spec's to set.
+            self._reject_fields(
+                (("bind", "--bind"), ("spawn_workers", "--spawn-workers"),
+                 ("speculate", "--speculate"), ("steal", "--steal")),
+                "executor kind 'socket'",
+            )
+            if self.address is None:
                 raise CampaignConfigError(
-                    f"{names} require(s) executor kind 'socket' "
-                    f"(--executor socket); got kind {self.kind!r}",
-                    key=f"executor.{offending[0][0]}",
+                    "executor kind 'service' needs executor.address "
+                    "(--address): the HOST:PORT of a running campaign "
+                    "service",
+                    key="executor.address",
+                )
+        if self.address is not None:
+            host, sep, port = str(self.address).rpartition(":")
+            if not (sep and host and port.isdigit()):
+                raise CampaignConfigError(
+                    f"bad service address {self.address!r} (key "
+                    "'executor.address' / --address): expected HOST:PORT",
+                    key="executor.address",
                 )
         if self.bind is not None:
             from repro.experiments.executors import parse_bind
 
             parse_bind(self.bind)  # malformed addresses fail at spec time
 
+    def _reject_fields(self, fields, needs: str) -> None:
+        offending = [
+            (spec_key, flag)
+            for spec_key, flag in fields
+            if getattr(self, spec_key) is not None
+        ]
+        if offending:
+            names = ", ".join(
+                f"executor.{spec_key} ({flag})" for spec_key, flag in offending
+            )
+            raise CampaignConfigError(
+                f"{names} require(s) {needs}; got kind {self.kind!r}",
+                key=f"executor.{offending[0][0]}",
+            )
+
     def build(self, lease: Union[str, int, None] = None) -> Executor:
         """Instantiate the executor through the registry."""
         factory = EXECUTORS.get(self.kind, key="executor.kind")
         options = {
             key: getattr(self, key)
-            for key, _flag in self._SOCKET_ONLY
+            for key in self._OPTION_FIELDS
             if getattr(self, key) is not None
         }
         return factory(workers=self.workers, lease=lease, **options)
 
     def to_dict(self) -> dict:
         out: dict = {"kind": self.kind}
-        for key in ("workers", "bind", "spawn_workers", "timeout",
-                    "speculate", "steal"):
+        for key in ("workers",) + self._OPTION_FIELDS:
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -934,6 +1002,24 @@ class Campaign:
     ) -> CampaignHandle:
         """Finish a killed campaign from the spec's persistent store."""
         return self.run(progress=progress, resume=True, executor=executor)
+
+    def submit(
+        self,
+        address: Union[str, tuple],
+        tenant: str = "default",
+        priority: int = 0,
+    ):
+        """Submit this spec to a running campaign service and return a
+        :class:`~repro.experiments.service.ServiceJobHandle` immediately
+        — the service owns the run (its own store under the service
+        root; an in-memory store spec becomes JSONL there).  Poll with
+        ``handle.status()``, block with ``handle.wait()``, and read the
+        rows from ``handle.open_store()`` at any point."""
+        from repro.experiments.service import ServiceClient
+
+        return ServiceClient(address).submit_handle(
+            self.spec, tenant=tenant, priority=priority
+        )
 
 
 __all__ = [

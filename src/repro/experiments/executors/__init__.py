@@ -31,6 +31,7 @@ from repro.experiments.executors.socket import (
     WORKER_EXIT_OK,
     WORKER_RESPAWN_LIMIT,
     SocketExecutor,
+    WorkerPool,
     run_worker,
     sockets_available,
 )
@@ -105,9 +106,40 @@ def _socket_factory(
     )
 
 
+def _service_factory(
+    workers=None,
+    lease=None,
+    address=None,
+    tenant=None,
+    priority=None,
+    timeout=None,
+    **_options,
+) -> Executor:
+    # Imported lazily: service.py imports api.py which imports this
+    # package (the same cycle-dodge as the columnar store factory).
+    from repro.experiments.service import ServiceExecutor
+
+    if address is None:
+        raise CampaignConfigError(
+            "executor kind 'service' needs the address of a running "
+            "campaign service (key 'executor.address' / --address): "
+            "expected HOST:PORT",
+            key="executor.address",
+        )
+    kwargs = {}
+    if tenant is not None:
+        kwargs["tenant"] = str(tenant)
+    if priority is not None:
+        kwargs["priority"] = int(priority)
+    if timeout is not None:
+        kwargs["timeout"] = float(timeout)
+    return ServiceExecutor(address, **kwargs)
+
+
 register_executor("serial", _serial_factory)
 register_executor("process", _process_factory)
 register_executor("socket", _socket_factory)
+register_executor("service", _service_factory)
 
 #: the specs `make_executor` accepts by name (import-time snapshot;
 #: ``repro.experiments.registry.executor_names()`` is the live view)
@@ -165,6 +197,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "SocketExecutor",
+    "WorkerPool",
     "SpeculationPolicy",
     "SpeculationSpec",
     "effective_workers",

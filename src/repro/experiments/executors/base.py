@@ -110,6 +110,21 @@ class LeasePolicy:
     def adaptive(self) -> bool:
         return self.size is None
 
+    def clone(self) -> "LeasePolicy":
+        """A policy with this configuration but a fresh (empty) EWMA.
+
+        The campaign service sizes leases *per job* — one job's observed
+        unit times must never leak into another job's lease sizing, so
+        each job gets a clone of the service-level policy rather than
+        the shared instance."""
+        return LeasePolicy(
+            size=self.size,
+            target_seconds=self.target_seconds,
+            min_size=self.min_size,
+            max_size=self.max_size,
+            ewma_alpha=self.ewma_alpha,
+        )
+
     def observe(self, unit_seconds: float) -> None:
         """Feed one observed per-unit compute time into the EWMA."""
         if not (unit_seconds >= 0.0) or not math.isfinite(unit_seconds):

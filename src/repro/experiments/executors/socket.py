@@ -15,7 +15,10 @@ round-trip and the worker acks each unit as it completes, so a dead
 worker only requeues the *unfinished remainder* of its lease.  Version 3
 adds ``revoke``: the master reclaims the unstarted remainder of a lease
 from a straggling worker and re-leases it to an idle one (work
-stealing).
+stealing).  Version 4 adds the campaign-service *client* messages
+(``submit`` / ``status`` / ``jobs`` / ``cancel`` / ``submit_units``,
+served by :mod:`repro.experiments.service`); the worker flow is
+unchanged from v3.
 
 ======================  ==========================================  =========
 message                 fields                                      direction
@@ -77,7 +80,7 @@ import sys
 import threading
 import time
 from collections import deque
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.experiments.executors.base import (
     LeasePolicy,
@@ -91,8 +94,11 @@ from repro.experiments.executors.base import (
 from repro.experiments.grid import WorkUnit
 from repro.experiments.store import RunStore, result_from_dict, result_to_dict
 
-#: highest wire-protocol version this build speaks (3 = lease revocation)
-PROTO_VERSION = 3
+#: highest wire-protocol version this build speaks (3 = lease
+#: revocation; 4 = the campaign-service client messages ``submit`` /
+#: ``status`` / ``jobs`` / ``cancel`` / ``submit_units`` — the worker
+#: flow is unchanged from v3)
+PROTO_VERSION = 4
 
 #: worker process exit codes — the conformance harness asserts *why* a
 #: worker died, so the injected fault must be distinguishable from a
@@ -149,7 +155,7 @@ class _LineConn:
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
-        self._rfile = sock.makefile("rb")
+        self._rbuf = bytearray()
         self._wlock = threading.Lock()
 
     def send(self, message: dict) -> None:
@@ -159,22 +165,129 @@ class _LineConn:
 
     def recv(self, timeout: Optional[float] = None) -> dict:
         """Next message; raises ``ConnectionError`` on EOF, ``TimeoutError``
-        (``socket.timeout``) when the peer stays silent too long."""
-        self.sock.settimeout(timeout)
-        line = self._rfile.readline()
-        if not line:
-            raise ConnectionError("peer closed the connection")
-        return json.loads(line)
+        (``socket.timeout``) when the peer stays silent too long.
+
+        Reads through an explicit buffer rather than ``sock.makefile``:
+        a buffered file object that hits a timeout is poisoned for every
+        later read, which would break callers that poll with short
+        timeouts (the service's idle loops).  Here a timeout leaves any
+        partial line in the buffer and the next call picks it back up.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            newline = self._rbuf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._rbuf[: newline + 1])
+                del self._rbuf[: newline + 1]
+                return json.loads(line)
+            if deadline is None:
+                self.sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout("no complete line before deadline")
+                self.sock.settimeout(remaining)
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            self._rbuf.extend(chunk)
 
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        except OSError:
-            pass
         try:
             self.sock.close()
         except OSError:
             pass
+
+
+def _reap_worker(proc: subprocess.Popen) -> int:
+    try:
+        return proc.wait(timeout=5.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return proc.wait(timeout=5.0)
+
+
+class WorkerPool:
+    """Lifecycle of locally spawned worker subprocesses — launch,
+    bounded respawn, terminate, reap — shared by the one-shot campaign
+    master and the long-lived campaign service.
+
+    The respawn budget (:data:`WORKER_RESPAWN_LIMIT` relaunches per
+    slot) is *per job*, not per pool lifetime: :meth:`new_job_epoch`
+    resets it when a fresh job starts, so a service that outlives many
+    campaigns never permanently strands a slot, while a unit that
+    crash-loops its worker within one job still cannot respawn forever.
+    A clean shutdown (exit 0) and the injected fault exit
+    (:data:`WORKER_EXIT_FAULT_INJECTED`) are never respawned —
+    whichever loop is supervising the pool.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Sequence[str]],
+        spawn_fn,
+    ) -> None:
+        self._specs = [list(extra) for extra in specs]
+        self._spawn = spawn_fn
+        self.procs: list[subprocess.Popen] = []
+        self._budget = [0] * len(self._specs)
+        self.replaced_codes: list[int] = []
+        self.respawns = 0
+
+    def spawn_all(self) -> None:
+        """Launch every configured worker.
+
+        A failure launching the Nth worker terminates and reaps the
+        N-1 already running before propagating — a raised spawn must
+        not orphan the children it already started."""
+        try:
+            for extra in self._specs:
+                self.procs.append(self._spawn(extra))
+        except BaseException:
+            self.terminate_all()
+            self.reap_all()
+            raise
+
+    def poll_respawn(self) -> None:
+        """Relaunch spawned workers that genuinely crashed (never a
+        clean shutdown or the injected fault exit), bounded per slot
+        within the current job epoch."""
+        for i, proc in enumerate(self.procs):
+            code = proc.poll()
+            if (
+                code is None
+                or code in (WORKER_EXIT_OK, WORKER_EXIT_FAULT_INJECTED)
+                or self._budget[i] >= WORKER_RESPAWN_LIMIT
+            ):
+                continue
+            self._budget[i] += 1
+            self.respawns += 1
+            self.replaced_codes.append(code)
+            self.procs[i] = self._spawn(self._specs[i])
+
+    def new_job_epoch(self) -> None:
+        """Reset every slot's respawn budget — a new job's crashes are
+        its own, not charged against a previous job's."""
+        self._budget = [0] * len(self._specs)
+
+    def all_exited(self) -> bool:
+        return bool(self.procs) and all(p.poll() is not None for p in self.procs)
+
+    def terminate_all(self) -> None:
+        """Ask every live child to exit now (SIGTERM) — the exceptional
+        exit path, where waiting out a worker's own shutdown would leave
+        children running after the master is gone."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+
+    def reap_all(self) -> list[int]:
+        """Wait out (then kill) every child; the exit code of every
+        worker the pool ever ran, replaced crashers included."""
+        return self.replaced_codes + [_reap_worker(p) for p in self.procs]
 
 
 class SocketExecutor:
@@ -231,11 +344,17 @@ class SocketExecutor:
         lease: LeaseSpec = None,
         speculate: SpeculationSpec = None,
         steal: Union[str, bool, None] = None,
+        on_listen: Optional[Callable[[tuple[str, int]], None]] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.heartbeat = heartbeat
         self.timeout = timeout
+        #: called with the *actually bound* ``(host, port)`` right after
+        #: the listening socket exists — the only correct place to learn
+        #: the real port of a ``--bind host:0`` ephemeral bind (the CLI
+        #: announces the master address through this)
+        self.on_listen = on_listen
         self.lease_policy = LeasePolicy.from_spec(
             lease, target_seconds=2.0 * heartbeat
         )
@@ -270,6 +389,8 @@ class SocketExecutor:
         )
         server = socket.create_server((self.host, self.port))
         self.address = server.getsockname()[:2]
+        if self.on_listen is not None:
+            self.on_listen(self.address)
         stop = threading.Event()
         acceptor = threading.Thread(
             target=self._accept_loop,
@@ -278,10 +399,14 @@ class SocketExecutor:
             daemon=True,
         )
         acceptor.start()
-        workers = [self._spawn_worker(extra) for extra in self._worker_specs]
-        respawns = [0] * len(workers)
-        replaced_codes: list[int] = []
+        # Workers spawn *inside* the try: an exception anywhere between
+        # the first spawn and the finally (including a failed spawn
+        # itself, handled inside spawn_all) must still terminate and
+        # reap every child — an interrupted master cannot orphan them.
+        pool = WorkerPool(self._worker_specs, self._spawn_worker)
+        clean = False
         try:
+            pool.spawn_all()
             last_activity = -1
             deadline: Optional[float] = None
             while not state.wait_done(0.2):
@@ -309,36 +434,22 @@ class SocketExecutor:
                 # a clean shutdown or the injected --max-units fault),
                 # bounded per slot so a crash-looping unit cannot
                 # respawn its worker forever.
-                for i, proc in enumerate(workers):
-                    code = proc.poll()
-                    if (
-                        code is None
-                        or code in (WORKER_EXIT_OK, WORKER_EXIT_FAULT_INJECTED)
-                        or respawns[i] >= WORKER_RESPAWN_LIMIT
-                    ):
-                        continue
-                    respawns[i] += 1
-                    self.worker_respawns += 1
-                    replaced_codes.append(code)
-                    workers[i] = self._spawn_worker(self._worker_specs[i])
+                pool.poll_respawn()
                 # Every worker this master spawned has exited (respawn
                 # budget included) and no connection is serving units:
                 # the campaign can no longer make progress (e.g. a unit
                 # crashes each worker in turn) — fail now instead of
                 # sitting out the timeout.
-                if (
-                    workers
-                    and all(p.poll() is not None for p in workers)
-                    and state.active_connections() == 0
-                ):
+                if pool.all_exited() and state.active_connections() == 0:
                     missing = state.remaining()
                     raise RuntimeError(
-                        f"all {len(workers)} spawned worker(s) exited with "
+                        f"all {len(pool.procs)} spawned worker(s) exited with "
                         f"{len(missing)} unit(s) incomplete "
                         f"(first: {missing[0].unit_id if missing else '-'}); "
                         "check the worker logs — a crashing work unit kills "
                         "every worker it is requeued to"
                     )
+            clean = True
         finally:
             stop.set()
             state.finish()
@@ -346,9 +457,15 @@ class SocketExecutor:
                 server.close()
             except OSError:
                 pass
-            self.worker_exit_codes = replaced_codes + [
-                self._reap_worker(proc) for proc in workers
-            ]
+            if not clean:
+                # An exceptional exit (KeyboardInterrupt, timeout, a
+                # raise mid-spawn) must not wait out the workers' own
+                # shutdown: terminate them now so no child survives a
+                # raised run.  On a clean exit the workers already got
+                # `shutdown` messages and exit 0 on their own.
+                pool.terminate_all()
+            self.worker_exit_codes = pool.reap_all()
+            self.worker_respawns += pool.respawns
             self.stolen_units = state.stolen_units
             self.speculative_attempts = state.speculative_attempts
 
@@ -502,13 +619,7 @@ class SocketExecutor:
             cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
         )
 
-    @staticmethod
-    def _reap_worker(proc: subprocess.Popen) -> int:
-        try:
-            return proc.wait(timeout=5.0)
-        except subprocess.TimeoutExpired:
-            proc.kill()
-            return proc.wait(timeout=5.0)
+    _reap_worker = staticmethod(_reap_worker)
 
 
 class _Lease:
@@ -601,6 +712,49 @@ class _MasterState:
     def lookup(self, unit_id: Optional[str]) -> Optional[WorkUnit]:
         return self._units_by_id.get(unit_id)
 
+    def try_checkout(
+        self,
+        conn_id: int,
+        lc: _LineConn,
+        proto: int,
+        policy: Optional[LeasePolicy],
+        pending_only: bool = False,
+    ) -> tuple[Optional[_Lease], Optional[tuple[_LineConn, list[str]]]]:
+        """One non-blocking claim attempt.
+
+        Returns ``(lease, revoke)``: the claimed lease (or ``None`` when
+        nothing is claimable right now, or the campaign is complete /
+        aborted — distinguish via :meth:`is_complete`), and the revoke
+        notification ``(victim_lc, unit_ids)`` to deliver *outside* any
+        lock when the claim stole a tail.  ``pending_only`` restricts
+        the claim to the pending queue — the campaign service's first
+        scheduling pass, so an idle worker drains other jobs' queues
+        before stealing within one.
+        """
+        with self._cond:
+            if self._finished or len(self._done) >= self._total:
+                return None, None
+            units = self._claim_pending(policy)
+            attempt = "primary"
+            revoke: Optional[tuple[_LineConn, list[str]]] = None
+            if units is None and self._steal and not pending_only:
+                claim = self._claim_steal(conn_id, proto)
+                if claim is not None:
+                    units, victim_lc, revoked_ids = claim
+                    attempt = "stolen"
+                    revoke = (victim_lc, revoked_ids)
+            if units is None and self._speculation.enabled and not pending_only:
+                unit = self._claim_speculative(conn_id)
+                if unit is not None:
+                    units, attempt = [unit], "speculative"
+            if units is None:
+                return None, None
+            lease = _Lease(conn_id, lc, proto, units, attempt)
+            self._leases[conn_id] = lease
+            for unit in units:
+                self._in_flight[unit.unit_id] = unit
+            return lease, revoke
+
     def checkout_lease(
         self,
         conn_id: int,
@@ -619,30 +773,7 @@ class _MasterState:
         source of work first.
         """
         while True:
-            lease: Optional[_Lease] = None
-            revoke: Optional[tuple[_LineConn, list[str]]] = None
-            with self._cond:
-                if self._finished or len(self._done) >= self._total:
-                    return None
-                units = self._claim_pending(policy)
-                attempt = "primary"
-                if units is None and self._steal:
-                    claim = self._claim_steal(conn_id, proto)
-                    if claim is not None:
-                        units, victim_lc, revoked_ids = claim
-                        attempt = "stolen"
-                        revoke = (victim_lc, revoked_ids)
-                if units is None and self._speculation.enabled:
-                    unit = self._claim_speculative(conn_id)
-                    if unit is not None:
-                        units, attempt = [unit], "speculative"
-                if units is not None:
-                    lease = _Lease(conn_id, lc, proto, units, attempt)
-                    self._leases[conn_id] = lease
-                    for unit in units:
-                        self._in_flight[unit.unit_id] = unit
-                else:
-                    self._cond.wait(timeout=0.1)
+            lease, revoke = self.try_checkout(conn_id, lc, proto, policy)
             if revoke is not None:
                 # Sent outside the lock: a victim with a full TCP buffer
                 # must not stall every other handler thread.  The revoke
@@ -656,6 +787,10 @@ class _MasterState:
                     pass  # victim already dead; its lease requeues on reap
             if lease is not None:
                 return lease
+            with self._cond:
+                if self._finished or len(self._done) >= self._total:
+                    return None
+                self._cond.wait(timeout=0.1)
 
     def _claim_pending(
         self, policy: Optional[LeasePolicy]
@@ -874,10 +1009,42 @@ class _MasterState:
         with self._cond:
             return self._finished
 
+    def is_complete(self) -> bool:
+        """Every unit's result is in the store (the job is done)."""
+        with self._cond:
+            return len(self._done) >= self._total
+
+    def progress_counts(self) -> tuple[int, int]:
+        """``(done, total)`` — the campaign service's status payload."""
+        with self._cond:
+            return len(self._done), self._total
+
     def finish(self) -> None:
         with self._cond:
             self._finished = True
             self._cond.notify_all()
+
+    def abort(self) -> list[tuple[_LineConn, int, list[str]]]:
+        """Cancel: mark finished, strip every outstanding lease (so
+        serving loops drain immediately instead of waiting on results
+        that no longer matter), and return ``(lc, proto, unit_ids)``
+        revoke notifications to deliver outside the lock.  Late acks
+        for stripped units land as stale and are swallowed by the
+        store's idempotent append."""
+        with self._cond:
+            self._finished = True
+            notices: list[tuple[_LineConn, int, list[str]]] = []
+            for lease in self._leases.values():
+                ids = [uid for uid in lease.order if uid in lease.remaining]
+                if not ids:
+                    continue
+                notices.append((lease.lc, lease.proto, ids))
+                for uid in ids:
+                    lease.remaining.pop(uid, None)
+                    self._in_flight.pop(uid, None)
+            self._pending.clear()
+            self._cond.notify_all()
+        return notices
 
 
 # ---------------------------------------------------------------- worker

@@ -281,15 +281,31 @@ class RunStore:
 
     # -------------------------------------------------------------- manifest
 
-    def write_manifest(self, grid: ScenarioGrid) -> None:
+    def write_manifest(
+        self, grid: ScenarioGrid, extra: Optional[Mapping[str, object]] = None
+    ) -> None:
+        """Record the grid (and optional ``extra`` metadata) this store
+        was created for.
+
+        ``extra`` keys are merged into the manifest top level without
+        participating in :meth:`ensure_manifest`'s mismatch checks — the
+        campaign service uses this to stamp each job store with its
+        job/tenant identity while the grid comparison stays exactly the
+        campaign contract.  Reserved manifest keys cannot be shadowed.
+        """
         if self.directory is None:
             return
-        manifest = {
-            "format": STORE_FORMAT,
-            "backend": self.backend_name,
-            "total_units": grid.total_units,
-            "grid": grid.to_dict(),
-        }
+        manifest: dict = {}
+        if extra:
+            manifest.update(extra)
+        manifest.update(
+            {
+                "format": STORE_FORMAT,
+                "backend": self.backend_name,
+                "total_units": grid.total_units,
+                "grid": grid.to_dict(),
+            }
+        )
         self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
 
     def _read_manifest(self) -> dict:
@@ -303,11 +319,18 @@ class RunStore:
         except json.JSONDecodeError as exc:
             raise StoreError(f"{path}: unreadable manifest ({exc})") from None
 
+    def read_manifest(self) -> dict:
+        """The raw manifest mapping, including any ``extra`` metadata
+        recorded at :meth:`write_manifest` time."""
+        return self._read_manifest()
+
     def read_manifest_grid(self) -> ScenarioGrid:
         """The grid this store was created for (``campaign resume <dir>``)."""
         return ScenarioGrid.from_dict(self._read_manifest()["grid"])
 
-    def ensure_manifest(self, grid: ScenarioGrid) -> None:
+    def ensure_manifest(
+        self, grid: ScenarioGrid, extra: Optional[Mapping[str, object]] = None
+    ) -> None:
         """Write the manifest, or verify an existing one matches ``grid``.
 
         A store belongs to exactly one campaign: resuming with a
@@ -336,7 +359,7 @@ class RunStore:
                     "campaign grid (config/scenario mismatch)"
                 )
         else:
-            self.write_manifest(grid)
+            self.write_manifest(grid, extra=extra)
 
     # --------------------------------------------------------------- reading
 

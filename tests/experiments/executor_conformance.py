@@ -511,6 +511,107 @@ store.close()
 """
 
 
+#: the persistent-service conformance cell's victim: a campaign service
+#: whose spawned workers are throttled so the parent can land SIGKILL
+#: while both submitted jobs are mid-flight
+_SERVICE_VICTIM_SCRIPT = """\
+import sys
+from repro.experiments.service import CampaignService
+
+service = CampaignService(
+    sys.argv[1],
+    spawn_workers=[["--slow-factor", sys.argv[2]] for _ in range(2)],
+)
+service.start()
+service.serve_forever()
+"""
+
+
+def run_service_cell(
+    config: ExperimentConfig, root: Union[str, Path], slow_factor: float = 6.0
+) -> tuple[list[dict], list[dict]]:
+    """The persistent-service conformance cell.
+
+    A service subprocess (two throttled shared workers) accepts two
+    concurrent jobs over the wire — one JSONL store, one columnar — and
+    takes ``SIGKILL`` while at least one unit is done and at least one
+    is not.  A fresh service started on the same root must resume both
+    jobs to completion without rerunning any completed unit's row.
+    Returns the two jobs' canonical per-rep rows ``(jsonl, columnar)``
+    for comparison against the serial baseline.
+    """
+    from repro.experiments.service import (
+        SERVICE_FILE_NAME,
+        CampaignService,
+        ServiceClient,
+    )
+
+    root = Path(root)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SERVICE_VICTIM_SCRIPT, str(root),
+         str(slow_factor)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    service_file = root / SERVICE_FILE_NAME
+    deadline = time.monotonic() + DEADLINE_S
+    try:
+        while not service_file.exists():
+            assert proc.poll() is None, "service victim died before binding"
+            assert time.monotonic() < deadline, "service never bound"
+            time.sleep(0.02)
+        info = json.loads(service_file.read_text())
+        client = ServiceClient((info["host"], info["port"]))
+        jsonl_snap = client.submit({"config": config.to_dict()},
+                                   tenant="alice")
+        columnar_snap = client.submit(
+            {"config": config.to_dict(), "store": {"backend": "columnar"}},
+            tenant="bob",
+            priority=1,
+        )
+        done = 0
+        while time.monotonic() < deadline:
+            done = sum(
+                client.status(snap["job_id"])["done"]
+                for snap in (jsonl_snap, columnar_snap)
+            )
+            if done >= 1:
+                break
+            time.sleep(0.05)
+        assert done >= 1, "no unit completed before the kill"
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    total = jsonl_snap["total"] + columnar_snap["total"]
+    done_on_disk = 0
+    for snap in (jsonl_snap, columnar_snap):
+        with open_store(snap["store"]) as partial:
+            done_on_disk += len(partial)
+    assert done_on_disk < total, "kill landed after both jobs finished"
+
+    service = CampaignService(root, spawn_workers=2)
+    service.start()
+    try:
+        client = ServiceClient(service.address)
+        for snap in (jsonl_snap, columnar_snap):
+            final = client.wait(snap["job_id"], timeout=DEADLINE_S)
+            assert final["state"] == "done", final
+    finally:
+        service.stop()
+    with open_store(jsonl_snap["store"]) as store:
+        assert store.backend_name == "jsonl"
+        jsonl_rows = store.rep_rows()
+    with open_store(columnar_snap["store"]) as store:
+        assert store.backend_name == "columnar"
+        columnar_rows = store.rep_rows()
+    return jsonl_rows, columnar_rows
+
+
 def _sigkill_master_then_resume(
     config: ExperimentConfig,
     executor_name: str,

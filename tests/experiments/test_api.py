@@ -64,7 +64,7 @@ def tiny_spec(**overrides) -> CampaignSpec:
 class TestRegistries:
     def test_builtin_names(self):
         assert {"caft", "caft-paper", "ftsa", "ftbar"} <= set(scheduler_names())
-        assert EXECUTORS.names() == ("process", "serial", "socket")
+        assert EXECUTORS.names() == ("process", "serial", "service", "socket")
         assert {"jsonl", "memory"} <= set(STORES.names())
 
     def test_unknown_lookup_is_config_error_listing_registered(self):
