@@ -1,0 +1,141 @@
+"""Perf guard for the online workload subsystem (marker: ``guard``).
+
+Runs the shipped ``figure_online`` spec — a Poisson arrival-rate sweep
+with correlated failure domains — through the process executor, checks
+the online shape invariants, and appends an ``online`` record to
+``BENCH_fastpath.json``: wall clock, scheduling throughput (jobs
+scheduled per second of bench time), and the p95 per-job response time
+across reps.  Two ceilings guard regressions:
+
+* **wall clock** — the same median-of-recent-comparable-runs threshold
+  the fast-path guard uses (``guard_threshold(bench="online")``), so an
+  accidental de-vectorization of the incremental scheduling path fails
+  CI loudly;
+* **latency percentile** — p95 response must stay within
+  ``LATENCY_SLACK`` x the median recorded p95: the workload is fully
+  seeded, so a drift here means the *policy* changed (dispatch order,
+  width, sub-platform carving), not the machine.
+
+Run it directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_online.py -m guard -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_fastpath import BENCH_LOG, append_bench_record
+from benchmarks.bench_guard import GUARD_WINDOW, guard_threshold
+from repro.experiments.api import (
+    CampaignSpec,
+    apply_overrides,
+    shipped_spec_paths,
+)
+from repro.experiments.online import check_online_shape
+
+GUARD_GRAPHS = max(1, int(os.environ.get("REPRO_GRAPHS", "2")))
+GUARD_WORKERS = 2
+#: p95 response ceiling: slack over the median recorded percentile
+LATENCY_SLACK = 1.5
+#: the latency percentile the guard records and bounds
+PERCENTILE = 95
+
+
+def latency_ceiling(path: str = BENCH_LOG, graphs: int = GUARD_GRAPHS):
+    """p95-response ceiling from the recorded ``online`` series.
+
+    The workload is deterministic per (spec, graphs), so comparable
+    records need the same graph count but *not* the same CPU budget —
+    latency here is simulated time, not wall clock.  ``None`` on a
+    fresh series.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            series = json.load(fh)
+    except json.JSONDecodeError:
+        return None
+    comparable = [
+        rec["response_p95"]
+        for rec in series
+        if rec.get("bench") == "online"
+        and rec.get("graphs_per_point") == graphs
+        and isinstance(rec.get("response_p95"), (int, float))
+        and not rec.get("regression")
+    ]
+    if not comparable:
+        return None
+    return statistics.median(comparable[-GUARD_WINDOW:]) * LATENCY_SLACK
+
+
+@pytest.mark.guard
+def test_online_guard():
+    wall_threshold = guard_threshold(bench="online", graphs=GUARD_GRAPHS)
+    p95_threshold = latency_ceiling()
+
+    path = next(p for p in shipped_spec_paths() if p.stem == "figure_online")
+    spec = apply_overrides(
+        CampaignSpec.load(path),
+        {
+            "graphs": GUARD_GRAPHS,
+            "executor.kind": "process",
+            "executor.workers": GUARD_WORKERS,
+        },
+    )
+    from repro.experiments.api import Campaign
+
+    t0 = time.perf_counter()
+    result = Campaign(spec).run().result()
+    elapsed = time.perf_counter() - t0
+
+    shape = check_online_shape(result)
+    assert shape.ok, f"online shape checks failed: {shape.failed()}"
+
+    reference = result.config.algorithms[0]
+    responses = [
+        rep.metrics[reference]["response_mean"] for rep in result.reps
+    ]
+    p95 = float(np.percentile(responses, PERCENTILE))
+    jobs = result.config.arrival.num_jobs * len(result.reps)
+
+    wall_regressed = wall_threshold is not None and elapsed > wall_threshold
+    p95_regressed = p95_threshold is not None and p95 > p95_threshold
+    record = {
+        "bench": "online",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "graphs_per_point": GUARD_GRAPHS,
+        "workers": GUARD_WORKERS,
+        "cpus": os.cpu_count(),
+        "fast_s": round(elapsed, 3),
+        "jobs_per_s": round(jobs / elapsed, 1),
+        "response_p95": round(p95, 3),
+    }
+    if wall_regressed or p95_regressed:
+        record["regression"] = True
+    append_bench_record(record)
+    print(
+        f"\nonline guard: {jobs} jobs over "
+        f"{len(result.config.granularities)} rates in {elapsed:.2f}s "
+        f"({jobs / elapsed:.0f} jobs/s, {reference} p95 response {p95:.1f})"
+    )
+
+    if wall_regressed:
+        raise AssertionError(
+            f"online scheduling regression: sweep took {elapsed:.2f}s, "
+            f"threshold {wall_threshold:.2f}s"
+        )
+    if p95_regressed:
+        raise AssertionError(
+            f"online latency regression: {reference} p95 response "
+            f"{p95:.2f}, ceiling {p95_threshold:.2f} "
+            f"({LATENCY_SLACK}x recorded median)"
+        )

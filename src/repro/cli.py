@@ -187,8 +187,15 @@ def _parse_address(spec: str) -> tuple[str, int]:
 
 
 def _report_campaign(result, args: argparse.Namespace, out=None) -> int:
-    print(render_figure(result))
-    shape = check_shape(result)
+    if result.config.arrival is not None:
+        from repro.experiments.online import check_online_shape
+        from repro.experiments.report import render_online
+
+        print(render_online(result))
+        shape = check_online_shape(result)
+    else:
+        print(render_figure(result))
+        shape = check_shape(result)
     print(f"shape checks: {'OK' if shape.ok else 'FAILED ' + str(shape.failed())}")
     if out is None:
         out = args.out
@@ -343,6 +350,7 @@ def _cmd_service_start(args: argparse.Namespace) -> int:
         lease=args.lease,
         speculate=args.speculate,
         steal=args.steal,
+        job_ttl=args.job_ttl,
     )
     bound_host, bound_port = service.start()
     # The *bound* address, never the requested one: --bind host:0 asks
@@ -361,6 +369,17 @@ def _cmd_service_start(args: argparse.Namespace) -> int:
         pass
     finally:
         service.stop()
+    return 0
+
+
+def _cmd_service_gc(args: argparse.Namespace) -> int:
+    from repro.experiments.service import gc_job_dirs
+
+    removed = gc_job_dirs(args.root, args.job_ttl)
+    for job_id in removed:
+        print(f"removed {job_id}")
+    print(f"pruned {len(removed)} terminal job dir(s) older than "
+          f"{args.job_ttl:g}s under {args.root}/jobs")
     return 0
 
 
@@ -764,7 +783,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="idle workers take the unstarted "
                                "remainder of stragglers' leases "
                                "(per job; default auto)")
+    p_sstart.add_argument("--job-ttl", type=float, default=None,
+                          metavar="SECONDS",
+                          help="prune terminal job directories "
+                               "(done/cancelled/failed) older than this "
+                               "many seconds, at start and periodically "
+                               "while serving (default: keep forever); "
+                               "running jobs are never touched")
     p_sstart.set_defaults(func=_cmd_service_start)
+
+    p_sgc = svc_sub.add_parser(
+        "gc",
+        help="one-shot prune of terminal job directories under a "
+             "service root (safe alongside a running service: only "
+             "done/cancelled/failed jobs older than the TTL go)")
+    p_sgc.add_argument("--root", type=str, required=True,
+                       help="service directory to sweep (ROOT/jobs)")
+    p_sgc.add_argument("--job-ttl", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="minimum age of a terminal job.json before "
+                            "its directory is removed (default 0: every "
+                            "terminal job dir)")
+    p_sgc.set_defaults(func=_cmd_service_gc)
 
     def add_service_client_args(p):
         p.add_argument("--address", type=_parse_address, required=True,

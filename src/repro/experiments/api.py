@@ -39,12 +39,14 @@ from pathlib import Path
 from time import perf_counter
 from typing import Callable, Mapping, Optional, Union
 
+from repro.experiments.arrival import ArrivalSpec
 from repro.experiments.config import (
     FIGURES,
     PORT_POLICIES,
     TUPLE_FIELDS,
     ExperimentConfig,
 )
+from repro.fault.model import FailureSpec
 from repro.experiments.executors import Executor, LeasePolicy
 from repro.experiments.grid import ScenarioGrid
 from repro.experiments.harness import CampaignResult
@@ -468,7 +470,21 @@ def _config_from_dict(
             f"'config' must be a table/object, got {type(data).__name__}",
             key="config",
         )
-    known = frozenset(f.name for f in fields(ExperimentConfig))
+    # arrival/failure are *spec*-level tables ('arrival_process' /
+    # 'failure_model'), never nested inside [config] — TOML specs nest
+    # at most one level, so the config table holds scalars/arrays only.
+    for key, surface in (("arrival", "arrival_process"),
+                         ("failure", "failure_model")):
+        if key in data:
+            raise CampaignConfigError(
+                f"config.{key} is not a spec key; declare the workload "
+                f"with the top-level {surface!r} table instead",
+                key=f"config.{key}",
+            )
+    known = frozenset(f.name for f in fields(ExperimentConfig)) - {
+        "arrival",
+        "failure",
+    }
     _unknown_keys(data, known, "the campaign spec's 'config'", prefix="config.")
     kwargs = {k: _coerce_config_value(k, v) for k, v in data.items()}
     if figure is not None and figure not in FIGURES:
@@ -519,6 +535,12 @@ class CampaignSpec:
     topologies: tuple[str, ...] = ()
     policies: tuple[str, ...] = ()
     include_base: bool = True
+    #: online workload: DAG arrival process served incrementally, with
+    #: the granularity axis reinterpreted as the arrival-rate sweep
+    #: (``None`` = the paper's offline scenario)
+    arrival_process: Optional[ArrivalSpec] = None
+    #: how crash scenarios are drawn (``None`` = i.i.d. per-processor)
+    failure_model: Optional[FailureSpec] = None
     executor: ExecutorSpec = field(default_factory=ExecutorSpec)
     store: StoreSpec = field(default_factory=StoreSpec)
     lease: Union[str, int, None] = None
@@ -537,6 +559,8 @@ class CampaignSpec:
             "topologies",
             "policies",
             "include_base",
+            "arrival_process",
+            "failure_model",
             "executor",
             "store",
             "lease",
@@ -612,6 +636,39 @@ class CampaignSpec:
                         f"--policy); valid: {', '.join(PORT_POLICIES)}",
                         key=key,
                     )
+        for key, typ in (("arrival_process", ArrivalSpec),
+                         ("failure_model", FailureSpec)):
+            value = getattr(self, key)
+            if value is not None and not isinstance(value, typ):
+                raise CampaignConfigError(
+                    f"{key!r} must be a {typ.__name__} (or a "
+                    f"{key.split('_')[0]} table in a spec file), "
+                    f"got {value!r}",
+                    key=key,
+                )
+        # Canonical form: the workload tables live on the spec surface.
+        # A config passed with arrival/failure set is hoisted (so equal
+        # campaigns compare equal and TOML stays one level deep) unless
+        # the spec also names a conflicting top-level table.
+        if self.config is not None and (
+            self.config.arrival is not None or self.config.failure is not None
+        ):
+            for attr, spec_key, inner in (
+                ("arrival_process", "arrival_process", self.config.arrival),
+                ("failure_model", "failure_model", self.config.failure),
+            ):
+                outer = getattr(self, attr)
+                if inner is not None and outer is not None and outer != inner:
+                    raise CampaignConfigError(
+                        f"{spec_key!r} is set both on the spec and on "
+                        f"config.{attr.split('_')[0]}, and they differ",
+                        key=spec_key,
+                    )
+                if inner is not None and outer is None:
+                    object.__setattr__(self, attr, inner)
+            object.__setattr__(
+                self, "config", replace(self.config, arrival=None, failure=None)
+            )
         try:
             LeasePolicy.from_spec(self.lease)
         except ValueError as exc:
@@ -633,13 +690,27 @@ class CampaignSpec:
             base = base.with_graphs(self.graphs).with_fast(self.fast)
             if self.seed is not None:
                 base = replace(base, base_seed=self.seed)
-            return base.with_network(
+            base = base.with_network(
                 model=self.network, topology=self.topology, policy=self.policy
             )
         except ValueError as exc:
             raise CampaignConfigError(
                 f"invalid scenario (keys 'network'/'topology'/'policy'): {exc}",
                 key="network",
+            ) from None
+        if self.arrival_process is None and self.failure_model is None:
+            return base
+        try:
+            return replace(
+                base,
+                arrival=self.arrival_process,
+                failure=self.failure_model,
+            )
+        except ValueError as exc:
+            raise CampaignConfigError(
+                f"invalid online scenario (keys 'arrival_process'/"
+                f"'failure_model'): {exc}",
+                key="arrival_process",
             ) from None
 
     def grid(self) -> ScenarioGrid:
@@ -686,6 +757,10 @@ class CampaignSpec:
             out["policies"] = list(self.policies)
         if not self.include_base:
             out["include_base"] = False
+        if self.arrival_process is not None:
+            out["arrival_process"] = self.arrival_process.to_dict()
+        if self.failure_model is not None:
+            out["failure_model"] = self.failure_model.to_dict()
         executor = self.executor.to_dict()
         if executor != {"kind": "serial"}:
             out["executor"] = executor
@@ -731,6 +806,8 @@ class CampaignSpec:
             topologies=tuple(data.get("topologies", ())),
             policies=tuple(data.get("policies", ())),
             include_base=data.get("include_base", True),
+            arrival_process=ArrivalSpec.from_dict(data.get("arrival_process")),
+            failure_model=FailureSpec.from_dict(data.get("failure_model")),
             executor=ExecutorSpec.from_dict(data.get("executor")),
             store=StoreSpec.from_dict(data.get("store")),
             lease=data.get("lease"),

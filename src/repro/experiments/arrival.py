@@ -1,0 +1,332 @@
+"""Seeded DAG arrival processes for online campaigns.
+
+An *arrival process* turns one rep of an online campaign into a job
+stream: a deterministic sequence of :class:`ArrivalEvent`s — ``(time,
+graph, priority)`` — drawn entirely from labelled child seeds of the
+spec seed, so the same spec replays the same workload on every executor.
+
+Process kinds live in the :data:`ARRIVAL_PROCESSES` registry (the same
+plug-in pattern as topologies and schedulers): ``"poisson"`` draws
+exponential inter-arrival gaps at the point's arrival rate, ``"uniform"``
+draws gaps uniformly in ``[0.5/rate, 1.5/rate]``, and ``"trace"``
+replays explicit arrival instants (and optional priorities) recorded in
+the spec — the mechanism behind bit-identical trace replay: a recorded
+campaign's trace re-runs as a ``"trace"`` spec and regenerates the very
+same job graphs, because graph draws are seeded per job index, not per
+process kind.
+
+The arrival *rate* is not a spec field: online campaigns sweep it on the
+``granularities`` axis (one data point per rate), so stores, unit ids,
+and resume work unchanged.  The per-job scheduling granularity knob
+moves into :attr:`ArrivalSpec.granularity`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.dag.generators import random_dag
+from repro.utils.errors import CampaignConfigError
+from repro.utils.rng import RngStream
+
+#: arrival-process draw functions:
+#: ``name -> draw(spec, rate, rng) -> (times, priorities_or_None)``
+ARRIVAL_PROCESSES: dict[str, Callable] = {}
+
+
+def arrival_process_names() -> tuple[str, ...]:
+    """Registered arrival-process kinds (``arrival_process.kind``)."""
+    return tuple(sorted(ARRIVAL_PROCESSES))
+
+
+def register_arrival_process(
+    name: str, draw: Callable, *, overwrite: bool = False
+) -> Callable:
+    """Register an arrival-process draw function under ``name``.
+
+    ``draw(spec, rate, rng)`` must return ``(times, priorities)`` —
+    ``times`` a nondecreasing sequence of nonnegative arrival instants
+    (one per job) and ``priorities`` a same-length sequence of integers
+    or ``None`` for all-zero.  Registered kinds become valid
+    ``arrival_process.kind`` values in campaign specs.  Returns ``draw``
+    so it can be a decorator.
+    """
+    from repro.utils.registry import check_registration
+
+    check_registration(
+        "arrival process", name, name in ARRIVAL_PROCESSES, overwrite
+    )
+    ARRIVAL_PROCESSES[name] = draw
+    return draw
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One job of an online rep: a DAG arriving at ``time``.
+
+    Jobs are numbered in arrival order (``index``); higher ``priority``
+    jobs are dispatched first among the queued.
+    """
+
+    index: int
+    time: float
+    priority: int
+    graph: TaskGraph
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Serializable description of an online workload's job stream.
+
+    ``kind`` names a registered arrival process; ``jobs`` is the stream
+    length per rep (for ``"trace"`` the trace length wins);
+    ``granularity`` is the per-job granularity knob the offline sweep
+    axis used to carry (the sweep axis now carries the arrival rate);
+    ``width`` caps how many processors one job may be granted (``0`` =
+    auto: half the platform, at least ``epsilon + 1``);
+    ``priority_levels > 1`` draws each job's priority uniformly from
+    ``0..levels-1``; ``trace``/``priorities`` are the explicit instants
+    of a ``"trace"`` replay.  Round-trips through JSON/TOML as one flat
+    table; unknown keys are rejected loudly.
+    """
+
+    kind: str = "poisson"
+    jobs: int = 10
+    granularity: float = 1.0
+    width: int = 0
+    priority_levels: int = 1
+    trace: tuple[float, ...] = ()
+    priorities: tuple[int, ...] = ()
+
+    _KNOWN = frozenset(
+        {
+            "kind",
+            "jobs",
+            "granularity",
+            "width",
+            "priority_levels",
+            "trace",
+            "priorities",
+        }
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "trace", tuple(float(t) for t in self.trace))
+        object.__setattr__(
+            self, "priorities", tuple(int(p) for p in self.priorities)
+        )
+        if self.kind not in ARRIVAL_PROCESSES:
+            raise CampaignConfigError(
+                f"unknown arrival process {self.kind!r} (key "
+                f"'arrival_process.kind'); registered: "
+                f"{', '.join(arrival_process_names())}",
+                key="arrival_process.kind",
+            )
+        for field_name, minimum in (
+            ("jobs", 1),
+            ("width", 0),
+            ("priority_levels", 1),
+        ):
+            v = getattr(self, field_name)
+            if isinstance(v, bool) or not isinstance(v, int) or v < minimum:
+                raise CampaignConfigError(
+                    f"arrival_process.{field_name} must be an integer "
+                    f">= {minimum}, got {v!r}",
+                    key=f"arrival_process.{field_name}",
+                )
+        g = self.granularity
+        if not isinstance(g, (int, float)) or not math.isfinite(g) or g <= 0:
+            raise CampaignConfigError(
+                f"arrival_process.granularity must be a positive finite "
+                f"number, got {g!r}",
+                key="arrival_process.granularity",
+            )
+        object.__setattr__(self, "granularity", float(g))
+        if self.kind == "trace":
+            if not self.trace:
+                raise CampaignConfigError(
+                    "arrival_process.kind 'trace' needs a non-empty "
+                    "arrival_process.trace of arrival instants",
+                    key="arrival_process.trace",
+                )
+        elif self.trace or self.priorities:
+            raise CampaignConfigError(
+                f"arrival_process.trace/priorities are only valid with "
+                f"kind 'trace', not {self.kind!r}",
+                key="arrival_process.trace",
+            )
+        if any(
+            t < 0 or not math.isfinite(t) for t in self.trace
+        ) or any(b < a for a, b in zip(self.trace, self.trace[1:])):
+            raise CampaignConfigError(
+                "arrival_process.trace must be nondecreasing, finite, "
+                "and nonnegative",
+                key="arrival_process.trace",
+            )
+        if len(self.priorities) > len(self.trace):
+            raise CampaignConfigError(
+                "arrival_process.priorities is longer than the trace",
+                key="arrival_process.priorities",
+            )
+
+    @property
+    def num_jobs(self) -> int:
+        """Jobs per rep (the trace length for ``"trace"``)."""
+        return len(self.trace) if self.kind == "trace" else self.jobs
+
+    def to_dict(self) -> dict:
+        """Canonical JSON/TOML-ready mapping (defaults omitted)."""
+        out: dict = {"kind": self.kind}
+        if self.kind != "trace" and self.jobs != 10:
+            out["jobs"] = self.jobs
+        if self.granularity != 1.0:
+            out["granularity"] = self.granularity
+        if self.width:
+            out["width"] = self.width
+        if self.priority_levels != 1:
+            out["priority_levels"] = self.priority_levels
+        if self.trace:
+            out["trace"] = list(self.trace)
+        if self.priorities:
+            out["priorities"] = list(self.priorities)
+        return out
+
+    @classmethod
+    def from_dict(
+        cls, data: Optional[Mapping], strict: bool = True
+    ) -> Optional["ArrivalSpec"]:
+        """Rebuild from :meth:`to_dict` output (``None`` passes through).
+
+        ``strict`` rejects unknown keys (spec files); store manifests
+        load tolerantly so rows written by newer versions stay readable.
+        """
+        if data is None:
+            return None
+        if not isinstance(data, Mapping):
+            raise CampaignConfigError(
+                f"'arrival_process' must be a table/object, "
+                f"got {type(data).__name__}",
+                key="arrival_process",
+            )
+        unknown = sorted(set(data) - cls._KNOWN)
+        if unknown and strict:
+            keys = ", ".join(repr(k) for k in unknown)
+            raise CampaignConfigError(
+                f"unknown key(s) {keys} in arrival_process spec; known "
+                f"keys: {', '.join(sorted(cls._KNOWN))}",
+                key=f"arrival_process.{unknown[0]}",
+            )
+        kwargs = {k: v for k, v in data.items() if k in cls._KNOWN}
+        for key in ("trace", "priorities"):
+            if key in kwargs:
+                if not isinstance(kwargs[key], (list, tuple)):
+                    raise CampaignConfigError(
+                        f"arrival_process.{key} must be an array, "
+                        f"got {kwargs[key]!r}",
+                        key=f"arrival_process.{key}",
+                    )
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in processes
+# ----------------------------------------------------------------------
+
+
+def _draw_poisson(spec: ArrivalSpec, rate: float, rng: np.random.Generator):
+    gaps = rng.exponential(scale=1.0 / rate, size=spec.num_jobs)
+    return np.cumsum(gaps), None
+
+
+def _draw_uniform(spec: ArrivalSpec, rate: float, rng: np.random.Generator):
+    gaps = rng.uniform(0.5 / rate, 1.5 / rate, size=spec.num_jobs)
+    return np.cumsum(gaps), None
+
+
+def _draw_trace(spec: ArrivalSpec, rate: float, rng: np.random.Generator):
+    pad = (0,) * (len(spec.trace) - len(spec.priorities))
+    return spec.trace, spec.priorities + pad
+
+
+if "poisson" not in ARRIVAL_PROCESSES:
+    register_arrival_process("poisson", _draw_poisson)
+    register_arrival_process("uniform", _draw_uniform)
+    register_arrival_process("trace", _draw_trace)
+
+
+# ----------------------------------------------------------------------
+# Event generation
+# ----------------------------------------------------------------------
+
+
+def generate_arrivals(
+    spec: ArrivalSpec,
+    rate: float,
+    rep: int,
+    *,
+    base_seed: int,
+    name: str,
+    task_range: tuple[int, int],
+    degree_range: tuple[int, int],
+    volume_range: tuple[float, float],
+) -> tuple[ArrivalEvent, ...]:
+    """The job stream of one online rep (pure in its arguments).
+
+    Arrival instants and priorities come from the ``("arrival", name,
+    rate, rep)`` child seed; job ``j``'s graph from ``("job", name,
+    rate, rep, j)`` — independent of the process kind, so a ``"trace"``
+    spec recorded from a live run regenerates bit-identical graphs and
+    the replay *is* the original workload.
+    """
+    if not (isinstance(rate, (int, float)) and rate > 0):
+        raise CampaignConfigError(
+            f"online campaigns sweep the arrival rate on the granularity "
+            f"axis; rates must be positive, got {rate!r}",
+            key="config.granularities",
+        )
+    stream = RngStream(base_seed)
+    a_rng = stream.rng("arrival", name, rate, rep)
+    times, priorities = ARRIVAL_PROCESSES[spec.kind](spec, float(rate), a_rng)
+    if priorities is None:
+        if spec.priority_levels > 1:
+            priorities = a_rng.integers(0, spec.priority_levels, size=len(times))
+        else:
+            priorities = np.zeros(len(times), dtype=int)
+    events = []
+    for j, (t, prio) in enumerate(zip(times, priorities)):
+        g_rng = stream.rng("job", name, rate, rep, j)
+        v = int(g_rng.integers(task_range[0], task_range[1] + 1))
+        graph = random_dag(
+            v,
+            degree_range=degree_range,
+            volume_range=volume_range,
+            rng=g_rng,
+        )
+        events.append(
+            ArrivalEvent(
+                index=j, time=float(t), priority=int(prio), graph=graph
+            )
+        )
+    return tuple(events)
+
+
+def recorded_trace(events: tuple[ArrivalEvent, ...], spec: ArrivalSpec) -> ArrivalSpec:
+    """The ``"trace"`` spec that replays ``events`` bit-identically.
+
+    Running the returned spec at the same config name/seed/rate sweeps
+    regenerates the same graphs (job draws are seeded per index) and
+    replays the recorded instants and priorities verbatim.
+    """
+    return ArrivalSpec(
+        kind="trace",
+        granularity=spec.granularity,
+        width=spec.width,
+        trace=tuple(e.time for e in events),
+        priorities=tuple(e.priority for e in events),
+    )

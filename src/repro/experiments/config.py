@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.arrival import ArrivalSpec
+from repro.fault.model import FailureSpec
 
 GRANULARITY_SWEEP_A: tuple[float, ...] = tuple(round(0.2 * i, 1) for i in range(1, 11))
 GRANULARITY_SWEEP_B: tuple[float, ...] = tuple(float(i) for i in range(1, 11))
@@ -81,6 +84,13 @@ class ExperimentConfig:
     #: route scheduler trials through the vectorized placement kernel
     #: (bit-identical schedules; set False to time the slow path)
     fast: bool = True
+    #: online workload: DAGs arriving over time against the shared
+    #: platform, with the ``granularities`` axis reinterpreted as the
+    #: arrival-rate sweep.  ``None`` = the paper's offline scenario.
+    arrival: Optional[ArrivalSpec] = None
+    #: how crash scenarios are drawn (``None`` = i.i.d. per-processor,
+    #: bit-identical to the historical draws)
+    failure: Optional[FailureSpec] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -95,6 +105,26 @@ class ExperimentConfig:
             raise ValueError(
                 f"port_policy={self.port_policy!r} only applies to model='oneport'"
             )
+        if self.arrival is not None and not isinstance(self.arrival, ArrivalSpec):
+            raise ValueError(
+                f"arrival must be an ArrivalSpec or None, got {self.arrival!r}"
+            )
+        if self.failure is not None and not isinstance(self.failure, FailureSpec):
+            raise ValueError(
+                f"failure must be a FailureSpec or None, got {self.failure!r}"
+            )
+        if self.arrival is not None:
+            for rate in self.granularities:
+                if rate <= 0:
+                    raise ValueError(
+                        f"online configs sweep the arrival rate on the "
+                        f"granularity axis; rates must be positive, got {rate}"
+                    )
+            if self.arrival.width > self.num_procs:
+                raise ValueError(
+                    f"arrival.width={self.arrival.width} exceeds "
+                    f"num_procs={self.num_procs}"
+                )
 
     def with_graphs(self, num_graphs: Optional[int]) -> "ExperimentConfig":
         """A copy with a different repetition count (None keeps the default)."""
@@ -143,21 +173,38 @@ class ExperimentConfig:
         return (self.name, self.model, self.topology or "clique", self.port_policy)
 
     def to_dict(self) -> dict:
-        """JSON-ready mapping (tuples become lists; see :meth:`from_dict`)."""
-        return asdict(self)
+        """JSON-ready mapping (tuples become lists; see :meth:`from_dict`).
+
+        The ``arrival``/``failure`` sub-specs serialize through their own
+        canonical ``to_dict`` and are omitted entirely when unset, so
+        offline configs round-trip byte-identically to pre-online stores.
+        """
+        out = asdict(self)
+        for key, spec in (("arrival", self.arrival), ("failure", self.failure)):
+            if spec is None:
+                del out[key]
+            else:
+                out[key] = spec.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentConfig":
         """Rebuild a config from :meth:`to_dict` output (JSON round-trip safe).
 
         Unknown keys are ignored so stores written by newer versions stay
-        readable; list-valued fields are coerced back to tuples.
+        readable; list-valued fields are coerced back to tuples and the
+        ``arrival``/``failure`` tables back to their spec types
+        (tolerantly — manifests, not spec files).
         """
         known = {f.name for f in fields(cls)}
         kwargs = {}
         for key, value in data.items():
             if key not in known:
                 continue
+            if key == "arrival" and isinstance(value, Mapping):
+                value = ArrivalSpec.from_dict(value, strict=False)
+            elif key == "failure" and isinstance(value, Mapping):
+                value = FailureSpec.from_dict(value, strict=False)
             kwargs[key] = tuple(value) if key in TUPLE_FIELDS else value
         return cls(**kwargs)
 

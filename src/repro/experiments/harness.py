@@ -38,7 +38,7 @@ from repro.core.caft import caft
 from repro.dag.analysis import min_critical_path
 from repro.dag.generators import random_dag
 from repro.experiments.config import ExperimentConfig
-from repro.fault.model import FailureScenario
+from repro.fault.model import FailureScenario, build_failure_model
 from repro.fault.scenarios import random_crash_scenario
 from repro.fault.simulator import replay
 from repro.platform.heterogeneity import (
@@ -294,17 +294,38 @@ def run_rep(config: ExperimentConfig, granularity: float, rep: int) -> RepResult
     from labelled child seeds of ``config.base_seed``, so the result is a
     pure function of ``(config, granularity, rep)`` — independent of
     which process (or machine) runs it and of every other rep.
+
+    Online configs (``config.arrival`` set) reinterpret ``granularity``
+    as the point's arrival rate and dispatch to the online harness —
+    same unit identity, same purity contract, different metric columns.
     """
+    if config.arrival is not None:
+        from repro.experiments.online import run_online_rep
+
+        return run_online_rep(config, granularity, rep)
     stream = RngStream(config.base_seed)
     topology = generate_topology(config, granularity, rep)
     inst = generate_instance(config, granularity, rep, topology=topology)
     model = campaign_network(config, inst, topology)
     cp = min_critical_path(inst)
-    scenario = random_crash_scenario(
-        config.num_procs,
-        config.crashes,
-        rng=stream.rng("crash", config.name, granularity, rep),
-    )
+    if config.failure is None:
+        scenario = random_crash_scenario(
+            config.num_procs,
+            config.crashes,
+            rng=stream.rng("crash", config.name, granularity, rep),
+        )
+    else:
+        # The i.i.d. spec makes exactly random_crash_scenario's RNG
+        # calls, so failure={"kind": "iid"} rows equal failure=None rows
+        # bit for bit (pinned in tests/experiments/test_online.py).
+        fmodel = build_failure_model(
+            config.failure, config.num_procs, config.topology
+        )
+        scenario = fmodel.draw_scenario(
+            config.num_procs,
+            config.crashes,
+            stream.rng("crash", config.name, granularity, rep),
+        )
     algo_seed = stream.seed("algo", config.name, granularity, rep)
     fast = config.fast
 
@@ -376,6 +397,23 @@ def _aggregate_point(
     )
 
 
+def aggregate_point(
+    config: ExperimentConfig, granularity: float, reps: list[RepResult]
+):
+    """Fold per-rep results into one data point (offline or online).
+
+    The single aggregation dispatch: offline configs produce the
+    figures' :class:`PointResult`; online configs an
+    :class:`~repro.experiments.online.OnlinePoint` (same ``granularity``
+    + ``row()`` surface, arrival-rate semantics).
+    """
+    if config.arrival is not None:
+        from repro.experiments.online import aggregate_online_point
+
+        return aggregate_online_point(config, granularity, reps)
+    return _aggregate_point(config, granularity, reps)
+
+
 def run_point(
     config: ExperimentConfig,
     granularity: float,
@@ -394,7 +432,7 @@ def run_point(
             progress(
                 f"[{config.name}] g={granularity:g} rep {rep + 1}/{config.num_graphs}"
             )
-    return _aggregate_point(config, granularity, reps)
+    return aggregate_point(config, granularity, reps)
 
 
 @dataclass
@@ -435,7 +473,7 @@ class CampaignResult:
             for g, reps in by_g.items():
                 reps.sort(key=lambda r: r.rep)
             self._points = [
-                _aggregate_point(self.config, g, by_g[g])
+                aggregate_point(self.config, g, by_g[g])
                 for g in self.config.granularities
                 if by_g[g]
             ]

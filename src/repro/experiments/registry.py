@@ -39,6 +39,11 @@ from __future__ import annotations
 from typing import Callable, Iterator, NamedTuple, Optional, TypeVar
 
 from repro.comm import network_names, register_network
+from repro.experiments.arrival import (
+    arrival_process_names,
+    register_arrival_process,
+)
+from repro.fault.model import failure_model_names, register_failure_model
 from repro.platform.topology import register_topology, topology_names
 from repro.utils.errors import CampaignConfigError
 from repro.utils.registry import check_registration
@@ -191,9 +196,13 @@ __all__ = [
     "register_store",
     "register_network",
     "register_topology",
+    "register_arrival_process",
+    "register_failure_model",
     "scheduler_names",
     "executor_names",
     "store_names",
     "network_names",
     "topology_names",
+    "arrival_process_names",
+    "failure_model_names",
 ]

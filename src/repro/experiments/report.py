@@ -155,6 +155,62 @@ def render_figure(result: CampaignResult) -> str:
     )
 
 
+def online_latency_table(result: CampaignResult) -> str:
+    """Per-scheduler response/queueing/makespan vs arrival rate."""
+    algos = result.config.algorithms
+    header = ["rate"]
+    for a in algos:
+        header += [f"{a}-resp", f"{a}-queue", f"{a}-mksp"]
+    rows = []
+    for point in result.points:
+        row: list[object] = [f"{point.granularity:g}"]
+        for a in algos:
+            m = point.per_algorithm[a]
+            row += [m["response_mean"], m["queueing_mean"], m["makespan_mean"]]
+        rows.append(row)
+    return _table(
+        f"{result.config.name}{scenario_label(result)} (online a): "
+        f"latency vs arrival rate (m={result.config.num_procs}, "
+        f"eps={result.config.epsilon})",
+        header,
+        rows,
+    )
+
+
+def online_robustness_table(result: CampaignResult) -> str:
+    """Throughput + crash survival vs arrival rate per scheduler."""
+    algos = result.config.algorithms
+    header = ["rate"]
+    for a in algos:
+        header += [f"{a}-thru", f"{a}-surv", f"{a}-crash-resp"]
+    rows = []
+    for point in result.points:
+        row: list[object] = [f"{point.granularity:g}"]
+        for a in algos:
+            m = point.per_algorithm[a]
+            # arrival rates are small, so throughput needs more digits
+            # than the default 2-decimal float formatting shows
+            row += [f"{m['throughput']:.4f}", m["survived_frac"],
+                    m["crash_response_mean"]]
+        rows.append(row)
+    fail = result.config.failure
+    label = f"{fail.kind}" if fail is not None else "iid"
+    return _table(
+        f"{result.config.name}{scenario_label(result)} (online b): "
+        f"throughput & robustness (failure model: {label}, "
+        f"crashes={result.config.crashes})",
+        header,
+        rows,
+    )
+
+
+def render_online(result: CampaignResult) -> str:
+    """Full text report of one online campaign (latency + robustness)."""
+    return "\n".join(
+        [online_latency_table(result), online_robustness_table(result)]
+    )
+
+
 def write_csv(result: CampaignResult, path: str | Path) -> Path:
     """Dump all aggregated columns to a CSV file; returns the path."""
     path = Path(path)

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import socket
 import subprocess
 import sys
@@ -121,6 +122,52 @@ def _atomic_write_json(path: Path, payload: Mapping) -> None:
     tmp = path.with_suffix(".tmp")
     tmp.write_text(json.dumps(payload, indent=2) + "\n")
     os.replace(tmp, path)
+
+
+#: job states whose directories :func:`gc_job_dirs` may remove
+TERMINAL_JOB_STATES = ("done", "cancelled", "failed")
+
+
+def gc_job_dirs(
+    root: Union[str, Path],
+    ttl: float,
+    now: Optional[float] = None,
+) -> list[str]:
+    """Prune terminal job directories older than ``ttl`` seconds.
+
+    Scans ``root/jobs/job-*`` and removes every directory whose
+    ``job.json`` records a terminal state (``done`` / ``cancelled`` /
+    ``failed``) and was last written at least ``ttl`` seconds ago (by
+    file mtime, against ``now`` — defaults to the current time).
+    Directories without a ``job.json``, with an unreadable one, or
+    recording any non-terminal state are **never** touched: a running
+    or incomplete job survives every sweep and is resumed by the next
+    service start.  Returns the removed job ids.
+    """
+    if ttl < 0:
+        raise ValueError(f"job ttl must be >= 0, got {ttl}")
+    if now is None:
+        now = time.time()
+    removed: list[str] = []
+    jobs_dir = Path(root) / "jobs"
+    if not jobs_dir.is_dir():
+        return removed
+    for job_dir in sorted(jobs_dir.glob("job-*")):
+        job_file = job_dir / JOB_FILE_NAME
+        try:
+            meta = json.loads(job_file.read_text())
+            age = now - job_file.stat().st_mtime
+        except (OSError, json.JSONDecodeError):
+            continue  # no/unreadable job.json: assume live, keep it
+        if meta.get("state") not in TERMINAL_JOB_STATES or age < ttl:
+            continue
+        job_id = meta.get("job_id", job_dir.name)
+        try:
+            shutil.rmtree(job_dir)
+        except OSError:
+            continue  # a half-removed dir is retried next sweep
+        removed.append(job_id)
+    return removed
 
 
 @dataclass
@@ -249,6 +296,7 @@ class CampaignService:
         lease: LeaseSpec = None,
         speculate: SpeculationSpec = None,
         steal: Union[str, bool, None] = None,
+        job_ttl: Optional[float] = None,
     ) -> None:
         self.root = Path(root)
         self.host = host
@@ -274,6 +322,13 @@ class CampaignService:
         self._vtime: dict[str, float] = {}
         self._conns: set[_LineConn] = set()
         self._dead_after = max(heartbeat * DEAD_AFTER_BEATS, 5.0)
+        if job_ttl is not None and job_ttl < 0:
+            raise ValueError(f"job ttl must be >= 0, got {job_ttl}")
+        #: prune terminal job dirs older than this many seconds (None
+        #: keeps them forever); swept at start and periodically while
+        #: serving
+        self.job_ttl = job_ttl
+        self._last_gc = time.monotonic()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -281,6 +336,8 @@ class CampaignService:
         """Bind, recover incomplete jobs from the root, spawn the worker
         pool, and start serving; returns the actually-bound address."""
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        if self.job_ttl is not None:
+            gc_job_dirs(self.root, self.job_ttl)
         self._recover_jobs()
         self._server = socket.create_server((self.host, self.port))
         self.address = self._server.getsockname()[:2]
@@ -305,7 +362,29 @@ class CampaignService:
     def serve_forever(self) -> None:
         """Block until :meth:`stop` (the CLI's foreground loop)."""
         while not self._stop.wait(timeout=0.5):
-            pass
+            if self.job_ttl is not None:
+                interval = max(1.0, min(self.job_ttl, 60.0))
+                if time.monotonic() - self._last_gc >= interval:
+                    self.gc_now()
+
+    def gc_now(self) -> list[str]:
+        """Run one TTL sweep immediately; returns the removed job ids.
+
+        Removed jobs are also unregistered from the live tables so
+        ``jobs`` / ``status`` stop reporting them.  No-op when the
+        service has no ``job_ttl``.
+        """
+        self._last_gc = time.monotonic()
+        if self.job_ttl is None:
+            return []
+        removed = gc_job_dirs(self.root, self.job_ttl)
+        if removed:
+            with self._lock:
+                for job_id in removed:
+                    job = self._jobs.pop(job_id, None)
+                    if job is not None:
+                        self._order.remove(job)
+        return removed
 
     def request_stop(self) -> None:
         """Ask :meth:`serve_forever` to return — safe from a signal

@@ -11,9 +11,12 @@ an active-replication schedule.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
-from repro.utils.errors import ReproError
+import numpy as np
+
+from repro.utils.errors import CampaignConfigError, ReproError
 
 
 class FailureScenario:
@@ -78,3 +81,281 @@ class FailureScenario:
 
     def __hash__(self) -> int:
         return hash(tuple(sorted(self._fail_times.items())))
+
+
+# ----------------------------------------------------------------------
+# Failure models: how scenarios are *drawn* (i.i.d. or correlated)
+# ----------------------------------------------------------------------
+
+
+class FailureModel:
+    """How random failure scenarios are drawn for a platform.
+
+    A failure model partitions the processors into *events* — the units
+    that fail together.  The i.i.d. model's events are the individual
+    processors (the paper's setting); a correlated model's events are
+    failure domains (a rack/switch taking all member processors down at
+    one drawn instant).  Monte-Carlo pools and campaign crash scenarios
+    are expressed over events, so "``k`` failures" uniformly means
+    "``k`` events", and the i.i.d. model is the trivial instance:
+    singleton events make every draw bit-identical to the historical
+    per-processor code path.
+    """
+
+    name = "iid"
+
+    def event_members(self, num_procs: int) -> tuple[tuple[int, ...], ...]:
+        """The processors of each event (singletons for i.i.d.)."""
+        return tuple((p,) for p in range(num_procs))
+
+    def draw_event_pool(
+        self, num_procs: int, samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``(samples, num_events)`` matrix of independent event permutations.
+
+        The ``k``-failure scenario of sample ``i`` is the union of the
+        members of events ``pool[i, :k]`` — nested across ``k`` so
+        survival curves stay paired.  For singleton events this is
+        exactly :func:`repro.fault.montecarlo.draw_crash_pool` (same
+        single vectorized RNG call, same bits).
+        """
+        n = len(self.event_members(num_procs))
+        pool = np.tile(np.arange(n), (samples, 1))
+        return rng.permuted(pool, axis=1)
+
+    def draw_scenario(
+        self,
+        num_procs: int,
+        num_failures: int,
+        rng: np.random.Generator,
+        time_range: Optional[tuple[float, float]] = None,
+    ) -> FailureScenario:
+        """One random scenario of ``num_failures`` events.
+
+        With singleton events and ``time_range=None`` this makes exactly
+        the RNG calls of
+        :func:`repro.fault.scenarios.random_crash_scenario`, so configs
+        that never name a failure model keep their historical draws.
+        All members of one event share the event's drawn failure time.
+        """
+        events = self.event_members(num_procs)
+        if not (0 <= num_failures <= len(events)):
+            raise ReproError(
+                f"cannot fail {num_failures} of {len(events)} "
+                f"failure event(s)"
+            )
+        picked = rng.choice(len(events), size=num_failures, replace=False)
+        if time_range is None:
+            return FailureScenario.crash_at_start(
+                p for e in picked for p in events[int(e)]
+            )
+        lo, hi = time_range
+        fail_times: dict[int, float] = {}
+        for e in picked:
+            t = float(rng.uniform(lo, hi))
+            for p in events[int(e)]:
+                fail_times[p] = t
+        return FailureScenario(fail_times)
+
+
+#: the trivial instance — one event per processor, the paper's draws
+IIDFailureModel = FailureModel
+
+
+class CorrelatedFailureModel(FailureModel):
+    """Failure domains: disjoint processor groups that fail together.
+
+    ``domains`` is a sequence of disjoint processor groups (e.g. the
+    racks of a fat-tree pod, the rows of a torus); processors not named
+    by any group become singleton events, so partial groupings stay
+    valid.  Events are ordered by their smallest member — with singleton
+    domains the event order is the processor order and every draw
+    reproduces the i.i.d. model exactly.
+    """
+
+    name = "correlated"
+
+    def __init__(self, domains: Sequence[Sequence[int]]) -> None:
+        groups: list[tuple[int, ...]] = []
+        seen: set[int] = set()
+        for domain in domains:
+            members = tuple(sorted(int(p) for p in domain))
+            if not members:
+                continue
+            if len(set(members)) != len(members) or seen & set(members):
+                raise ReproError(
+                    f"failure domains must be disjoint, got {domains!r}"
+                )
+            seen.update(members)
+            groups.append(members)
+        self.domains = tuple(sorted(groups))
+
+    def event_members(self, num_procs: int) -> tuple[tuple[int, ...], ...]:
+        for domain in self.domains:
+            if domain[-1] >= num_procs or domain[0] < 0:
+                raise ReproError(
+                    f"failure domain {domain} names processors outside "
+                    f"0..{num_procs - 1}"
+                )
+        covered = {p for domain in self.domains for p in domain}
+        events = list(self.domains) + [
+            (p,) for p in range(num_procs) if p not in covered
+        ]
+        return tuple(sorted(events))
+
+
+# ----------------------------------------------------------------------
+# Serializable failure-model spec + registry
+# ----------------------------------------------------------------------
+
+#: failure-model builders: ``name -> builder(spec, num_procs, topology)``
+FAILURE_MODELS: dict[str, Callable] = {}
+
+
+def failure_model_names() -> tuple[str, ...]:
+    """Registered failure-model kinds (``failure_model.kind`` in specs)."""
+    return tuple(sorted(FAILURE_MODELS))
+
+
+def register_failure_model(
+    name: str, builder: Callable, *, overwrite: bool = False
+) -> Callable:
+    """Register a failure-model builder under ``name``.
+
+    ``builder(spec, num_procs, topology)`` must return a
+    :class:`FailureModel` (``spec`` is the :class:`FailureSpec` naming
+    it, ``topology`` the config's topology shape name or ``None``).
+    Registered kinds become valid ``failure_model.kind`` values in
+    campaign specs.  Returns ``builder`` so it can be a decorator.
+    """
+    from repro.utils.registry import check_registration
+
+    check_registration("failure model", name, name in FAILURE_MODELS, overwrite)
+    FAILURE_MODELS[name] = builder
+    return builder
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Serializable description of how failures are drawn.
+
+    ``kind`` names a registered failure model: ``"iid"`` (independent
+    per-processor failures, the paper's setting and the default),
+    ``"domains"`` (contiguous blocks of ``domain_size`` processors fail
+    together — racks on a flat processor numbering), or ``"topology"``
+    (domains derived from the config's topology shape: fat-tree pods,
+    torus/mesh rows; shapes without natural groups fall back to
+    ``domain_size`` blocks).  Round-trips through JSON/TOML as one flat
+    table; unknown keys are rejected loudly.
+    """
+
+    kind: str = "iid"
+    domain_size: Optional[int] = None
+
+    _KNOWN = frozenset({"kind", "domain_size"})
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_MODELS:
+            raise CampaignConfigError(
+                f"unknown failure model {self.kind!r} (key "
+                f"'failure_model.kind'); registered: "
+                f"{', '.join(failure_model_names())}",
+                key="failure_model.kind",
+            )
+        if self.domain_size is not None and (
+            isinstance(self.domain_size, bool)
+            or not isinstance(self.domain_size, int)
+            or self.domain_size < 1
+        ):
+            raise CampaignConfigError(
+                f"failure_model.domain_size must be a positive integer, "
+                f"got {self.domain_size!r}",
+                key="failure_model.domain_size",
+            )
+        if self.kind == "domains" and self.domain_size is None:
+            raise CampaignConfigError(
+                "failure_model.kind 'domains' needs failure_model."
+                "domain_size (how many processors fail together)",
+                key="failure_model.domain_size",
+            )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON/TOML-ready mapping (defaults omitted)."""
+        out: dict = {"kind": self.kind}
+        if self.domain_size is not None:
+            out["domain_size"] = self.domain_size
+        return out
+
+    @classmethod
+    def from_dict(
+        cls, data: Optional[Mapping], strict: bool = True
+    ) -> Optional["FailureSpec"]:
+        """Rebuild from :meth:`to_dict` output (``None`` passes through).
+
+        ``strict`` rejects unknown keys (spec files); store manifests
+        load tolerantly so rows written by newer versions stay readable.
+        """
+        if data is None:
+            return None
+        if not isinstance(data, Mapping):
+            raise CampaignConfigError(
+                f"'failure_model' must be a table/object, "
+                f"got {type(data).__name__}",
+                key="failure_model",
+            )
+        unknown = sorted(set(data) - cls._KNOWN)
+        if unknown and strict:
+            keys = ", ".join(repr(k) for k in unknown)
+            raise CampaignConfigError(
+                f"unknown key(s) {keys} in failure_model spec; known "
+                f"keys: {', '.join(sorted(cls._KNOWN))}",
+                key=f"failure_model.{unknown[0]}",
+            )
+        return cls(**{k: v for k, v in data.items() if k in cls._KNOWN})
+
+
+def _contiguous_domains(num_procs: int, size: int) -> list[tuple[int, ...]]:
+    return [
+        tuple(range(lo, min(lo + size, num_procs)))
+        for lo in range(0, num_procs, size)
+    ]
+
+
+def _build_iid(spec: FailureSpec, num_procs: int, topology) -> FailureModel:
+    return FailureModel()
+
+
+def _build_domains(spec: FailureSpec, num_procs: int, topology) -> FailureModel:
+    return CorrelatedFailureModel(
+        _contiguous_domains(num_procs, spec.domain_size)
+    )
+
+
+def _build_topology_domains(
+    spec: FailureSpec, num_procs: int, topology
+) -> FailureModel:
+    from repro.platform.topology import topology_groups
+
+    groups = topology_groups(topology, num_procs) if topology else None
+    if groups is None:
+        size = spec.domain_size or max(1, int(round(num_procs**0.5)))
+        groups = _contiguous_domains(num_procs, size)
+    return CorrelatedFailureModel(groups)
+
+
+if "iid" not in FAILURE_MODELS:
+    register_failure_model("iid", _build_iid)
+    register_failure_model("domains", _build_domains)
+    register_failure_model("topology", _build_topology_domains)
+
+
+def build_failure_model(
+    spec: Optional[FailureSpec],
+    num_procs: int,
+    topology: Optional[str] = None,
+) -> FailureModel:
+    """Instantiate the failure model a spec names (``None`` = i.i.d.)."""
+    if spec is None:
+        return FailureModel()
+    builder = FAILURE_MODELS[spec.kind]
+    return builder(spec, num_procs, topology)

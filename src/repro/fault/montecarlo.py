@@ -28,7 +28,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.fault.model import FailureScenario
+from repro.fault.model import FailureModel, FailureScenario
 from repro.fault.simulator import replay
 from repro.schedule.schedule import Schedule
 from repro.utils.rng import RngLike, as_rng
@@ -129,27 +129,54 @@ class _Replayer:
         return False, None
 
 
+def _pool_scenario(
+    members: tuple[tuple[int, ...], ...],
+    events: np.ndarray,
+    times: Optional[np.ndarray],
+) -> FailureScenario:
+    """Scenario for one pool row: members of each event share its time."""
+    if times is None:
+        return FailureScenario.crash_at_start(
+            p for e in events for p in members[int(e)]
+        )
+    fail_times: dict[int, float] = {}
+    for e, t in zip(events, times):
+        for p in members[int(e)]:
+            fail_times[p] = float(t)
+    return FailureScenario(fail_times)
+
+
 def monte_carlo_crashes(
     schedule: Schedule,
     num_failures: int,
     samples: int = 200,
     rng: RngLike = None,
     time_range: Optional[tuple[float, float]] = None,
+    failure_model: Optional[FailureModel] = None,
 ) -> MonteCarloReport:
     """Replay ``schedule`` under ``samples`` random crash scenarios.
 
-    ``num_failures`` processors are drawn uniformly per sample — all
+    ``num_failures`` failure events are drawn uniformly per sample — all
     samples in one vectorized RNG call; with ``time_range`` the failure
     instants are drawn uniformly from the range (mid-execution crashes),
-    otherwise processors are dead from time 0.
+    otherwise the failed processors are dead from time 0.  The default
+    ``failure_model`` fails individual processors independently (the
+    paper's setting, bit-identical to the historical draws); a
+    :class:`~repro.fault.model.CorrelatedFailureModel` fails whole
+    domains — every member of a drawn domain stops at the domain's one
+    drawn time.
     """
     if samples < 1:
         raise ValueError("samples must be >= 1")
     m = schedule.instance.num_procs
-    if not (0 <= num_failures <= m):
-        raise ValueError(f"cannot fail {num_failures} of {m} processors")
+    model = failure_model if failure_model is not None else FailureModel()
+    members = model.event_members(m)
+    if not (0 <= num_failures <= len(members)):
+        raise ValueError(
+            f"cannot fail {num_failures} of {len(members)} failure event(s)"
+        )
     gen = as_rng(rng)
-    pool = draw_crash_pool(m, samples, rng=gen)[:, :num_failures]
+    pool = model.draw_event_pool(m, samples, gen)[:, :num_failures]
     times = None
     if time_range is not None:
         lo, hi = time_range
@@ -160,13 +187,9 @@ def monte_carlo_crashes(
     latencies: list[float] = []
     failures: list[FailureScenario] = []
     for i in range(samples):
-        procs = pool[i]
-        if times is None:
-            scenario = FailureScenario.crash_at_start(int(p) for p in procs)
-        else:
-            scenario = FailureScenario(
-                {int(p): float(t) for p, t in zip(procs, times[i])}
-            )
+        scenario = _pool_scenario(
+            members, pool[i], None if times is None else times[i]
+        )
         ok, latency = replayer.run(scenario)
         if ok:
             survived += 1
@@ -187,8 +210,9 @@ def survival_curve(
     samples: int = 100,
     rng: RngLike = None,
     samples_per_k: Optional[int] = None,
+    failure_model: Optional[FailureModel] = None,
 ) -> dict[int, MonteCarloReport]:
-    """Estimated survival as a function of the crash count.
+    """Estimated survival as a function of the failure-event count.
 
     One batched scenario pool is drawn up front and reused across every
     crash count ``k`` (the ``k``-crash scenario of sample ``i`` is the
@@ -204,14 +228,22 @@ def survival_curve(
     1.0 up to ``ε`` and typically degrades beyond it (the schedule may
     still survive more crashes by luck — replication placement often
     covers more than the guaranteed budget).
+
+    With a correlated ``failure_model``, ``k`` counts failure *events*
+    (domains), not processors — row ``k`` of the curve answers "does the
+    schedule survive ``k`` racks going down".
     """
     if samples < 1:
         raise ValueError("samples must be >= 1")
     m = schedule.instance.num_procs
-    if max_failures > m:
-        raise ValueError(f"cannot fail {max_failures} of {m} processors")
+    model = failure_model if failure_model is not None else FailureModel()
+    members = model.event_members(m)
+    if max_failures > len(members):
+        raise ValueError(
+            f"cannot fail {max_failures} of {len(members)} failure event(s)"
+        )
     n_k = samples if samples_per_k is None else max(1, min(samples_per_k, samples))
-    pool = draw_crash_pool(m, samples, rng=rng)
+    pool = model.draw_event_pool(m, samples, as_rng(rng))
     replayer = _Replayer(schedule)
 
     curve: dict[int, MonteCarloReport] = {}
@@ -220,9 +252,7 @@ def survival_curve(
         latencies: list[float] = []
         failures: list[FailureScenario] = []
         for i in range(n_k):
-            scenario = FailureScenario.crash_at_start(
-                int(p) for p in pool[i, :k]
-            )
+            scenario = _pool_scenario(members, pool[i, :k], None)
             ok, latency = replayer.run(scenario)
             if ok:
                 survived += 1

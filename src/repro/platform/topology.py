@@ -257,6 +257,44 @@ class Topology:
                 links.append(((rows - 1) * cols + c, c, delay))
         return cls(rows * cols, links)
 
+    @classmethod
+    def fat_tree(cls, pods: int, pod_size: int, delay: float = 1.0) -> "Topology":
+        """Processor-level fat-tree: pods of processors over a core fabric.
+
+        Pod ``p`` holds processors ``[p * pod_size, (p + 1) * pod_size)``
+        as a clique of intra-pod links (one ToR/leaf hop); the first
+        processor of each pod doubles as the pod's uplink, and the
+        uplinks form a clique modelling the aggregation/core fabric —
+        switches are not modelled as nodes, their traversal is folded
+        into link delays, matching the torus/star convention.  Routes
+        are therefore 1 hop intra-pod and at most 3 hops (member →
+        uplink → uplink → member) across pods, the rearrangeable
+        full-bisection property fat-tree/Clos fabrics are built for.
+
+        Closed-form metrics (validated in the tests against the
+        Benes/Clos characterization): ``pods * pod_size`` nodes,
+        ``pods * C(pod_size, 2) + C(pods, 2)`` links, hop-diameter
+        ``min(3, ...)`` and route delay at most ``3 * delay``.
+        """
+        if pods < 1 or pod_size < 1 or pods * pod_size < 2:
+            raise InvalidPlatformError(
+                "a fat-tree needs at least 2 processors"
+            )
+        links = []
+        for p in range(pods):
+            base = p * pod_size
+            links.extend(
+                (base + a, base + b, delay)
+                for a in range(pod_size)
+                for b in range(a + 1, pod_size)
+            )
+        links.extend(
+            (a * pod_size, b * pod_size, delay)
+            for a in range(pods)
+            for b in range(a + 1, pods)
+        )
+        return cls(pods * pod_size, links)
+
     def __repr__(self) -> str:
         return f"Topology(m={self.num_procs}, links={len(self._link_delay)})"
 
@@ -325,6 +363,39 @@ def make_topology(name: str, num_procs: int, delay: float = 1.0) -> Topology:
             f"unknown topology {name!r}; choose from {topology_names()}"
         ) from None
     return build(num_procs, delay)
+
+
+if "fat-tree" not in TOPOLOGY_BUILDERS:
+    # Registered through the public hook (not the builtin dict) as the
+    # reference for out-of-tree shapes; pods x pod_size comes from the
+    # most-square factorization like the grid shapes.
+    register_topology(
+        "fat-tree", lambda m, delay: Topology.fat_tree(*_grid_dims(m), delay)
+    )
+
+
+def topology_groups(name: str, num_procs: int) -> Optional[list[tuple[int, ...]]]:
+    """Natural failure domains of a topology shape (``None`` = no grouping).
+
+    The processor groups a single rack/switch event takes down together:
+    fat-tree pods share their uplink and torus/mesh rows share a
+    dimension, so each is one correlated-failure domain
+    (``failure_model.kind = "topology"`` builds on this).  Shapes
+    without shared infrastructure (clique, ring, line, star) have no
+    natural grouping.
+    """
+    if name == "fat-tree":
+        pods, pod_size = _grid_dims(num_procs)
+        return [
+            tuple(range(p * pod_size, (p + 1) * pod_size))
+            for p in range(pods)
+        ]
+    if name in ("mesh", "torus"):
+        rows, cols = _grid_dims(num_procs)
+        return [
+            tuple(range(r * cols, (r + 1) * cols)) for r in range(rows)
+        ]
+    return None
 
 
 def randomize_link_delays(

@@ -1,0 +1,256 @@
+"""The online workload subsystem (marker: ``online``).
+
+Pins the subsystem's three determinism contracts:
+
+* **Purity** — an online work unit (``run_online_rep``) is a function of
+  ``(config, rate, rep)`` alone, and the whole campaign produces
+  bit-identical stored rows on every executor (the same conformance
+  harness the offline path runs through);
+* **Trace replay** — a ``"trace"`` arrival spec recorded from a live
+  run *is* the original workload: same instants, same priorities, same
+  job graphs, same rows;
+* **Model equivalence** — the correlated failure model with singleton
+  domains makes exactly the i.i.d. draws, and an explicit
+  ``failure_model = {kind = "iid"}`` table leaves an *offline*
+  campaign's rows untouched — naming the paper's default changes
+  nothing.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import executor_conformance as ec
+from repro.experiments.arrival import (
+    ArrivalSpec,
+    generate_arrivals,
+    recorded_trace,
+)
+from repro.experiments.config import FIGURES
+from repro.experiments.harness import run_rep
+from repro.experiments.online import OnlineHarness, run_online_rep
+from repro.experiments.store import result_to_dict
+from repro.fault.model import (
+    CorrelatedFailureModel,
+    FailureModel,
+    FailureSpec,
+)
+
+pytestmark = pytest.mark.online
+
+
+def online_config(**overrides):
+    """Figure 1 shrunk to an online test campaign: two arrival rates,
+    two reps, a three-job Poisson stream, correlated failure domains."""
+    base = replace(
+        FIGURES[1].with_graphs(2),
+        granularities=(0.01, 0.02),
+        num_procs=6,
+        epsilon=1,
+        crashes=1,
+        task_range=(10, 14),
+        algorithms=("caft", "ftsa"),
+        arrival=ArrivalSpec(kind="poisson", jobs=3, granularity=0.2),
+        failure=FailureSpec(kind="domains", domain_size=2),
+    )
+    return replace(base, **overrides)
+
+
+def _arrival_kwargs(config):
+    return dict(
+        base_seed=config.base_seed,
+        name=config.name,
+        task_range=config.task_range,
+        degree_range=config.degree_range,
+        volume_range=config.volume_range,
+    )
+
+
+class TestRepPurity:
+    def test_rep_is_deterministic(self):
+        config = online_config()
+        first = result_to_dict(run_online_rep(config, 0.01, 0))
+        again = result_to_dict(run_online_rep(config, 0.01, 0))
+        assert first == again
+
+    def test_rep_dispatch_through_run_rep(self):
+        """The offline entry point routes online configs to the online
+        harness — executors never need to know which kind they run."""
+        config = online_config()
+        assert result_to_dict(run_rep(config, 0.02, 1)) == result_to_dict(
+            run_online_rep(config, 0.02, 1)
+        )
+
+    def test_every_metric_column_is_populated(self):
+        from repro.experiments.online import ONLINE_METRICS
+
+        result = run_online_rep(online_config(), 0.02, 0)
+        for algo in ("caft", "ftsa"):
+            row = result.metrics[algo]
+            assert set(row) == set(ONLINE_METRICS)
+            assert result.faultfree_norm[algo] >= 1.0
+
+    def test_jobs_are_actually_scheduled_online(self):
+        """Arrivals gate starts: no job starts before it arrives, and
+        the stream's records are internally consistent."""
+        config = online_config()
+        records = OnlineHarness(config, 0.02, 0).run("caft")
+        assert len(records) == 3
+        for r in records:
+            assert r.start >= r.arrival
+            assert r.finish == pytest.approx(r.start + r.makespan)
+            assert r.response == pytest.approx(r.queueing + r.makespan)
+            assert 1 <= len(r.procs) <= config.num_procs
+
+
+class TestTraceReplay:
+    def test_recorded_trace_replays_bit_identically(self):
+        config = online_config()
+        spec = config.arrival
+        events = generate_arrivals(spec, 0.01, 0, **_arrival_kwargs(config))
+        replay_spec = recorded_trace(events, spec)
+        replayed = generate_arrivals(
+            replay_spec, 0.01, 0, **_arrival_kwargs(config)
+        )
+        assert len(replayed) == len(events)
+        for original, copy in zip(events, replayed):
+            assert copy.time == original.time
+            assert copy.priority == original.priority
+            assert copy.graph == original.graph
+
+    def test_replayed_campaign_rows_match(self):
+        """The whole rep — not just the arrivals — replays identically
+        from a recorded trace."""
+        config = online_config()
+        events = generate_arrivals(
+            config.arrival, 0.01, 0, **_arrival_kwargs(config)
+        )
+        replay = replace(
+            config, arrival=recorded_trace(events, config.arrival)
+        )
+        assert result_to_dict(run_online_rep(replay, 0.01, 0)) == (
+            result_to_dict(run_online_rep(config, 0.01, 0))
+        )
+
+
+class TestFailureModelEquivalence:
+    def test_singleton_domains_draw_iid_pools(self):
+        iid = FailureModel()
+        singleton = CorrelatedFailureModel([(p,) for p in range(8)])
+        assert singleton.event_members(8) == iid.event_members(8)
+        pool_a = iid.draw_event_pool(8, 16, np.random.default_rng(7))
+        pool_b = singleton.draw_event_pool(8, 16, np.random.default_rng(7))
+        assert (pool_a == pool_b).all()
+
+    def test_singleton_domains_draw_iid_scenarios(self):
+        iid = FailureModel()
+        singleton = CorrelatedFailureModel([(p,) for p in range(8)])
+        for time_range in (None, (0.0, 5.0)):
+            a = iid.draw_scenario(
+                8, 3, np.random.default_rng(11), time_range=time_range
+            )
+            b = singleton.draw_scenario(
+                8, 3, np.random.default_rng(11), time_range=time_range
+            )
+            assert a == b
+
+    def test_correlated_domains_fail_together(self):
+        model = CorrelatedFailureModel([(0, 1), (2, 3), (4, 5)])
+        for seed in range(20):
+            scenario = model.draw_scenario(6, 1, np.random.default_rng(seed))
+            assert scenario.failed_procs in ((0, 1), (2, 3), (4, 5))
+            times = {scenario.fail_time(p) for p in scenario.failed_procs}
+            assert len(times) == 1  # one event, one instant
+
+    def test_naming_iid_changes_no_offline_row(self):
+        """An offline campaign that spells out the paper's default
+        failure model stores the same bits as one that never mentions
+        it — the spec surface is additive."""
+        config = replace(
+            FIGURES[1].with_graphs(1),
+            granularities=(0.6,),
+            num_procs=6,
+            task_range=(10, 14),
+            algorithms=("caft",),
+        )
+        spelled = replace(config, failure=FailureSpec(kind="iid"))
+        assert result_to_dict(run_rep(spelled, 0.6, 0)) == result_to_dict(
+            run_rep(config, 0.6, 0)
+        )
+
+
+class TestOnlineExecutorConformance:
+    """Online campaigns run the unchanged executor stack: stored rows
+    are bit-identical to the serial baseline on every executor, for a
+    Poisson stream and for a recorded-trace replay."""
+
+    @pytest.fixture(scope="class")
+    def poisson_baseline(self, tmp_path_factory):
+        config = online_config()
+        directory = tmp_path_factory.mktemp("online") / "baseline"
+        return config, ec.run_cell(config, "serial", "none", directory)
+
+    @pytest.mark.parametrize("executor_name", ("process", "socket"))
+    def test_executors_match_serial(
+        self, executor_name, poisson_baseline, tmp_path
+    ):
+        if executor_name == "socket" and not ec.sockets_available():
+            pytest.skip("localhost sockets unavailable")
+        config, baseline = poisson_baseline
+        rows = ec.run_cell(config, executor_name, "none", tmp_path / "cell")
+        assert rows == baseline
+
+    def test_resume_after_abort_matches_serial(
+        self, poisson_baseline, tmp_path
+    ):
+        config, baseline = poisson_baseline
+        rows = ec.run_cell(
+            config, "process", "worker-crash", tmp_path / "cell"
+        )
+        assert rows == baseline
+
+    def test_service_executor_matches_serial(
+        self, poisson_baseline, tmp_path
+    ):
+        """The fourth executor of the determinism matrix: an online
+        campaign relayed through a running CampaignService streams the
+        same bits back into the local store."""
+        if not ec.sockets_available():
+            pytest.skip("localhost sockets unavailable")
+        from repro.experiments.api import (
+            Campaign,
+            CampaignSpec,
+            ExecutorSpec,
+            StoreSpec,
+        )
+        from repro.experiments.service import CampaignService
+
+        config, baseline = poisson_baseline
+        with CampaignService(tmp_path / "svc", spawn_workers=2) as service:
+            host, port = service.start()
+            spec = CampaignSpec(
+                config=config,
+                executor=ExecutorSpec(
+                    kind="service",
+                    address=f"{host}:{port}",
+                    timeout=ec.DEADLINE_S,
+                ),
+                store=StoreSpec(directory=str(tmp_path / "local")),
+            )
+            Campaign(spec).run()
+        assert ec.stored_rows(tmp_path / "local") == baseline
+
+    def test_trace_replay_cell_across_executors(self, tmp_path):
+        config = online_config()
+        events = generate_arrivals(
+            config.arrival, 0.01, 0, **_arrival_kwargs(config)
+        )
+        config = replace(
+            config,
+            granularities=(0.01,),
+            arrival=recorded_trace(events, config.arrival),
+        )
+        baseline = ec.run_cell(config, "serial", "none", tmp_path / "serial")
+        rows = ec.run_cell(config, "process", "none", tmp_path / "process")
+        assert rows == baseline

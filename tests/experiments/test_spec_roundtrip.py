@@ -17,7 +17,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.experiments.api import CampaignSpec, ExecutorSpec, StoreSpec
+from repro.experiments.arrival import ArrivalSpec
 from repro.experiments.config import ExperimentConfig
+from repro.fault.model import FailureSpec
 from repro.utils.errors import CampaignConfigError
 
 #: every valid (model, topology, policy) combination the config accepts
@@ -133,6 +135,49 @@ def store_specs(draw) -> StoreSpec:
 
 
 @st.composite
+def arrival_specs(draw) -> ArrivalSpec:
+    kind = draw(st.sampled_from(["poisson", "uniform", "trace"]))
+    kwargs = dict(
+        kind=kind,
+        granularity=draw(st.floats(0.01, 10.0, allow_nan=False)),
+        # <= the smallest num_procs configs() can draw, so grid() stays
+        # valid for every generated spec
+        width=draw(st.integers(0, 2)),
+        priority_levels=draw(st.integers(1, 4)),
+    )
+    if kind == "trace":
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(
+                        0.0, 1e6, allow_nan=False, allow_infinity=False
+                    ),
+                    min_size=1,
+                    max_size=6,
+                )
+            )
+        )
+        kwargs["trace"] = tuple(times)
+        n = draw(st.integers(0, len(times)))
+        kwargs["priorities"] = tuple(
+            draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+        )
+    else:
+        kwargs["jobs"] = draw(st.integers(1, 8))
+    return ArrivalSpec(**kwargs)
+
+
+@st.composite
+def failure_specs(draw) -> FailureSpec:
+    kind = draw(st.sampled_from(["iid", "domains", "topology"]))
+    if kind == "domains":
+        return FailureSpec(kind=kind, domain_size=draw(st.integers(1, 6)))
+    return FailureSpec(
+        kind=kind, domain_size=draw(st.none() | st.integers(1, 6))
+    )
+
+
+@st.composite
 def specs(draw) -> CampaignSpec:
     figure = draw(st.none() | st.integers(1, 6))
     config = None if figure is not None else draw(configs())
@@ -170,6 +215,8 @@ def specs(draw) -> CampaignSpec:
         executor=draw(executor_specs()),
         store=draw(store_specs()),
         lease=draw(st.sampled_from([None, "auto", 1, 8, 64])),
+        arrival_process=draw(st.none() | arrival_specs()),
+        failure_model=draw(st.none() | failure_specs()),
     )
 
 
@@ -288,3 +335,92 @@ class TestUnknownKeyRejection:
     def test_unsupported_version(self):
         with pytest.raises(CampaignConfigError, match="version"):
             CampaignSpec.from_dict({"figure": 1, "version": 99})
+
+    def test_arrival_process_section(self):
+        err = pytest.raises(
+            CampaignConfigError,
+            CampaignSpec.from_dict,
+            {"figure": 1, "arrival_process": {"kind": "poisson", "rate": 2}},
+        )
+        assert "rate" in str(err.value)
+        assert err.value.key == "arrival_process.rate"
+
+    def test_failure_model_section(self):
+        err = pytest.raises(
+            CampaignConfigError,
+            CampaignSpec.from_dict,
+            {"figure": 1, "failure_model": {"kind": "iid", "sizes": 3}},
+        )
+        assert "sizes" in str(err.value)
+        assert err.value.key == "failure_model.sizes"
+
+    def test_arrival_inside_config_is_rejected(self):
+        """The specs' canonical home for these tables is the top level
+        (TOML cannot nest them under ``[config]``); a spec file putting
+        them inside config gets an error pointing at the right key."""
+        err = pytest.raises(
+            CampaignConfigError,
+            CampaignSpec.from_dict,
+            {"figure": 1, "config": {"arrival": {"kind": "poisson"}}},
+        )
+        assert "arrival_process" in str(err.value)
+        err = pytest.raises(
+            CampaignConfigError,
+            CampaignSpec.from_dict,
+            {"figure": 1, "config": {"failure": {"kind": "iid"}}},
+        )
+        assert "failure_model" in str(err.value)
+
+
+class TestOnlineSpecSections:
+    """The online tables' spec-level semantics (beyond round-tripping)."""
+
+    def test_unknown_kinds_are_rejected_with_registered_list(self):
+        err = pytest.raises(
+            CampaignConfigError,
+            CampaignSpec.from_dict,
+            {"figure": 1, "arrival_process": {"kind": "bursty"}},
+        )
+        assert "poisson" in str(err.value)
+        assert err.value.key == "arrival_process.kind"
+        err = pytest.raises(
+            CampaignConfigError,
+            CampaignSpec.from_dict,
+            {"figure": 1, "failure_model": {"kind": "sunspots"}},
+        )
+        assert "iid" in str(err.value)
+        assert err.value.key == "failure_model.kind"
+
+    def test_tables_reach_the_base_config(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "figure": 1,
+                "arrival_process": {"kind": "uniform", "jobs": 3},
+                "failure_model": {"kind": "domains", "domain_size": 2},
+            }
+        )
+        base = spec.base_config()
+        assert base.arrival == ArrivalSpec(kind="uniform", jobs=3)
+        assert base.failure == FailureSpec(kind="domains", domain_size=2)
+
+    def test_config_level_specs_hoist_to_the_top_level(self):
+        """A programmatically-built spec whose config already carries
+        the online specs serializes them at the canonical top level —
+        so TOML (one level of nesting) can always express it."""
+        from dataclasses import replace
+
+        from repro.experiments.config import FIGURES
+
+        config = replace(
+            FIGURES[1],
+            arrival=ArrivalSpec(kind="poisson", jobs=4),
+            failure=FailureSpec(kind="domains", domain_size=3),
+        )
+        spec = CampaignSpec(config=config)
+        assert spec.arrival_process == ArrivalSpec(kind="poisson", jobs=4)
+        assert spec.failure_model == FailureSpec(kind="domains", domain_size=3)
+        assert spec.config.arrival is None and spec.config.failure is None
+        data = spec.to_dict()
+        assert data["arrival_process"] == {"kind": "poisson", "jobs": 4}
+        assert "arrival" not in data["config"]
+        assert CampaignSpec.from_toml(spec.to_toml()) == spec

@@ -123,7 +123,7 @@ class TestShippedSpecs:
         from repro.experiments import FIGURES, shipped_spec_paths
 
         names = {p.stem for p in shipped_spec_paths()}
-        assert names == {f"figure{n}" for n in FIGURES}
+        assert names == {f"figure{n}" for n in FIGURES} | {"figure_online"}
 
     @pytest.mark.parametrize("number", [1, 2, 3, 4, 5, 6])
     def test_shipped_figure_spec_runs(self, number):
@@ -138,3 +138,34 @@ class TestShippedSpecs:
         row = result.rows()[0]
         for algo in result.config.algorithms:
             assert f"{algo}_latency0" in row
+
+    def test_shipped_online_spec_runs(self):
+        from repro.experiments import (
+            Campaign,
+            CampaignSpec,
+            apply_overrides,
+            check_online_shape,
+            render_online,
+            shipped_spec_paths,
+        )
+
+        path = next(
+            p for p in shipped_spec_paths() if p.stem == "figure_online"
+        )
+        spec = apply_overrides(
+            CampaignSpec.load(path),
+            {
+                "graphs": 1,
+                "config.granularities": [0.01, 0.02],
+                "config.task_range": [12, 16],
+            },
+        )
+        result = Campaign(spec).run().result()
+        assert result.config.name == "figure_online"
+        assert result.config.arrival is not None
+        assert len(result.reps) == spec.grid().total_units
+        row = result.rows()[0]
+        for algo in result.config.algorithms:
+            assert f"{algo}_response_mean" in row
+        assert check_online_shape(result).ok
+        assert "throughput" in render_online(result)

@@ -102,3 +102,51 @@ class TestShapes:
             Topology.star(1)
         with pytest.raises(InvalidPlatformError):
             Topology.mesh2d(1, 1)
+
+
+class TestFatTree:
+    """Closed-form fat-tree metrics (PAPERS.md: the Benes-variant
+    multistage-network work has no extractable numeric benchmarks, so
+    the validation is against the Clos/fat-tree characterization:
+    node/link counts and the 3-hop full-bisection diameter)."""
+
+    def test_node_and_link_counts(self):
+        # pods * C(pod_size, 2) intra-pod + C(pods, 2) core links
+        t = Topology.fat_tree(4, 4)
+        assert t.num_procs == 16
+        assert len(t.links()) == 4 * 6 + 6
+
+    def test_route_delay_diameter_is_three_hops(self):
+        t = Topology.fat_tree(3, 4, delay=1.0)
+        d = t.effective_delay_matrix()
+        assert d.max() == 3.0  # member -> uplink -> uplink -> member
+        # intra-pod is always a single hop
+        assert d[1, 2] == 1.0 and d[4, 7] == 1.0
+
+    def test_uplinks_are_two_hops_apart(self):
+        t = Topology.fat_tree(3, 4)
+        assert t.route(0, 4) == (0, 4)  # uplink to uplink: core link
+        assert len(t.route(1, 5)) == 4  # member to member: 3 hops
+
+    def test_registered_shape_uses_most_square_pods(self):
+        from repro.platform.topology import make_topology
+
+        t = make_topology("fat-tree", 12)  # 3 pods x 4 processors
+        assert t.num_procs == 12
+        assert len(t.links()) == 3 * 6 + 3
+
+    def test_topology_groups_are_the_pods(self):
+        from repro.platform.topology import topology_groups
+
+        assert topology_groups("fat-tree", 12) == [
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (8, 9, 10, 11),
+        ]
+        assert topology_groups("ring", 6) is None
+
+    def test_small_fat_tree_validation(self):
+        with pytest.raises(InvalidPlatformError):
+            Topology.fat_tree(1, 1)
+        with pytest.raises(InvalidPlatformError):
+            Topology.fat_tree(0, 4)
